@@ -1,0 +1,382 @@
+(* The eXtract command-line interface — the CLI equivalent of the demo's
+   web UI (paper §4): pick a dataset, view it, issue keyword queries,
+   customize the snippet size bound, inspect the snippets, and open the
+   full query result behind any of them. *)
+
+open Cmdliner
+
+module Pipeline = Extract_snippet.Pipeline
+module Snippet_tree = Extract_snippet.Snippet_tree
+module Selector = Extract_snippet.Selector
+module Ilist = Extract_snippet.Ilist
+module Feature = Extract_snippet.Feature
+module Engine = Extract_search.Engine
+module Result_tree = Extract_search.Result_tree
+module Document = Extract_store.Document
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document.")
+
+let query_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"Keyword query.")
+
+let bound_arg =
+  Arg.(
+    value
+    & opt int Pipeline.default_bound
+    & info [ "b"; "bound" ] ~docv:"EDGES" ~doc:"Snippet size bound in edges.")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "limit" ] ~docv:"N" ~doc:"Show at most $(docv) results.")
+
+let semantics_conv =
+  let parse s =
+    match Engine.semantics_of_string s with
+    | Some sem -> Ok sem
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (slca|elca|xseek|xsearch)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Engine.string_of_semantics s))
+
+let semantics_arg =
+  Arg.(
+    value
+    & opt semantics_conv Engine.Xseek
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Search engine: slca, elca, xseek or xsearch.")
+
+(* Accept an XML file, a binary arena, or a bundle written by [extract
+   save]: dispatch on the leading magic. *)
+let load_db file =
+  let head =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let head = really_input_string ic (min n 16) in
+    close_in ic;
+    head
+  in
+  match Extract_store.Persist.sniff_magic head with
+  | Some magic when magic = Extract_store.Persist.bundle_magic -> Pipeline.load file
+  | Some magic when magic = Extract_store.Persist.magic ->
+    Pipeline.build (Extract_store.Persist.load file)
+  | Some _ | None -> Pipeline.of_file file
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let dataset =
+    Arg.(
+      required
+      & pos 0 (some (enum [ "retail", `Retail; "movies", `Movies; "auction", `Auction;
+                            "bib", `Bib; "courses", `Courses; "paper", `Paper ])) None
+      & info [] ~docv:"DATASET" ~doc:"One of retail, movies, auction, bib, courses, paper.")
+  in
+  let size =
+    Arg.(value & opt int 0 & info [ "s"; "size" ] ~docv:"N" ~doc:"Scale (entities; 0 = default).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+  in
+  let run dataset size seed out =
+    let doc =
+      match dataset with
+      | `Paper -> Extract_datagen.Paper_example.document ()
+      | `Retail ->
+        if size > 0 then Extract_datagen.Retail.scaled ~seed size
+        else Extract_datagen.Retail.(generate { default with seed })
+      | `Movies ->
+        if size > 0 then Extract_datagen.Movies.sized ~seed size
+        else Extract_datagen.Movies.(generate { default with seed })
+      | `Auction ->
+        if size > 0 then Extract_datagen.Auction.sized ~seed size
+        else Extract_datagen.Auction.(generate { default with seed })
+      | `Bib ->
+        if size > 0 then Extract_datagen.Bib.sized ~seed size
+        else Extract_datagen.Bib.(generate { default with seed })
+      | `Courses ->
+        if size > 0 then Extract_datagen.Courses.sized ~seed size
+        else Extract_datagen.Courses.(generate { default with seed })
+    in
+    match out with
+    | Some path ->
+      Extract_xml.Printer.write_file path doc;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string (Extract_xml.Printer.document_to_string doc)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic XML dataset.")
+    Term.(const run $ dataset $ size $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats_cmd =
+  let run file =
+    let db = load_db file in
+    let stats = Extract_store.Doc_stats.compute (Pipeline.kinds db) in
+    Format.printf "%a@." Extract_store.Doc_stats.pp stats;
+    Format.printf "index: %d tokens, %d postings@."
+      (Extract_store.Inverted_index.token_count (Pipeline.index db))
+      (Extract_store.Inverted_index.postings_size (Pipeline.index db));
+    let kinds = Pipeline.kinds db in
+    let guide = Pipeline.dataguide db in
+    Format.printf "@.paths:@.";
+    List.iter
+      (fun p ->
+        Format.printf "  %-40s %-10s %6d instance(s)@."
+          (Extract_store.Dataguide.path_string guide p)
+          (Extract_store.Node_kind.string_of_kind (Extract_store.Node_kind.kind_of_path kinds p))
+          (Extract_store.Dataguide.instance_count guide p))
+      (Extract_store.Dataguide.paths guide)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Document, classification and index statistics.")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* search                                                              *)
+
+let search_cmd =
+  let ranked_flag =
+    Arg.(value & flag & info [ "ranked" ] ~doc:"Order results by the XRank-style score.")
+  in
+  let relax_flag =
+    Arg.(value & flag
+         & info [ "relax" ] ~doc:"Drop the rarest keywords until the query has results.")
+  in
+  let run file query semantics limit ranked relax =
+    let db = load_db file in
+    let results, dropped =
+      if relax then
+        Extract_search.Engine.run_relaxed ~semantics (Pipeline.index db) (Pipeline.kinds db)
+          (Extract_search.Query.of_string query)
+      else Pipeline.search ~semantics db query, []
+    in
+    if dropped <> [] then
+      Printf.printf "(relaxed: dropped %s)\n" (String.concat ", " dropped);
+    let scored =
+      if ranked then
+        let ranker = Extract_search.Ranker.make (Pipeline.index db) in
+        Extract_search.Ranker.rank ranker (Extract_search.Query.of_string query) results
+      else List.map (fun r -> r, nan) results
+    in
+    let scored =
+      match limit with
+      | None -> scored
+      | Some k -> List.filteri (fun i _ -> i < k) scored
+    in
+    Printf.printf "%d result(s)\n" (List.length results);
+    List.iteri
+      (fun i (r, score) ->
+        let doc = Result_tree.document r in
+        let score_str = if Float.is_nan score then "" else Printf.sprintf "  score=%.3f" score in
+        Printf.printf "%2d. <%s> (%d nodes)%s\n" (i + 1)
+          (Document.tag_name doc (Result_tree.root r))
+          (Result_tree.size r) score_str)
+      scored
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run a keyword query, list result roots.")
+    Term.(const run $ file_arg $ query_arg $ semantics_arg $ limit_arg $ ranked_flag $ relax_flag)
+
+(* ------------------------------------------------------------------ *)
+(* snippet                                                             *)
+
+let order_conv =
+  let parse = function
+    | "dominance" -> Ok Extract_snippet.Config.By_dominance
+    | "frequency" -> Ok Extract_snippet.Config.By_frequency
+    | "biased" -> Ok Extract_snippet.Config.Query_biased
+    | s -> Error (`Msg (Printf.sprintf "unknown order %S (dominance|frequency|biased)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf o ->
+        Format.pp_print_string ppf (Extract_snippet.Config.string_of_feature_order o) )
+
+let snippet_cmd =
+  let compare_flag =
+    Arg.(value & flag & info [ "compare" ] ~doc:"Also show text-engine and naive baselines.")
+  in
+  let differentiate_flag =
+    Arg.(value & flag
+         & info [ "differentiate" ]
+             ~doc:"Re-rank dominant features by cross-result distinctiveness.")
+  in
+  let order_arg =
+    Arg.(value
+         & opt order_conv Extract_snippet.Config.By_dominance
+         & info [ "order" ] ~docv:"ORDER"
+             ~doc:"Feature ranking: dominance (paper), frequency (strawman) or biased (query-biased).")
+  in
+  let run file query semantics bound limit compare differentiate order =
+    let db = load_db file in
+    let config = { Extract_snippet.Config.default with Extract_snippet.Config.feature_order = order } in
+    let results =
+      if differentiate then Pipeline.run_differentiated ~semantics ~config ~bound ?limit db query
+      else Pipeline.run ~semantics ~config ~bound ?limit db query
+    in
+    Printf.printf "%d result(s) for %S, bound %d edges\n\n" (List.length results) query bound;
+    let q = Extract_search.Query.of_string query in
+    List.iteri
+      (fun i (r : Pipeline.snippet_result) ->
+        Printf.printf "--- result %d -------------------------------------\n" (i + 1);
+        print_endline (Snippet_tree.render r.selection.snippet);
+        Printf.printf "(%d/%d IList items, %d edges)\n\n"
+          (Selector.covered_count r.selection)
+          (Ilist.length r.ilist)
+          (Snippet_tree.edge_count r.selection.snippet);
+        if compare then begin
+          let text =
+            Extract_snippet.Text_baseline.generate
+              ~window_tokens:(Extract_snippet.Text_baseline.window_for_bound bound)
+              r.result q
+          in
+          Printf.printf "text baseline:  %s\n" (Extract_snippet.Text_baseline.to_string text);
+          let naive = Extract_snippet.Naive_baseline.generate ~bound r.result in
+          Printf.printf "naive baseline:\n%s\n\n" (Snippet_tree.render naive)
+        end)
+      results
+  in
+  Cmd.v
+    (Cmd.info "snippet" ~doc:"Generate snippets for a keyword query (the demo flow).")
+    Term.(
+      const run $ file_arg $ query_arg $ semantics_arg $ bound_arg $ limit_arg $ compare_flag
+      $ differentiate_flag $ order_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run file query semantics limit =
+    let db = load_db file in
+    let q = Extract_search.Query.of_string query in
+    let results = Pipeline.search ~semantics ?limit db query in
+    List.iteri
+      (fun i r ->
+        Printf.printf "--- result %d: IList -------------------------------\n" (i + 1);
+        let ilist = Pipeline.ilist_of db r q in
+        List.iter
+          (fun (e : Ilist.entry) ->
+            let kind, detail =
+              match e.item with
+              | Ilist.Keyword k -> "keyword", k
+              | Ilist.Entity_name n -> "entity", n
+              | Ilist.Result_key v -> "key", v
+              | Ilist.Dominant_feature (f, s) ->
+                ( "feature",
+                  Format.asprintf "%a DS=%.2f (N=%d/%d D=%d)" Feature.pp f s.Feature.score
+                    s.Feature.occurrences s.Feature.type_total s.Feature.domain_size )
+            in
+            Printf.printf "%2d. %-8s %-50s %d instance(s)\n" e.rank kind detail
+              (Array.length e.instances))
+          (Ilist.entries ilist);
+        print_newline ())
+      results
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the ranked IList of each query result (Fig. 3 view).")
+    Term.(const run $ file_arg $ query_arg $ semantics_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* save                                                                *)
+
+let save_cmd =
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output arena file.")
+  in
+  let run file out =
+    let db = load_db file in
+    Pipeline.save out db;
+    Printf.printf "wrote %s (%d nodes, %d tokens)\n" out
+      (Extract_store.Document.node_count (Pipeline.document db))
+      (Extract_store.Inverted_index.token_count (Pipeline.index db))
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Persist a parsed, indexed database as one binary bundle (fast reload).")
+    Term.(const run $ file_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+let demo_cmd =
+  let out =
+    Arg.(value & opt string "extract-results.html"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output HTML file.")
+  in
+  let run file query semantics bound limit out =
+    let db = load_db file in
+    let results = Pipeline.run ~semantics ~bound ?limit db query in
+    Extract_snippet.Html_view.write_page ~path:out ~query ~bound results;
+    Printf.printf "wrote %s (%d results)\n" out (List.length results)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Render the Fig. 5 demo page: snippets with full results, as HTML.")
+    Term.(const run $ file_arg $ query_arg $ semantics_arg $ bound_arg $ limit_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* view                                                                *)
+
+let view_cmd =
+  let path_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PATH" ~doc:"XPath-like selector, e.g. //store[city=\"Houston\"].")
+  in
+  let run file path =
+    let db = load_db file in
+    let doc = Pipeline.document db in
+    match Extract_store.Path_query.select_string doc path with
+    | exception Invalid_argument msg -> prerr_endline msg; exit 1
+    | [] -> print_endline "no match"
+    | nodes ->
+      Printf.printf "%d match(es)\n" (List.length nodes);
+      List.iteri
+        (fun i n ->
+          Printf.printf "--- match %d ---\n%s\n" (i + 1)
+            (Extract_xml.Printer.to_string (Extract_store.Document.to_xml doc n)))
+        (List.filteri (fun i _ -> i < 10) nodes)
+  in
+  Cmd.v
+    (Cmd.info "view" ~doc:"Select and print document fragments with an XPath-like path.")
+    Term.(const run $ file_arg $ path_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML files to serve.")
+  in
+  let port =
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = pick one).")
+  in
+  let run files port =
+    let corpus =
+      List.fold_left
+        (fun corpus file ->
+          let name = Filename.remove_extension (Filename.basename file) in
+          Extract_snippet.Corpus.add corpus ~name (load_db file))
+        Extract_snippet.Corpus.empty files
+    in
+    Extract_server.Demo_server.serve (Extract_server.Demo_server.create corpus) ~port
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the demo web service (the paper's Fig. 5 site) over XML files.")
+    Term.(const run $ files $ port)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "snippet generation for XML keyword search (eXtract, VLDB'08)" in
+  Cmd.group (Cmd.info "extract" ~version:"1.0.0" ~doc)
+    [ gen_cmd; stats_cmd; search_cmd; snippet_cmd; explain_cmd; save_cmd; demo_cmd; view_cmd;
+      serve_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,31 @@
+(* Orthogonality of snippet generation and result generation (paper §3/§4:
+   "eXtract can also be used on top of any XML keyword search engines"):
+   the same query is executed under SLCA, ELCA and XSeek semantics and
+   snippets are generated for each engine's results.
+
+   Run with: dune exec examples/engines_scenario.exe *)
+
+module Pipeline = Extract_snippet.Pipeline
+module Engine = Extract_search.Engine
+module Snippet_tree = Extract_snippet.Snippet_tree
+
+let () =
+  let doc = Extract_datagen.Auction.generate Extract_datagen.Auction.default in
+  let db = Pipeline.build (Extract_store.Document.of_document doc) in
+  let query = "vintage camera item" in
+  Printf.printf "Query: %S\n" query;
+  List.iter
+    (fun semantics ->
+      Printf.printf "\n=== engine: %s ===\n" (Engine.string_of_semantics semantics);
+      let results = Pipeline.run ~semantics ~bound:6 ~limit:2 db query in
+      Printf.printf "%d result(s), showing up to 2:\n\n" (List.length results);
+      List.iter
+        (fun (r : Pipeline.snippet_result) ->
+          print_endline (Snippet_tree.render r.selection.snippet);
+          Printf.printf "  (result root: %s, %d nodes)\n\n"
+            (Extract_store.Document.tag_name
+               (Extract_search.Result_tree.document r.result)
+               (Extract_search.Result_tree.root r.result))
+            (Extract_search.Result_tree.size r.result))
+        results)
+    Engine.all_semantics

@@ -1,0 +1,25 @@
+(* Quickstart: load an XML string, run a keyword query, print the snippet
+   of each result. Run with: dune exec examples/quickstart.exe *)
+
+let data =
+  {|<library>
+      <book><title>Structure and Interpretation</title><author>Abelson</author>
+            <subject>programming</subject><year>1985</year></book>
+      <book><title>The Art of Computer Programming</title><author>Knuth</author>
+            <subject>algorithms</subject><year>1968</year></book>
+      <book><title>Purely Functional Data Structures</title><author>Okasaki</author>
+            <subject>algorithms</subject><year>1998</year></book>
+    </library>|}
+
+let () =
+  (* Offline: parse, classify nodes (entity/attribute/connection), mine
+     keys, build the inverted index. *)
+  let db = Extract_snippet.Pipeline.of_xml_string data in
+  (* Online: search + snippet generation within a 4-edge bound. *)
+  let results = Extract_snippet.Pipeline.run ~bound:4 db "algorithms book" in
+  Printf.printf "%d result(s) for \"algorithms book\"\n\n" (List.length results);
+  List.iter
+    (fun (r : Extract_snippet.Pipeline.snippet_result) ->
+      print_endline (Extract_snippet.Snippet_tree.render r.selection.snippet);
+      Printf.printf "  IList: %s\n\n" (Extract_snippet.Ilist.to_string r.ilist))
+    results

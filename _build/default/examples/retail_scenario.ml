@@ -1,0 +1,54 @@
+(* The paper's running example, end to end:
+
+   - Figure 1: the query result of "Texas apparel retailer" and its value
+     statistics;
+   - Section 2.3: the dominance scores computed by hand;
+   - Figure 3: the IList;
+   - Figure 2: a snippet of the result.
+
+   Run with: dune exec examples/retail_scenario.exe *)
+
+module Pipeline = Extract_snippet.Pipeline
+module Feature = Extract_snippet.Feature
+module Ilist = Extract_snippet.Ilist
+module Selector = Extract_snippet.Selector
+module Snippet_tree = Extract_snippet.Snippet_tree
+
+let () =
+  let doc = Extract_datagen.Paper_example.document () in
+  let db = Pipeline.build (Extract_store.Document.of_document doc) in
+  let query = Extract_datagen.Paper_example.query in
+  Printf.printf "Query: %S\n\n" query;
+
+  let results = Pipeline.run ~bound:12 db query in
+  Printf.printf "Results: %d\n\n" (List.length results);
+  List.iter
+    (fun (r : Pipeline.snippet_result) ->
+      let result = r.result in
+      Printf.printf "Query result: %d nodes (%d elements)\n"
+        (Extract_search.Result_tree.size result)
+        (Extract_search.Result_tree.element_size result);
+
+      (* Section 2.3: dominance scores *)
+      let analysis = Feature.analyze (Pipeline.kinds db) result in
+      print_endline "Dominant features (cf. paper section 2.3):";
+      List.iter
+        (fun ((f : Feature.t), (s : Feature.stats)) ->
+          Printf.printf "  %-24s DS = %.2f  (N=%d, N(e,a)=%d, D=%d)\n"
+            (Printf.sprintf "(%s, %s, %s)" f.entity f.attribute f.value)
+            s.score s.occurrences s.type_total s.domain_size)
+        (Feature.dominant analysis);
+      print_newline ();
+
+      (* Figure 3: the IList *)
+      Printf.printf "IList (cf. paper Figure 3):\n  %s\n\n" (Ilist.to_string r.ilist);
+
+      (* Figure 2: the snippet *)
+      Printf.printf "Snippet within %d edges (cf. paper Figure 2):\n"
+        r.selection.Selector.bound;
+      print_endline (Snippet_tree.render r.selection.snippet);
+      Printf.printf "\nCovered %d/%d IList items, %d edges used.\n"
+        (Selector.covered_count r.selection)
+        (Ilist.length r.ilist)
+        (Snippet_tree.edge_count r.selection.snippet))
+    results

@@ -1,0 +1,1 @@
+lib/datagen/auction.mli: Extract_xml

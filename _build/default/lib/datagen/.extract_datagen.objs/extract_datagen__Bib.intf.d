@@ -1,0 +1,1 @@
+lib/datagen/bib.mli: Extract_xml

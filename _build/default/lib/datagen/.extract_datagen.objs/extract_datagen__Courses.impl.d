@@ -1,0 +1,1 @@
+lib/datagen/courses.ml: Array Extract_util Gen List Names Printf

@@ -1,0 +1,1 @@
+lib/datagen/courses.mli: Extract_xml

@@ -1,0 +1,1 @@
+lib/datagen/gen.ml: Array Extract_util Extract_xml List

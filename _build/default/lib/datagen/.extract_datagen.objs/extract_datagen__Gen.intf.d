@@ -1,0 +1,1 @@
+lib/datagen/gen.mli: Extract_util Extract_xml

@@ -1,0 +1,1 @@
+lib/datagen/movies.ml: Array Extract_util Gen List Names

@@ -1,0 +1,1 @@
+lib/datagen/movies.mli: Extract_xml

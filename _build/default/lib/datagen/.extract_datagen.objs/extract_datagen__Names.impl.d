@@ -1,0 +1,1 @@
+lib/datagen/names.ml: Extract_util Printf

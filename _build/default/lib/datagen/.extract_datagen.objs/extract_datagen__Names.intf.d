@@ -1,0 +1,1 @@
+lib/datagen/names.mli: Extract_util

@@ -1,0 +1,1 @@
+lib/datagen/nested.ml: Extract_util Gen List Printf

@@ -1,0 +1,1 @@
+lib/datagen/nested.mli: Extract_xml

@@ -1,0 +1,1 @@
+lib/datagen/paper_example.ml: Array Extract_xml Gen List Names

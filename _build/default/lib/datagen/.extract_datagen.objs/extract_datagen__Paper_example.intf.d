@@ -1,0 +1,1 @@
+lib/datagen/paper_example.mli: Extract_xml

@@ -1,0 +1,1 @@
+lib/datagen/retail.ml: Array Extract_util Extract_xml Gen List Names Paper_example

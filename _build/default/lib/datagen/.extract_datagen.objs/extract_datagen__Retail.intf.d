@@ -1,0 +1,1 @@
+lib/datagen/retail.mli: Extract_xml

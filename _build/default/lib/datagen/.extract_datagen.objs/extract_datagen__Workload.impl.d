@@ -1,0 +1,1 @@
+lib/datagen/workload.ml: Array Extract_store Extract_util Fun List String

@@ -1,0 +1,1 @@
+lib/datagen/workload.mli: Extract_store

@@ -1,0 +1,108 @@
+module Prng = Extract_util.Prng
+module Zipf = Extract_util.Zipf
+
+type config = {
+  seed : int;
+  regions : int;
+  items_per_region : int;
+  people : int;
+  auctions : int;
+  skew : float;
+}
+
+let default = { seed = 11; regions = 4; items_per_region = 15; people = 25; auctions = 30; skew = 1.0 }
+
+let dtd_subset =
+  "\n\
+  \  <!ELEMENT site (regions, people, auctions)>\n\
+  \  <!ELEMENT regions (region*)>\n\
+  \  <!ELEMENT region (name, item*)>\n\
+  \  <!ELEMENT item (id, title, condition, location, price)>\n\
+  \  <!ELEMENT people (person*)>\n\
+  \  <!ELEMENT person (id, name, city, payment)>\n\
+  \  <!ELEMENT auctions (auction*)>\n\
+  \  <!ELEMENT auction (id, itemref, seller, current, bids)>\n\
+  \  <!ELEMENT id (#PCDATA)>\n\
+  \  <!ELEMENT name (#PCDATA)>\n\
+  \  <!ELEMENT title (#PCDATA)>\n\
+  \  <!ELEMENT condition (#PCDATA)>\n\
+  \  <!ELEMENT location (#PCDATA)>\n\
+  \  <!ELEMENT price (#PCDATA)>\n\
+  \  <!ELEMENT city (#PCDATA)>\n\
+  \  <!ELEMENT payment (#PCDATA)>\n\
+  \  <!ELEMENT itemref (#PCDATA)>\n\
+  \  <!ELEMENT seller (#PCDATA)>\n\
+  \  <!ELEMENT current (#PCDATA)>\n\
+  \  <!ELEMENT bids (#PCDATA)>\n"
+
+let region_names = [| "namerica"; "europe"; "asia"; "samerica"; "africa"; "oceania" |]
+
+let item rng ~item_id zipf_cond zipf_city =
+  let adjective = Prng.choose rng Names.auction_adjectives in
+  let noun = Prng.choose rng Names.auction_items in
+  let conditions = [| "used"; "new"; "refurbished"; "damaged" |] in
+  Gen.el "item"
+    [
+      Gen.leaf "id" (Names.unique_label "item" item_id);
+      Gen.leaf "title" (Printf.sprintf "%s %s" adjective noun);
+      Gen.leaf "condition" (Gen.pick_zipf rng zipf_cond conditions);
+      Gen.leaf "location" (Gen.pick_zipf rng zipf_city (Array.sub Names.cities 0 8));
+      Gen.leaf "price" (string_of_int (Prng.int_in_range rng ~min:5 ~max:900));
+    ]
+
+let person rng ~person_id zipf_pay zipf_city =
+  Gen.el "person"
+    [
+      Gen.leaf "id" (Names.unique_label "person" person_id);
+      Gen.leaf "name" (Names.full_name rng);
+      Gen.leaf "city" (Gen.pick_zipf rng zipf_city (Array.sub Names.cities 0 8));
+      Gen.leaf "payment" (Gen.pick_zipf rng zipf_pay Names.payment_kinds);
+    ]
+
+let auction rng cfg ~auction_id =
+  let total_items = cfg.regions * cfg.items_per_region in
+  Gen.el "auction"
+    [
+      Gen.leaf "id" (Names.unique_label "auction" auction_id);
+      Gen.leaf "itemref" (Names.unique_label "item" (Prng.int rng (max total_items 1)));
+      Gen.leaf "seller" (Names.unique_label "person" (Prng.int rng (max cfg.people 1)));
+      Gen.leaf "current" (string_of_int (Prng.int_in_range rng ~min:5 ~max:1500));
+      Gen.leaf "bids" (string_of_int (Prng.int rng 40));
+    ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let zipf_cond = Zipf.create ~n:4 ~skew:cfg.skew in
+  let zipf_city = Zipf.create ~n:8 ~skew:cfg.skew in
+  let zipf_pay = Zipf.create ~n:(Array.length Names.payment_kinds) ~skew:cfg.skew in
+  let next_item = ref 0 in
+  let regions =
+    List.init cfg.regions (fun r ->
+        let items =
+          List.init cfg.items_per_region (fun _ ->
+              let id = !next_item in
+              incr next_item;
+              item rng ~item_id:id zipf_cond zipf_city)
+        in
+        Gen.el "region" (Gen.leaf "name" region_names.(r mod Array.length region_names) :: items))
+  in
+  let people = List.init cfg.people (fun i -> person rng ~person_id:i zipf_pay zipf_city) in
+  let auctions = List.init cfg.auctions (fun i -> auction rng cfg ~auction_id:i) in
+  let root =
+    Gen.el "site"
+      [ Gen.el "regions" regions; Gen.el "people" people; Gen.el "auctions" auctions ]
+  in
+  Gen.document ~dtd:dtd_subset root
+
+let sized ?(seed = 11) n =
+  let items = max 1 n in
+  let regions = max 1 (min 8 (items / 15)) in
+  generate
+    {
+      default with
+      seed;
+      regions;
+      items_per_region = max 1 (items / regions);
+      people = max 5 (items / 3);
+      auctions = max 5 (items / 2);
+    }

@@ -1,0 +1,24 @@
+(** Auction dataset, XMark-flavoured.
+
+    Shape: [site] containing [regions/region/item]*, [people/person]* and
+    [auctions/auction]* — deeper and more heterogeneous than the retail data, with
+    cross-referencing values (seller names reference people). Carries a
+    DTD. Exercises results whose root is a connection node ([regions]) and
+    entities at different depths. *)
+
+type config = {
+  seed : int;
+  regions : int;
+  items_per_region : int;
+  people : int;
+  auctions : int;
+  skew : float;
+}
+
+val default : config
+(** seed 11, 4 regions × 15 items, 25 people, 30 auctions, skew 1.0. *)
+
+val generate : config -> Extract_xml.Types.document
+
+val sized : ?seed:int -> int -> Extract_xml.Types.document
+(** [sized n] targets roughly [n] items overall. *)

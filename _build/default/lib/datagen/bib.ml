@@ -1,0 +1,44 @@
+module Prng = Extract_util.Prng
+module Zipf = Extract_util.Zipf
+
+type config = {
+  seed : int;
+  publications : int;
+  max_authors : int;
+  venue_skew : float;
+}
+
+let default = { seed = 23; publications = 80; max_authors = 5; venue_skew = 1.1 }
+
+let title rng ~pub_id =
+  let w = Extract_util.Prng.choose rng Names.paper_topic_words in
+  let w2 = Extract_util.Prng.choose rng Names.paper_topic_words in
+  Names.unique_label (Printf.sprintf "Efficient %s %s" w w2) pub_id
+
+let publication rng cfg ~pub_id zipf_venue zipf_year =
+  let tag = if Prng.bool rng then "article" else "inproceedings" in
+  let authors =
+    List.init
+      (Prng.int_in_range rng ~min:1 ~max:cfg.max_authors)
+      (fun _ -> Gen.leaf "author" (Names.full_name rng))
+  in
+  let years = Array.init 12 (fun i -> string_of_int (1996 + i)) in
+  Gen.el tag
+    ([
+       Gen.leaf "title" (title rng ~pub_id);
+       Gen.leaf "venue" (Gen.pick_zipf rng zipf_venue Names.journals);
+       Gen.leaf "year" (Gen.pick_zipf rng zipf_year years);
+     ]
+    @ authors
+    @ [ Gen.leaf "pages" (string_of_int (Prng.int_in_range rng ~min:1 ~max:800)) ])
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let zipf_venue = Zipf.create ~n:(Array.length Names.journals) ~skew:cfg.venue_skew in
+  let zipf_year = Zipf.create ~n:12 ~skew:cfg.venue_skew in
+  let pubs =
+    List.init cfg.publications (fun i -> publication rng cfg ~pub_id:i zipf_venue zipf_year)
+  in
+  Gen.document (Gen.el "bib" pubs)
+
+let sized ?(seed = 23) n = generate { default with seed; publications = max 1 n }

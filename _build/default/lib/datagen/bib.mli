@@ -1,0 +1,20 @@
+(** Bibliography dataset, DBLP-flavoured.
+
+    Shape: [bib/(article | inproceedings)*] with author lists of varying
+    length, venues and years — many entities directly under the root, no
+    DTD, heterogeneous siblings (two entity tags under one parent). Titles
+    are unique keys; venues/years are skewed. *)
+
+type config = {
+  seed : int;
+  publications : int;
+  max_authors : int;
+  venue_skew : float;
+}
+
+val default : config
+(** seed 23, 80 publications, up to 5 authors, skew 1.1. *)
+
+val generate : config -> Extract_xml.Types.document
+
+val sized : ?seed:int -> int -> Extract_xml.Types.document

@@ -1,0 +1,88 @@
+module Prng = Extract_util.Prng
+module Zipf = Extract_util.Zipf
+
+type config = {
+  seed : int;
+  courses : int;
+  department_pool : int;
+  skew : float;
+}
+
+let default = { seed = 19; courses = 120; department_pool = 8; skew = 1.0 }
+
+let dtd_subset =
+  "\n\
+  \  <!ELEMENT courses (course*)>\n\
+  \  <!ELEMENT course (code, prefix, crs, title, credit, sessions, instructor)>\n\
+  \  <!ELEMENT sessions (session*)>\n\
+  \  <!ELEMENT session (days, time, place)>\n\
+  \  <!ELEMENT code (#PCDATA)>\n\
+  \  <!ELEMENT prefix (#PCDATA)>\n\
+  \  <!ELEMENT crs (#PCDATA)>\n\
+  \  <!ELEMENT title (#PCDATA)>\n\
+  \  <!ELEMENT credit (#PCDATA)>\n\
+  \  <!ELEMENT days (#PCDATA)>\n\
+  \  <!ELEMENT time (#PCDATA)>\n\
+  \  <!ELEMENT place (#PCDATA)>\n\
+  \  <!ELEMENT instructor (#PCDATA)>\n"
+
+let departments =
+  [| "CS"; "MATH"; "PHYS"; "BIO"; "CHEM"; "ECON"; "HIST"; "ENGL"; "PHIL"; "STAT" |]
+
+let buildings =
+  [| "Sloan"; "Todd"; "Heald"; "Webster"; "Fulmer"; "Wilson"; "Carpenter"; "Avery" |]
+
+let day_patterns = [| "MWF"; "TTH"; "MW"; "ARRANGED"; "F" |]
+
+let topics =
+  [|
+    "Introduction to Programming"; "Data Structures"; "Linear Algebra"; "Organic Chemistry";
+    "Microeconomics"; "World History"; "Creative Writing"; "Quantum Mechanics";
+    "Genetics"; "Databases"; "Operating Systems"; "Probability"; "Ethics"; "Statistics";
+    "Compilers"; "Thermodynamics";
+  |]
+
+let session rng zipf_building zipf_days =
+  let hour = Prng.int_in_range rng ~min:8 ~max:17 in
+  Gen.el "session"
+    [
+      Gen.leaf "days" (Gen.pick_zipf rng zipf_days day_patterns);
+      Gen.leaf "time" (Printf.sprintf "%d:%02d" hour (10 * Prng.int rng 6));
+      Gen.leaf "place"
+        (Printf.sprintf "%s %d"
+           (Gen.pick_zipf rng zipf_building buildings)
+           (Prng.int_in_range rng ~min:100 ~max:399));
+    ]
+
+let course rng cfg ~course_id zipf_dept zipf_building zipf_days =
+  let prefix = (Gen.pick_zipf rng zipf_dept (Array.sub departments 0 cfg.department_pool)) in
+  let number = 100 + (course_id mod 400) in
+  let sessions =
+    List.init (1 + Prng.int rng 2) (fun _ -> session rng zipf_building zipf_days)
+  in
+  Gen.el "course"
+    [
+      Gen.leaf "code" (Printf.sprintf "%s-%d-%d" prefix number course_id);
+      Gen.leaf "prefix" prefix;
+      Gen.leaf "crs" (string_of_int number);
+      Gen.leaf "title" (Prng.choose rng topics);
+      Gen.leaf "credit" (string_of_int (Prng.int_in_range rng ~min:1 ~max:4));
+      Gen.el "sessions" sessions;
+      Gen.leaf "instructor" (Names.full_name rng);
+    ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let pool = max 1 (min cfg.department_pool (Array.length departments)) in
+  let zipf_dept = Zipf.create ~n:pool ~skew:cfg.skew in
+  let zipf_building = Zipf.create ~n:(Array.length buildings) ~skew:cfg.skew in
+  let zipf_days = Zipf.create ~n:(Array.length day_patterns) ~skew:cfg.skew in
+  let courses =
+    List.init cfg.courses (fun i ->
+        course rng
+          { cfg with department_pool = pool }
+          ~course_id:i zipf_dept zipf_building zipf_days)
+  in
+  Gen.document ~dtd:dtd_subset (Gen.el "courses" courses)
+
+let sized ?(seed = 19) n = generate { default with seed; courses = max 1 n }

@@ -1,0 +1,23 @@
+(** University course dataset, WSU-flavoured.
+
+    The companion SIGMOD'08 evaluation used the WSU course corpus; this
+    generator reproduces its shape: a flat list of course offerings with
+    prefix (department), course number, title, credit, schedule (days,
+    time, place) and instructor. Course numbers are unique per prefix
+    (together they form the mined key via the synthesized [code]
+    attribute); departments and buildings are Zipf-skewed. Carries a
+    DTD. *)
+
+type config = {
+  seed : int;
+  courses : int;
+  department_pool : int;  (** distinct prefixes *)
+  skew : float;
+}
+
+val default : config
+(** seed 19, 120 courses, 8 departments, skew 1.0. *)
+
+val generate : config -> Extract_xml.Types.document
+
+val sized : ?seed:int -> int -> Extract_xml.Types.document

@@ -1,0 +1,36 @@
+module Xml = Extract_xml.Types
+module Prng = Extract_util.Prng
+module Zipf = Extract_util.Zipf
+
+let el tag children = Xml.element tag children
+
+let leaf = Xml.leaf
+
+let expand_counts spec =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 spec in
+  let out = Array.make (max total 1) "" in
+  let i = ref 0 in
+  List.iter
+    (fun (v, c) ->
+      for _ = 1 to c do
+        out.(!i) <- v;
+        incr i
+      done)
+    spec;
+  if total = 0 then [||] else out
+
+let deal items k =
+  if k <= 0 then invalid_arg "Gen.deal: k must be positive";
+  let groups = Array.make k [] in
+  Array.iteri (fun i x -> groups.(i mod k) <- x :: groups.(i mod k)) items;
+  Array.map (fun l -> Array.of_list (List.rev l)) groups
+
+let pick_zipf rng zipf arr =
+  if Zipf.size zipf <> Array.length arr then
+    invalid_arg "Gen.pick_zipf: distribution size mismatch";
+  arr.(Zipf.sample zipf rng)
+
+let document ?dtd root =
+  match root with
+  | Xml.Element e -> { Xml.dtd; root = e }
+  | Xml.Text _ -> invalid_arg "Gen.document: the root must be an element"

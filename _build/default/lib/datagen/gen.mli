@@ -1,0 +1,24 @@
+(** Shared machinery for the dataset generators. *)
+
+module Xml = Extract_xml.Types
+
+val el : string -> Xml.t list -> Xml.t
+
+val leaf : string -> string -> Xml.t
+
+val expand_counts : (string * int) list -> string array
+(** [expand_counts [("a", 2); ("b", 1)]] is [[|"a"; "a"; "b"|]] — a value
+    multiset written out, in spec order. *)
+
+val deal : 'a array -> int -> 'a array array
+(** [deal items k] splits the items into [k] groups round-robin (group
+    sizes differ by at most one). @raise Invalid_argument when [k <= 0]. *)
+
+val pick_zipf : Extract_util.Prng.t -> Extract_util.Zipf.t -> 'a array -> 'a
+(** Sample an element with Zipf-distributed rank.
+    @raise Invalid_argument when the array size differs from the
+    distribution size. *)
+
+val document : ?dtd:string -> Xml.t -> Xml.document
+(** Wrap a root element into a document. @raise Invalid_argument on a text
+    root. *)

@@ -1,0 +1,62 @@
+module Prng = Extract_util.Prng
+module Zipf = Extract_util.Zipf
+
+type config = {
+  seed : int;
+  movies : int;
+  actors_per_movie : int;
+  reviews_per_movie : int;
+  genre_skew : float;
+}
+
+let default = { seed = 7; movies = 60; actors_per_movie = 4; reviews_per_movie = 2; genre_skew = 0.9 }
+
+let review rng =
+  let phrases =
+    [|
+      "a moving portrait of quiet lives";
+      "overlong but beautifully shot";
+      "a tense and satisfying thriller";
+      "the ensemble cast shines";
+      "uneven pacing undermines a strong premise";
+      "a warm comedy with real heart";
+    |]
+  in
+  Gen.el "review"
+    [
+      Gen.leaf "reviewer" (Names.full_name rng);
+      Gen.leaf "rating" (string_of_int (Prng.int_in_range rng ~min:1 ~max:10));
+      Gen.leaf "comment" (Prng.choose rng phrases);
+    ]
+
+let movie rng cfg ~movie_id zipf_genre zipf_studio =
+  let title = Names.unique_label (Names.movie_title rng) movie_id in
+  let cast =
+    Gen.el "cast"
+      (List.init cfg.actors_per_movie (fun _ -> Gen.leaf "actor" (Names.full_name rng)))
+  in
+  let reviews =
+    Gen.el "reviews" (List.init cfg.reviews_per_movie (fun _ -> review rng))
+  in
+  Gen.el "movie"
+    [
+      Gen.leaf "title" title;
+      Gen.leaf "year" (string_of_int (Prng.int_in_range rng ~min:1972 ~max:2007));
+      Gen.leaf "genre" (Gen.pick_zipf rng zipf_genre Names.genres);
+      Gen.leaf "studio" (Gen.pick_zipf rng zipf_studio Names.studios);
+      Gen.leaf "director" (Names.full_name rng);
+      Gen.leaf "country" (Prng.choose rng Names.countries);
+      cast;
+      reviews;
+    ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let zipf_genre = Zipf.create ~n:(Array.length Names.genres) ~skew:cfg.genre_skew in
+  let zipf_studio = Zipf.create ~n:(Array.length Names.studios) ~skew:cfg.genre_skew in
+  let movies =
+    List.init cfg.movies (fun i -> movie rng cfg ~movie_id:i zipf_genre zipf_studio)
+  in
+  Gen.document (Gen.el "movies" movies)
+
+let sized ?(seed = 7) n = generate { default with seed; movies = max 1 n }

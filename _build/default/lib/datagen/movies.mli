@@ -1,0 +1,24 @@
+(** Movie dataset — the demo's "movies" scenario.
+
+    Shape: [movies/movie] with [title], [year], [genre], [studio],
+    [director], [cast/actor]* and [reviews/review]* underneath each movie.
+    Generated {e without} a DTD so the
+    star-node inference from data is the path exercised. Movie titles are
+    unique (the mined key); genres and studios are Zipf-skewed so per-result
+    dominant features exist. *)
+
+type config = {
+  seed : int;
+  movies : int;
+  actors_per_movie : int;
+  reviews_per_movie : int;
+  genre_skew : float;
+}
+
+val default : config
+(** seed 7, 60 movies, 4 actors, 2 reviews, skew 0.9. *)
+
+val generate : config -> Extract_xml.Types.document
+
+val sized : ?seed:int -> int -> Extract_xml.Types.document
+(** [sized n] generates [n] movies with the default shape. *)

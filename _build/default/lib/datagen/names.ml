@@ -1,0 +1,112 @@
+let cities =
+  [|
+    "Houston"; "Austin"; "Dallas"; "El Paso"; "San Antonio"; "Fort Worth"; "Plano";
+    "Laredo"; "Lubbock"; "Garland"; "Irving"; "Amarillo"; "Brownsville"; "McKinney";
+    "Frisco"; "Pasadena"; "Mesquite"; "Killeen"; "McAllen"; "Waco";
+  |]
+
+let states =
+  [|
+    "Texas"; "California"; "New York"; "Florida"; "Illinois"; "Ohio"; "Georgia";
+    "Arizona"; "Washington"; "Oregon";
+  |]
+
+let store_names =
+  [|
+    "Galleria"; "West Village"; "Market Square"; "Town Center"; "Riverside"; "Lakeline";
+    "Uptown"; "Midtown"; "Old Mill"; "Cedar Park"; "Stone Oak"; "Bay Plaza"; "Sunset";
+    "North Star"; "Highland"; "Willow Bend"; "Oak Lawn"; "Deep Ellum"; "The Domain";
+    "South Congress";
+  |]
+
+let retailer_names =
+  [|
+    "Brook Brothers"; "Levis"; "ESprit"; "Nordstrom"; "Macys"; "Gap"; "Banana Republic";
+    "Old Navy"; "J Crew"; "Uniqlo"; "Zara"; "Patagonia"; "Columbia"; "Eddie Bauer";
+    "Lands End"; "Talbots";
+  |]
+
+let clothes_categories =
+  [|
+    "outwear"; "suit"; "skirt"; "sweaters"; "jeans"; "shirts"; "dresses"; "shorts";
+    "jackets"; "coats"; "vests";
+  |]
+
+let fittings = [| "man"; "woman"; "children" |]
+
+let situations = [| "casual"; "formal" |]
+
+let first_names =
+  [|
+    "James"; "Mary"; "Robert"; "Patricia"; "John"; "Jennifer"; "Michael"; "Linda";
+    "David"; "Elizabeth"; "William"; "Barbara"; "Richard"; "Susan"; "Joseph"; "Jessica";
+    "Thomas"; "Sarah"; "Carlos"; "Yuki"; "Wei"; "Amara"; "Noor"; "Ivan";
+  |]
+
+let last_names =
+  [|
+    "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Garcia"; "Miller"; "Davis";
+    "Rodriguez"; "Martinez"; "Hernandez"; "Lopez"; "Gonzalez"; "Wilson"; "Anderson";
+    "Thomas"; "Taylor"; "Moore"; "Chen"; "Kim"; "Nakamura"; "Singh"; "Okafor"; "Novak";
+  |]
+
+let movie_adjectives =
+  [|
+    "Silent"; "Crimson"; "Forgotten"; "Eternal"; "Hidden"; "Broken"; "Golden"; "Last";
+    "Distant"; "Burning"; "Frozen"; "Midnight"; "Savage"; "Gentle"; "Electric";
+  |]
+
+let movie_nouns =
+  [|
+    "Horizon"; "Empire"; "Garden"; "River"; "Promise"; "Shadow"; "Voyage"; "Kingdom";
+    "Letter"; "Summer"; "Winter"; "Station"; "Harbor"; "Orchard"; "Mirror"; "Signal";
+  |]
+
+let genres =
+  [| "drama"; "comedy"; "thriller"; "documentary"; "animation"; "romance"; "western" |]
+
+let studios =
+  [|
+    "Meridian Pictures"; "Bluebird Films"; "Cathedral Studios"; "Red Rock Media";
+    "Northlight"; "Starfall Entertainment";
+  |]
+
+let countries =
+  [| "USA"; "France"; "Japan"; "Italy"; "Mexico"; "Korea"; "Germany"; "Brazil" |]
+
+let auction_items =
+  [|
+    "bicycle"; "camera"; "guitar"; "wristwatch"; "bookshelf"; "typewriter"; "telescope";
+    "turntable"; "armchair"; "lamp"; "teapot"; "painting"; "rug"; "clock"; "radio";
+  |]
+
+let auction_adjectives =
+  [|
+    "vintage"; "antique"; "handmade"; "restored"; "rare"; "mint"; "classic"; "signed";
+    "original"; "limited";
+  |]
+
+let payment_kinds = [| "credit"; "cash"; "wire"; "check" |]
+
+let journals =
+  [|
+    "VLDB"; "SIGMOD"; "ICDE"; "TODS"; "CIKM"; "EDBT"; "WWW"; "KDD";
+  |]
+
+let paper_topic_words =
+  [|
+    "keyword"; "search"; "ranking"; "snippet"; "index"; "query"; "schema"; "stream";
+    "graph"; "join"; "cache"; "transaction"; "optimization"; "semantics"; "storage";
+  |]
+
+let full_name rng =
+  Printf.sprintf "%s %s"
+    (Extract_util.Prng.choose rng first_names)
+    (Extract_util.Prng.choose rng last_names)
+
+let movie_title rng =
+  Printf.sprintf "The %s %s"
+    (Extract_util.Prng.choose rng movie_adjectives)
+    (Extract_util.Prng.choose rng movie_nouns)
+
+let unique_label base i = Printf.sprintf "%s-%d" base i

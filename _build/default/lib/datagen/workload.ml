@@ -1,0 +1,64 @@
+module Prng = Extract_util.Prng
+module Document = Extract_store.Document
+module Node_kind = Extract_store.Node_kind
+module Dataguide = Extract_store.Dataguide
+module Tokenizer = Extract_store.Tokenizer
+
+type spec = {
+  seed : int;
+  queries : int;
+  min_keywords : int;
+  max_keywords : int;
+}
+
+let default = { seed = 3; queries = 20; min_keywords = 2; max_keywords = 3 }
+
+let attribute_tokens kinds entity =
+  let doc = Node_kind.document kinds in
+  Document.children doc entity
+  |> List.filter_map (fun c ->
+         if Document.is_element doc c && Node_kind.is_attribute kinds c then begin
+           match Tokenizer.tokens (Node_kind.attribute_value kinds c) with
+           | [] -> None
+           | toks -> Some toks
+         end
+         else None)
+
+let generate spec kinds =
+  let rng = Prng.create spec.seed in
+  let guide = Node_kind.dataguide kinds in
+  let entity_instances =
+    Node_kind.entity_paths kinds
+    |> List.concat_map (Dataguide.instances guide)
+    |> Array.of_list
+  in
+  if Array.length entity_instances = 0 then []
+  else begin
+    let doc = Node_kind.document kinds in
+    let make _ =
+      let entity = Prng.choose rng entity_instances in
+      let value_token_lists = attribute_tokens kinds entity in
+      match value_token_lists with
+      | [] -> None
+      | _ ->
+        let n_keywords = Prng.int_in_range rng ~min:spec.min_keywords ~max:spec.max_keywords in
+        let pool = Array.of_list value_token_lists in
+        let rec draw acc remaining =
+          if remaining = 0 then acc
+          else begin
+            let toks = Prng.choose rng pool in
+            let tok = List.nth toks (Prng.int rng (List.length toks)) in
+            if List.mem tok acc then draw acc (remaining - 1)
+            else draw (tok :: acc) (remaining - 1)
+          end
+        in
+        (* one slot is reserved for the entity tag name, the rest are
+           value tokens *)
+        let values = draw [] (max 1 (n_keywords - 1)) in
+        let keywords = Document.tag_name doc entity :: List.rev values in
+        Some (String.concat " " keywords)
+    in
+    List.init (spec.queries * 2) make
+    |> List.filter_map Fun.id
+    |> List.filteri (fun i _ -> i < spec.queries)
+  end

@@ -1,0 +1,22 @@
+(** Query workload generation.
+
+    Benchmark queries must actually have results, so they are built from
+    the data: pick an entity instance, combine one of its attribute value
+    tokens with its entity tag name and optionally a second value token
+    from a sibling attribute — the shape of the paper's queries
+    ("Texas apparel retailer" = value + value + entity name). *)
+
+type spec = {
+  seed : int;
+  queries : int;
+  min_keywords : int;
+  max_keywords : int;
+}
+
+val default : spec
+(** seed 3, 20 queries, 2–3 keywords. *)
+
+val generate : spec -> Extract_store.Node_kind.t -> string list
+(** Query strings. Entities are sampled deterministically from the
+    classified document. Queries that would be empty are skipped, so the
+    result can be shorter than [spec.queries] on tiny documents. *)

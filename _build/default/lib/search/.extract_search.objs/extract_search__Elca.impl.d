@@ -1,0 +1,1 @@
+lib/search/elca.ml: Array Extract_store Lca List

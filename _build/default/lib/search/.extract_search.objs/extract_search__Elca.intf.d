@@ -1,0 +1,1 @@
+lib/search/elca.mli: Extract_store

@@ -1,0 +1,1 @@
+lib/search/engine.ml: Array Elca Extract_store List Query Result_tree Slca Xsearch Xseek

@@ -1,0 +1,1 @@
+lib/search/engine.mli: Extract_store Query Result_tree

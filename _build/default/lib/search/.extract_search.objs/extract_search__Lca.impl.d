@@ -1,0 +1,1 @@
+lib/search/lca.ml: Array Extract_store List

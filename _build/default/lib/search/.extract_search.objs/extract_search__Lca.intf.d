@@ -1,0 +1,1 @@
+lib/search/lca.mli: Extract_store

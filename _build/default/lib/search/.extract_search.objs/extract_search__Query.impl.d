@@ -1,0 +1,1 @@
+lib/search/query.ml: Extract_store Format Hashtbl List String

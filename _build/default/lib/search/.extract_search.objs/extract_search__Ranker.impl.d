@@ -1,0 +1,1 @@
+lib/search/ranker.ml: Array Extract_store List Query Result_tree

@@ -1,0 +1,1 @@
+lib/search/ranker.mli: Extract_store Query Result_tree

@@ -1,0 +1,1 @@
+lib/search/result_tree.ml: Array Buffer Extract_store Extract_util Extract_xml Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/search/result_tree.mli: Extract_store Extract_util Extract_xml

@@ -1,0 +1,1 @@
+lib/search/slca.ml: Array Extract_store List

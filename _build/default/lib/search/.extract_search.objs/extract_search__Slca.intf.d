@@ -1,0 +1,1 @@
+lib/search/slca.mli: Extract_store

@@ -1,0 +1,1 @@
+lib/search/xsearch.ml: Array Extract_store Hashtbl List Query Result_tree Slca

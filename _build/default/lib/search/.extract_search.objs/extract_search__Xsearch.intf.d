@@ -1,0 +1,1 @@
+lib/search/xsearch.mli: Extract_store Query Result_tree

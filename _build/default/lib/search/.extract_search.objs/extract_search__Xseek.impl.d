@@ -1,0 +1,1 @@
+lib/search/xseek.ml: Extract_store List Query Result_tree Slca

@@ -1,0 +1,1 @@
+lib/search/xseek.mli: Extract_store Query Result_tree

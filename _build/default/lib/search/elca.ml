@@ -1,0 +1,35 @@
+module Document = Extract_store.Document
+
+let compute doc lists =
+  match lists with
+  | [] -> []
+  | _ when List.exists (fun l -> Array.length l = 0) lists -> []
+  | _ ->
+    let k = List.length lists in
+    let totals = List.map (Lca.subtree_match_counts doc) lists |> Array.of_list in
+    let n = Document.node_count doc in
+    let covering node = Array.for_all (fun counts -> counts.(node) > 0) totals in
+    (* own.(i).(node) = 1 when node itself matches keyword i *)
+    let own = Array.make_matrix k n 0 in
+    List.iteri (fun i arr -> Array.iter (fun m -> own.(i).(m) <- 1) arr) lists;
+    (* exclusive.(i).(node) = matches of keyword i in node's subtree outside
+       covering children subtrees. Children have larger ids, so a reverse
+       pre-order pass accumulates children before their parent reads them. *)
+    let exclusive = Array.init k (fun i -> Array.copy own.(i)) in
+    for node = n - 1 downto 1 do
+      match Document.parent doc node with
+      | Some p when Document.is_element doc node ->
+        if not (covering node) then
+          for i = 0 to k - 1 do
+            exclusive.(i).(p) <- exclusive.(i).(p) + exclusive.(i).(node)
+          done
+      | _ -> ()
+    done;
+    let out = ref [] in
+    for node = n - 1 downto 0 do
+      if Document.is_element doc node
+         && (let rec all i = i >= k || (exclusive.(i).(node) > 0 && all (i + 1)) in
+             all 0)
+      then out := node :: !out
+    done;
+    !out

@@ -1,0 +1,12 @@
+(** Exclusive Lowest Common Ancestor semantics, in the style of XRank
+    (Guo et al., SIGMOD 2003 — reference [2] of the paper).
+
+    A node [u] is an ELCA when its subtree still contains a match of every
+    keyword after discarding the matches located inside children subtrees
+    that themselves contain all keywords. Every SLCA is an ELCA; ELCAs may
+    additionally include ancestors with independent witnesses. *)
+
+module Document = Extract_store.Document
+
+val compute : Document.t -> Document.node array list -> Document.node list
+(** ELCAs in document order. Empty when any list is empty. O(n·k). *)

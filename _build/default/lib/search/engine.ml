@@ -1,0 +1,106 @@
+module Inverted_index = Extract_store.Inverted_index
+
+type semantics = Slca | Elca | Xseek | Xsearch
+
+type shape = Full_subtree | Match_paths
+
+let roots_of index query = function
+  | Xseek | Xsearch -> None (* these produce results directly *)
+  | (Slca | Elca) as s ->
+    let doc = Inverted_index.document index in
+    let lists = List.map (Inverted_index.lookup index) (Query.keywords query) in
+    let roots =
+      match s with
+      | Slca -> Slca.compute doc lists
+      | Elca -> Elca.compute doc lists
+      | Xseek | Xsearch -> assert false
+    in
+    Some roots
+
+let shape_result index query shape doc root =
+  match shape with
+  | Full_subtree -> Result_tree.full doc root
+  | Match_paths ->
+    let matches =
+      Query.keywords query
+      |> List.concat_map (fun k ->
+             Inverted_index.lookup index k
+             |> Array.to_list
+             |> List.filter (fun m ->
+                    Extract_store.Document.is_ancestor_or_self doc ~anc:root ~desc:m))
+    in
+    Result_tree.match_paths doc ~root ~matches
+
+let run ?(semantics = Xseek) ?(shape = Full_subtree) ?limit index kinds query =
+  let doc = Inverted_index.document index in
+  let results =
+    if Query.is_empty query then []
+    else
+      match semantics with
+      | Xseek -> begin
+        let full_results = Xseek.compute index kinds query in
+        match shape with
+        | Full_subtree -> full_results
+        | Match_paths ->
+          List.map
+            (fun r -> shape_result index query Match_paths doc (Result_tree.root r))
+            full_results
+      end
+      | Xsearch -> begin
+        (* XSearch answers are inherently match-path trees; the full shape
+           expands each answer root to its subtree. *)
+        let path_results = Xsearch.compute index query in
+        match shape with
+        | Match_paths -> path_results
+        | Full_subtree ->
+          List.map (fun r -> Result_tree.full doc (Result_tree.root r)) path_results
+      end
+      | Slca | Elca ->
+        (match roots_of index query semantics with
+        | None -> []
+        | Some roots -> List.map (shape_result index query shape doc) roots)
+  in
+  match limit with
+  | None -> results
+  | Some k -> List.filteri (fun i _ -> i < k) results
+
+let semantics_of_string = function
+  | "slca" -> Some Slca
+  | "elca" -> Some Elca
+  | "xseek" -> Some Xseek
+  | "xsearch" -> Some Xsearch
+  | _ -> None
+
+let string_of_semantics = function
+  | Slca -> "slca"
+  | Elca -> "elca"
+  | Xseek -> "xseek"
+  | Xsearch -> "xsearch"
+
+let all_semantics = [ Slca; Elca; Xseek; Xsearch ]
+
+(* Conjunctive semantics returns nothing when any keyword is missing; the
+   demo UI wants "did you mean fewer words". Drop the rarest keyword (the
+   most likely typo or over-specification) until something matches. *)
+let run_relaxed ?semantics ?shape ?limit index kinds query =
+  let rec attempt query dropped =
+    match run ?semantics ?shape ?limit index kinds query with
+    | [] when Query.size query > 1 ->
+      let keywords = Query.keywords query in
+      let rarest =
+        List.fold_left
+          (fun best k ->
+            let df = Array.length (Inverted_index.lookup index k) in
+            match best with
+            | Some (_, best_df) when best_df <= df -> best
+            | _ -> Some (k, df))
+          None keywords
+      in
+      (match rarest with
+      | Some (k, _) ->
+        let rest = List.filter (fun k2 -> k2 <> k) keywords in
+        attempt (Query.of_keywords rest) (k :: dropped)
+      | None -> [], List.rev dropped)
+    | results -> results, List.rev dropped
+  in
+  attempt query []

@@ -1,0 +1,52 @@
+module Document = Extract_store.Document
+
+let subtree_match_counts doc matches =
+  let n = Document.node_count doc in
+  let counts = Array.make n 0 in
+  (* Mark matches, then accumulate children into parents in reverse
+     pre-order (children always have larger ids than their parent). *)
+  Array.iter (fun m -> counts.(m) <- counts.(m) + 1) matches;
+  for node = n - 1 downto 1 do
+    match Document.parent doc node with
+    | Some p -> counts.(p) <- counts.(p) + counts.(node)
+    | None -> ()
+  done;
+  counts
+
+let covering_nodes doc lists =
+  match lists with
+  | [] -> []
+  | _ when List.exists (fun l -> Array.length l = 0) lists -> []
+  | _ ->
+    let count_arrays = List.map (subtree_match_counts doc) lists in
+    let n = Document.node_count doc in
+    let out = ref [] in
+    for node = n - 1 downto 0 do
+      if Document.is_element doc node
+         && List.for_all (fun counts -> counts.(node) > 0) count_arrays
+      then out := node :: !out
+    done;
+    !out
+
+let slca_reference doc lists =
+  match covering_nodes doc lists with
+  | [] -> []
+  | covering ->
+    (* A covering node is an SLCA iff no proper descendant covers. Since
+       [covering] is closed under ancestors-of-covering-nodes within the
+       covering set... it is not, so test each against all. The covering
+       list is in document order; a node's descendants follow it and lie in
+       its interval. *)
+    let arr = Array.of_list covering in
+    let n = Array.length arr in
+    let keep = ref [] in
+    for i = n - 1 downto 0 do
+      let u = arr.(i) in
+      let has_desc =
+        i + 1 < n && arr.(i + 1) <= Document.subtree_last doc u
+        (* document order: the immediate next covering node is inside u's
+           interval iff u has a covering proper descendant *)
+      in
+      if not has_desc then keep := u :: !keep
+    done;
+    !keep

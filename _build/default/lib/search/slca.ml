@@ -1,0 +1,72 @@
+module Document = Extract_store.Document
+
+(* Binary searches over sorted posting arrays. *)
+
+let lower_bound arr x =
+  (* smallest index i with arr.(i) >= x, or length *)
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let closest_in arr ~lo ~hi =
+  let i = lower_bound arr lo in
+  if i < Array.length arr && arr.(i) <= hi then Some arr.(i) else None
+
+let pred_of arr x =
+  (* largest element < x *)
+  let i = lower_bound arr x in
+  if i = 0 then None else Some arr.(i - 1)
+
+let succ_of arr x =
+  (* smallest element > x *)
+  let i = lower_bound arr (x + 1) in
+  if i >= Array.length arr then None else Some arr.(i)
+
+(* Deepest ancestor-or-self of [u] whose subtree intersects [arr]:
+   if a match lies inside u's interval it is u itself; otherwise the deeper
+   of the LCAs with the closest match on either side. *)
+let extend doc arr u =
+  let last = Document.subtree_last doc u in
+  match closest_in arr ~lo:u ~hi:last with
+  | Some _ -> u
+  | None ->
+    let left = pred_of arr u and right = succ_of arr last in
+    let cand_depth = function
+      | None -> None
+      | Some m ->
+        let a = Document.lca doc u m in
+        Some (Document.depth doc a, a)
+    in
+    (match cand_depth left, cand_depth right with
+    | None, None -> assert false (* arr is non-empty *)
+    | Some (_, a), None | None, Some (_, a) -> a
+    | Some (dl, al), Some (dr, ar) -> if dl >= dr then al else ar)
+
+let compute doc lists =
+  match lists with
+  | [] -> []
+  | _ when List.exists (fun l -> Array.length l = 0) lists -> []
+  | _ ->
+    let sorted = List.sort (fun a b -> compare (Array.length a) (Array.length b)) lists in
+    (match sorted with
+    | [] -> []
+    | smallest :: others ->
+      let candidates =
+        Array.to_list smallest
+        |> List.map (fun v -> List.fold_left (fun u arr -> extend doc arr u) v others)
+      in
+      let arr = List.sort_uniq compare candidates |> Array.of_list in
+      (* Keep candidates with no candidate proper descendant: in document
+         order, u has a covering descendant among candidates iff the next
+         distinct candidate lies inside u's interval. *)
+      let n = Array.length arr in
+      let keep = ref [] in
+      for i = n - 1 downto 0 do
+        let u = arr.(i) in
+        let has_desc = i + 1 < n && arr.(i + 1) <= Document.subtree_last doc u in
+        if not has_desc then keep := u :: !keep
+      done;
+      !keep)

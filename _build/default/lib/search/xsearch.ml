@@ -1,0 +1,80 @@
+module Document = Extract_store.Document
+module Inverted_index = Extract_store.Inverted_index
+
+(* Nodes strictly between [n] (exclusive) and its ancestor [stop]
+   (exclusive), i.e. the interior of the upward path. *)
+let interior_path doc ~from ~stop =
+  let rec up acc n =
+    match Document.parent doc n with
+    | Some p when p <> stop -> up (p :: acc) p
+    | Some _ | None -> acc
+  in
+  up [] from
+
+let interconnected doc a b =
+  if a = b then true
+  else begin
+    let l = Document.lca doc a b in
+    let interior =
+      (if a = l then [] else interior_path doc ~from:a ~stop:l)
+      @ (if b = l then [] else interior_path doc ~from:b ~stop:l)
+      @ (if l = a || l = b then [] else [ l ])
+    in
+    (* two distinct interior nodes with the same tag break the relation;
+       the endpoints may share a tag with each other but not with an
+       interior node of the other branch — the published relation only
+       excludes the pair (a, b) itself, so endpoint tags are also checked
+       against the interior *)
+    let tags = List.map (Document.tag_id doc) interior in
+    let seen = Hashtbl.create 8 in
+    let distinct_dup =
+      List.exists
+        (fun t ->
+          if Hashtbl.mem seen t then true
+          else begin
+            Hashtbl.add seen t ();
+            false
+          end)
+        tags
+    in
+    let endpoint_clash =
+      List.exists
+        (fun t ->
+          (Document.is_element doc a && Document.tag_id doc a = t)
+          || (Document.is_element doc b && Document.tag_id doc b = t))
+        tags
+    in
+    not (distinct_dup || endpoint_clash)
+  end
+
+(* Witness match per keyword under [root]: the shallowest match (closest
+   to the root), ties broken by document order. *)
+let witness doc root matches =
+  List.filter (fun m -> Document.is_ancestor_or_self doc ~anc:root ~desc:m) matches
+  |> List.fold_left
+       (fun best m ->
+         match best with
+         | None -> Some m
+         | Some b ->
+           if Document.depth doc m < Document.depth doc b then Some m else best)
+       None
+
+let compute index query =
+  let doc = Inverted_index.document index in
+  let keywords = Query.keywords query in
+  let lists = List.map (Inverted_index.lookup index) keywords in
+  let match_lists = List.map Array.to_list lists in
+  Slca.compute doc lists
+  |> List.filter_map (fun root ->
+         let witnesses = List.filter_map (witness doc root) match_lists in
+         if List.length witnesses <> List.length keywords then None
+         else begin
+           let rec pairwise = function
+             | [] -> true
+             | w :: rest ->
+               List.for_all (fun w' -> interconnected doc w w') rest && pairwise rest
+           in
+           if pairwise witnesses then
+             Some (Result_tree.match_paths doc ~root ~matches:witnesses)
+           else None
+         end)

@@ -1,0 +1,1 @@
+lib/server/demo_server.ml: Buffer Bytes Char Extract_snippet Extract_store Extract_util Format Fun List Option Printexc Printf String Unix

@@ -1,0 +1,1 @@
+lib/server/demo_server.mli: Extract_snippet Unix

@@ -1,0 +1,243 @@
+module Corpus = Extract_snippet.Corpus
+module Pipeline = Extract_snippet.Pipeline
+module Html_view = Extract_snippet.Html_view
+module Lru = Extract_util.Lru
+
+type t = {
+  corpus : Corpus.t;
+  pages : (string, string) Lru.t; (* request target -> rendered body *)
+}
+
+let create ?(cache_size = 64) corpus = { corpus; pages = Lru.create ~capacity:cache_size }
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* URL parsing *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i < n then begin
+      match s.[i] with
+      | '+' ->
+        Buffer.add_char buf ' ';
+        loop (i + 1)
+      | '%' when i + 2 < n -> begin
+        match hex_value s.[i + 1], hex_value s.[i + 2] with
+        | Some h, Some l ->
+          Buffer.add_char buf (Char.chr ((h * 16) + l));
+          loop (i + 3)
+        | _ ->
+          Buffer.add_char buf '%';
+          loop (i + 1)
+      end
+      | c ->
+        Buffer.add_char buf c;
+        loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> url_decode target, []
+  | Some q ->
+    let path = String.sub target 0 q in
+    let query = String.sub target (q + 1) (String.length target - q - 1) in
+    let params =
+      String.split_on_char '&' query
+      |> List.filter_map (fun pair ->
+             if pair = "" then None
+             else
+               match String.index_opt pair '=' with
+               | None -> Some (url_decode pair, "")
+               | Some eq ->
+                 Some
+                   ( url_decode (String.sub pair 0 eq),
+                     url_decode (String.sub pair (eq + 1) (String.length pair - eq - 1)) ))
+    in
+    url_decode path, params
+
+(* ------------------------------------------------------------------ *)
+(* Pages *)
+
+let ok ?(content_type = "text/html; charset=utf-8") body =
+  { status = 200; reason = "OK"; content_type; body }
+
+let text_ok body = ok ~content_type:"text/plain; charset=utf-8" body
+
+let error status reason detail =
+  {
+    status;
+    reason;
+    content_type = "text/plain; charset=utf-8";
+    body = Printf.sprintf "%d %s\n%s\n" status reason detail;
+  }
+
+let home_page t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>eXtract</title></head><body>";
+  Buffer.add_string buf "<h1>eXtract — snippet generation for XML search</h1>";
+  Buffer.add_string buf "<form action=\"/search\" method=\"get\">";
+  Buffer.add_string buf "<select name=\"data\">";
+  List.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "<option>%s</option>" (Html_view.escape name)))
+    (Corpus.names t.corpus);
+  Buffer.add_string buf "</select> ";
+  Buffer.add_string buf "<input name=\"q\" placeholder=\"keywords\"> ";
+  Buffer.add_string buf "bound <input name=\"bound\" value=\"6\" size=\"3\"> ";
+  Buffer.add_string buf "<button>Search</button></form>";
+  Buffer.add_string buf "<p>Data sets: ";
+  Buffer.add_string buf (String.concat ", " (List.map Html_view.escape (Corpus.names t.corpus)));
+  Buffer.add_string buf "</p></body></html>\n";
+  Buffer.contents buf
+
+let with_db t params f =
+  match List.assoc_opt "data" params with
+  | None -> error 400 "Bad Request" "missing ?data= parameter"
+  | Some name -> begin
+    match Corpus.find t.corpus name with
+    | None -> error 404 "Not Found" (Printf.sprintf "unknown data set %S" name)
+    | Some db -> f name db
+  end
+
+let search_page t target params =
+  with_db t params (fun name db ->
+      match List.assoc_opt "q" params with
+      | None | Some "" -> error 400 "Bad Request" "missing ?q= parameter"
+      | Some q ->
+        let bound =
+          match Option.bind (List.assoc_opt "bound" params) int_of_string_opt with
+          | Some b when b >= 0 -> b
+          | Some _ | None -> Pipeline.default_bound
+        in
+        let body =
+          Lru.find_or_add t.pages target (fun () ->
+              let results = Pipeline.run ~bound ~limit:25 db q in
+              Html_view.result_page
+                ~title:(Printf.sprintf "eXtract — %s" name)
+                ~query:q ~bound results)
+        in
+        ok body)
+
+let complete_page t params =
+  with_db t params (fun _ db ->
+      match List.assoc_opt "prefix" params with
+      | None | Some "" -> error 400 "Bad Request" "missing ?prefix= parameter"
+      | Some prefix ->
+        let completions = Extract_store.Inverted_index.complete (Pipeline.index db) prefix in
+        text_ok
+          (String.concat ""
+             (List.map (fun (tok, count) -> Printf.sprintf "%s %d\n" tok count) completions)))
+
+let stats_page t params =
+  with_db t params (fun name db ->
+      let stats = Extract_store.Doc_stats.compute (Pipeline.kinds db) in
+      text_ok (Format.asprintf "data set: %s@.%a@." name Extract_store.Doc_stats.pp stats))
+
+let handle t target =
+  match parse_target target with
+  | exception _ -> error 400 "Bad Request" "unparsable target"
+  | path, params -> begin
+    try
+      match path with
+      | "/" | "/index.html" -> ok (home_page t)
+      | "/search" -> search_page t target params
+      | "/complete" -> complete_page t params
+      | "/stats" -> stats_page t params
+      | _ -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
+    with e -> error 500 "Internal Server Error" (Printexc.to_string e)
+  end
+
+let cache_stats t = Lru.stats t.pages
+
+(* ------------------------------------------------------------------ *)
+(* Transport *)
+
+let listen ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 16;
+  sock
+
+let bound_port sock =
+  match Unix.getsockname sock with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Demo_server.bound_port: not an inet socket"
+
+let read_request_line fd =
+  (* read byte-wise up to the first newline; ample for a request line *)
+  let buf = Buffer.create 128 in
+  let byte = Bytes.create 1 in
+  let rec loop n =
+    if n > 8192 then None
+    else if Unix.read fd byte 0 1 <> 1 then None
+    else begin
+      let c = Bytes.get byte 0 in
+      if c = '\n' then Some (Buffer.contents buf)
+      else begin
+        if c <> '\r' then Buffer.add_char buf c;
+        loop (n + 1)
+      end
+    end
+  in
+  loop 0
+
+let write_response fd r =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      r.status r.reason r.content_type (String.length r.body)
+  in
+  let payload = head ^ r.body in
+  let bytes = Bytes.of_string payload in
+  let rec write_all off =
+    if off < Bytes.length bytes then begin
+      let n = Unix.write fd bytes off (Bytes.length bytes - off) in
+      write_all (off + n)
+    end
+  in
+  write_all 0
+
+let serve_once t listening =
+  let fd, _ = Unix.accept listening in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let response =
+        match read_request_line fd with
+        | None -> error 400 "Bad Request" "empty request"
+        | Some line -> begin
+          match String.split_on_char ' ' line with
+          | [ "GET"; target; _version ] -> handle t target
+          | "GET" :: target :: _ -> handle t target
+          | _ -> error 400 "Bad Request" (Printf.sprintf "unsupported request %S" line)
+        end
+      in
+      write_response fd response)
+
+let serve t ~port =
+  let sock = listen ~port in
+  Printf.printf "eXtract demo server on http://127.0.0.1:%d/\n%!" (bound_port sock);
+  while true do
+    match serve_once t sock with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+  done

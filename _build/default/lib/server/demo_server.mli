@@ -1,0 +1,65 @@
+(** The demo web service.
+
+    The original demonstration ran as a web site (Apache + PHP, paper §4):
+    the user picks an XML data set, issues keyword queries, customizes the
+    snippet size bound and browses snippets with links to the complete
+    results. This module is that service, self-contained: a tiny HTTP/1.0
+    server (plain [Unix] sockets, no dependencies) over a {!Corpus}, with
+    an LRU cache of rendered pages.
+
+    Routing:
+
+    - [GET /] — home page: data sets and a search form;
+    - [GET /search?data=NAME&q=QUERY&bound=N] — the Fig. 5 result page
+      (HTML from {!Extract_snippet.Html_view});
+    - [GET /complete?data=NAME&prefix=P] — query-box completions, plain
+      text, one [token count] per line;
+    - [GET /stats?data=NAME] — document statistics, plain text;
+    - anything else — 404.
+
+    [handle] is the pure request → response core (unit-testable without
+    sockets); [serve] and [serve_once] add the transport. *)
+
+type t
+
+val create : ?cache_size:int -> Extract_snippet.Corpus.t -> t
+(** [cache_size] bounds the rendered-page LRU (default 64 pages). *)
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+val handle : t -> string -> response
+(** [handle t target] serves a request target (path + optional query
+    string, e.g. ["/search?data=retail&q=store+texas&bound=6"]). Never
+    raises: errors become 4xx/5xx responses. *)
+
+val cache_stats : t -> int * int
+(** (hits, misses) of the page cache. *)
+
+(** {1 Transport} *)
+
+val listen : port:int -> Unix.file_descr
+(** Bind and listen on 127.0.0.1:[port] ([port] 0 picks a free one). *)
+
+val bound_port : Unix.file_descr -> int
+
+val serve_once : t -> Unix.file_descr -> unit
+(** Accept one connection on a listening socket, answer one request,
+    close. Malformed requests get a 400. *)
+
+val serve : t -> port:int -> unit
+(** [listen] + [serve_once] forever. Never returns; intended for the CLI's
+    [serve] command. *)
+
+(** {1 Parsing helpers (exposed for tests)} *)
+
+val url_decode : string -> string
+(** Decode [%XX] escapes and [+] as space; malformed escapes are kept
+    verbatim. *)
+
+val parse_target : string -> string * (string * string) list
+(** Split a request target into path and decoded query parameters. *)

@@ -1,0 +1,1 @@
+lib/snippet/config.ml:

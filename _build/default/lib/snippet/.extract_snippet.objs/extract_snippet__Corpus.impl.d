@@ -1,0 +1,1 @@
+lib/snippet/corpus.ml: Extract_search List Pipeline

@@ -1,0 +1,1 @@
+lib/snippet/corpus.mli: Config Extract_search Pipeline

@@ -1,0 +1,1 @@
+lib/snippet/differentiator.ml: Feature Hashtbl Ilist List Option

@@ -1,0 +1,1 @@
+lib/snippet/differentiator.mli: Feature Ilist

@@ -1,0 +1,1 @@
+lib/snippet/feature.ml: Array Extract_search Extract_store Format Hashtbl List

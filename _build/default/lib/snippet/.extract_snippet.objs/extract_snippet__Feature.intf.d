@@ -1,0 +1,1 @@
+lib/snippet/feature.mli: Extract_search Extract_store Format

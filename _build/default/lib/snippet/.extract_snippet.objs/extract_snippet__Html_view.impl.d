@@ -1,0 +1,1 @@
+lib/snippet/html_view.ml: Buffer Extract_search Extract_store Ilist List Pipeline Printf Selector Snippet_tree String

@@ -1,0 +1,1 @@
+lib/snippet/html_view.mli: Extract_search Pipeline Snippet_tree

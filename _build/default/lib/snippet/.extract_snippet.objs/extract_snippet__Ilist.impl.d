@@ -1,0 +1,1 @@
+lib/snippet/ilist.ml: Array Config Extract_search Extract_store Feature Format Hashtbl List Option Query_bias Result_key String

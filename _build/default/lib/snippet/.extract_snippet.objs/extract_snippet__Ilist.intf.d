@@ -1,0 +1,1 @@
+lib/snippet/ilist.mli: Config Extract_search Extract_store Feature Format

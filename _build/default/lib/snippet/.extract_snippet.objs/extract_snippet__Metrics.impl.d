@@ -1,0 +1,1 @@
+lib/snippet/metrics.ml: Extract_store Feature Format Ilist List Pipeline Snippet_tree

@@ -1,0 +1,1 @@
+lib/snippet/metrics.mli: Format Ilist Pipeline Snippet_tree

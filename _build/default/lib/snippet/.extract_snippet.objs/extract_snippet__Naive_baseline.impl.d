@@ -1,0 +1,1 @@
+lib/snippet/naive_baseline.ml: Extract_search Extract_store List Queue Snippet_tree

@@ -1,0 +1,1 @@
+lib/snippet/naive_baseline.mli: Extract_search Snippet_tree

@@ -1,0 +1,1 @@
+lib/snippet/optimal.ml: Array Extract_store Hashtbl Ilist List Selector Snippet_tree

@@ -1,0 +1,1 @@
+lib/snippet/optimal.mli: Extract_search Ilist Selector

@@ -1,0 +1,1 @@
+lib/snippet/pipeline.ml: Array Differentiator Domain Extract_search Extract_store Feature Fun Ilist List Selector

@@ -1,0 +1,1 @@
+lib/snippet/pipeline.mli: Config Extract_search Extract_store Ilist Selector

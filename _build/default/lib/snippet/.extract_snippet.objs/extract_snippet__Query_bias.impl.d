@@ -1,0 +1,1 @@
+lib/snippet/query_bias.ml: Extract_search Extract_store Feature Hashtbl List

@@ -1,0 +1,1 @@
+lib/snippet/query_bias.mli: Extract_search Extract_store Feature

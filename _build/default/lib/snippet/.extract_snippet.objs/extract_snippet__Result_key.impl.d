@@ -1,0 +1,1 @@
+lib/snippet/result_key.ml: Extract_search Extract_store List Return_entity

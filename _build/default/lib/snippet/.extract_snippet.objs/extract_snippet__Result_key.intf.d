@@ -1,0 +1,1 @@
+lib/snippet/result_key.mli: Extract_search Extract_store

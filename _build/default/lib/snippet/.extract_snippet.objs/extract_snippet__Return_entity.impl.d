@@ -1,0 +1,1 @@
+lib/snippet/return_entity.ml: Extract_search Extract_store Hashtbl List

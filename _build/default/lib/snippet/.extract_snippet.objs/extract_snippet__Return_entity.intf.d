@@ -1,0 +1,1 @@
+lib/snippet/return_entity.mli: Extract_search Extract_store

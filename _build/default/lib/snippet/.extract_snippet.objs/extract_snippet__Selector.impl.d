@@ -1,0 +1,1 @@
+lib/snippet/selector.ml: Array Extract_store Ilist List Snippet_tree

@@ -1,0 +1,1 @@
+lib/snippet/selector.mli: Extract_search Extract_store Ilist Snippet_tree

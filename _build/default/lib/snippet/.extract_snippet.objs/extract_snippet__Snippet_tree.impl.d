@@ -1,0 +1,1 @@
+lib/snippet/snippet_tree.ml: Array Extract_search Extract_store Extract_util Extract_xml Hashtbl List Printf String

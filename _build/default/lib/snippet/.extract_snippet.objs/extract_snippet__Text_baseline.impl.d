@@ -1,0 +1,1 @@
+lib/snippet/text_baseline.ml: Array Extract_search Extract_store Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/snippet/text_baseline.mli: Extract_search

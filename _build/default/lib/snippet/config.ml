@@ -1,0 +1,35 @@
+type feature_order =
+  | By_dominance
+  | By_frequency
+  | Query_biased
+
+type t = {
+  include_entity_names : bool;
+  include_result_key : bool;
+  include_features : bool;
+  feature_order : feature_order;
+  max_features : int option;
+}
+
+let default =
+  {
+    include_entity_names = true;
+    include_result_key = true;
+    include_features = true;
+    feature_order = By_dominance;
+    max_features = None;
+  }
+
+let keywords_only =
+  {
+    include_entity_names = false;
+    include_result_key = false;
+    include_features = false;
+    feature_order = By_dominance;
+    max_features = None;
+  }
+
+let string_of_feature_order = function
+  | By_dominance -> "dominance"
+  | By_frequency -> "frequency"
+  | Query_biased -> "query-biased"

@@ -1,0 +1,37 @@
+(** Snippet-generation configuration.
+
+    The paper states four goals (§1): snippets should be self-contained
+    (entity names), distinguishable (result key), representative (dominant
+    features) and small (size bound). This configuration switches each
+    content goal on or off — the ablation experiments (bench E11) measure
+    what each goal contributes — and selects the feature ranking:
+
+    - [By_dominance] — the paper's normalized dominance score (§2.3);
+    - [By_frequency] — raw occurrence counts, the strawman the paper argues
+      against;
+    - [Query_biased] — dominance multiplied by a query-affinity boost
+      (features co-occurring with keyword matches inside the same entity
+      instance score higher), the direction of the companion SIGMOD'08
+      paper {e Query Biased Snippet Generation in XML Search}. *)
+
+type feature_order =
+  | By_dominance
+  | By_frequency
+  | Query_biased
+
+type t = {
+  include_entity_names : bool;  (** goal: self-contained (§2.1) *)
+  include_result_key : bool;    (** goal: distinguishable (§2.2) *)
+  include_features : bool;      (** goal: representative (§2.3) *)
+  feature_order : feature_order;
+  max_features : int option;    (** cap on dominant features admitted to the IList *)
+}
+
+val default : t
+(** All goals on, [By_dominance], no feature cap — the paper's system. *)
+
+val keywords_only : t
+(** Every goal off: the IList holds just the query keywords. Baseline for
+    the ablation. *)
+
+val string_of_feature_order : feature_order -> string

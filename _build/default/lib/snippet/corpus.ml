@@ -1,0 +1,46 @@
+module Engine = Extract_search.Engine
+module Query = Extract_search.Query
+module Ranker = Extract_search.Ranker
+
+type t = { dbs : (string * Pipeline.t) list (* sorted by name *) }
+
+type hit = {
+  source : string;
+  score : float;
+  snippet : Pipeline.snippet_result;
+}
+
+let empty = { dbs = [] }
+
+let add t ~name db =
+  let without = List.remove_assoc name t.dbs in
+  { dbs = List.sort (fun (a, _) (b, _) -> compare a b) ((name, db) :: without) }
+
+let of_list entries = List.fold_left (fun t (name, db) -> add t ~name db) empty entries
+
+let names t = List.map fst t.dbs
+
+let find t name = List.assoc_opt name t.dbs
+
+let size t = List.length t.dbs
+
+let run ?semantics ?config ?bound ?limit t query_string =
+  let hits =
+    List.concat_map
+      (fun (source, db) ->
+        let ranker = Ranker.make (Pipeline.index db) in
+        let query = Query.of_string query_string in
+        Pipeline.run ?semantics ?config ?bound db query_string
+        |> List.map (fun (s : Pipeline.snippet_result) ->
+               { source; score = Ranker.score ranker query s.Pipeline.result; snippet = s }))
+      t.dbs
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        if a.score <> b.score then compare b.score a.score else compare a.source b.source)
+      hits
+  in
+  match limit with
+  | None -> sorted
+  | Some k -> List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,43 @@
+(** Multi-document corpora.
+
+    The demo web site lets the user pick among several XML data sets
+    ("movies and stores", §4); a corpus holds several analyzed databases
+    under names and runs one query across all of them, merging the hits.
+    Cross-document ranking uses each database's own XRank-style scores —
+    IDF statistics are per-document, which matches how federated keyword
+    search is usually approximated. *)
+
+type t
+
+type hit = {
+  source : string;  (** name of the database the hit comes from *)
+  score : float;
+  snippet : Pipeline.snippet_result;
+}
+
+val empty : t
+
+val add : t -> name:string -> Pipeline.t -> t
+(** Functional add; replaces any database previously registered under the
+    same name. *)
+
+val of_list : (string * Pipeline.t) list -> t
+
+val names : t -> string list
+(** Registered names, alphabetical. *)
+
+val find : t -> string -> Pipeline.t option
+
+val size : t -> int
+
+val run :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?config:Config.t ->
+  ?bound:int ->
+  ?limit:int ->
+  t ->
+  string ->
+  hit list
+(** Search every database, snippet every result, merge and sort by
+    decreasing score (ties: source name, then document order). [limit]
+    caps the {e merged} list. *)

@@ -1,0 +1,28 @@
+type t = {
+  results : int;
+  frequency : (Feature.t, int) Hashtbl.t;
+}
+
+let make analyses =
+  let frequency = Hashtbl.create 64 in
+  List.iter
+    (fun analysis ->
+      List.iter
+        (fun (f, _) ->
+          Hashtbl.replace frequency f (1 + Option.value ~default:0 (Hashtbl.find_opt frequency f)))
+        (Feature.all analysis))
+    analyses;
+  { results = List.length analyses; frequency }
+
+let result_count t = t.results
+
+let result_frequency t f = Option.value ~default:0 (Hashtbl.find_opt t.frequency f)
+
+let distinctiveness t f =
+  let rf = result_frequency t f in
+  log (float_of_int (1 + t.results) /. float_of_int (1 + rf)) +. 1.0
+
+let apply t ilist =
+  Ilist.reorder_features
+    ~score:(fun f stats -> stats.Feature.score *. distinctiveness t f)
+    ilist

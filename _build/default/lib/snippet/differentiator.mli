@@ -1,0 +1,33 @@
+(** Cross-result snippet differentiation.
+
+    The paper's first goal (§1) asks snippets to "differentiate [results]
+    from one another". The result key carries most of that burden; this
+    module adds the rest: when a query returns several results, a dominant
+    feature shared by {e every} result (e.g. all retailers sell apparel)
+    tells the user nothing about which result to open, while a feature rare
+    across results is discriminating.
+
+    Distinctiveness is IDF-shaped: [ln ((1 + R) / (1 + rf)) + 1] where [R]
+    is the number of results and [rf] the number of results in which the
+    feature appears at all. Applying the differentiator re-ranks each
+    result's dominant-feature block by [DS × distinctiveness] — keywords,
+    entity names and the key are untouched. With a single result the
+    re-ranking is a no-op (all distinctiveness equal). *)
+
+type t
+
+val make : Feature.analysis list -> t
+(** [make analyses] over the feature analyses of all results of one
+    query. *)
+
+val result_count : t -> int
+
+val result_frequency : t -> Feature.t -> int
+(** Number of results whose analysis contains the feature. *)
+
+val distinctiveness : t -> Feature.t -> float
+(** >= 1 for features absent from other results; lower the more results
+    share the feature. *)
+
+val apply : t -> Ilist.t -> Ilist.t
+(** Re-rank the IList's dominant-feature block by [DS × distinctiveness]. *)

@@ -1,0 +1,102 @@
+module Document = Extract_store.Document
+module Result_tree = Extract_search.Result_tree
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shared nested-list renderer over any (label, children) tree view. *)
+let rec render_node buf ~label ~children node =
+  Buffer.add_string buf "<li>";
+  Buffer.add_string buf (label node);
+  (match children node with
+  | [] -> ()
+  | kids ->
+    Buffer.add_string buf "<ul>";
+    List.iter (render_node buf ~label ~children) kids;
+    Buffer.add_string buf "</ul>");
+  Buffer.add_string buf "</li>"
+
+let labelled_tree ~class_ ~root ~label ~children =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "<ul class=\"%s\">" class_);
+  render_node buf ~label ~children root;
+  Buffer.add_string buf "</ul>";
+  Buffer.contents buf
+
+let doc_label doc n =
+  if Document.has_only_text_children doc n then
+    Printf.sprintf "<span class=\"tag\">%s</span> <span class=\"value\">%s</span>"
+      (escape (Document.tag_name doc n))
+      (escape (String.trim (Document.immediate_text doc n)))
+  else Printf.sprintf "<span class=\"tag\">%s</span>" (escape (Document.tag_name doc n))
+
+let snippet_to_html snippet =
+  let result = Snippet_tree.result snippet in
+  let doc = Result_tree.document result in
+  labelled_tree ~class_:"snippet" ~root:(Result_tree.root result)
+    ~label:(doc_label doc)
+    ~children:(fun n ->
+      Result_tree.children result n
+      |> List.filter (fun c -> Document.is_element doc c && Snippet_tree.mem snippet c))
+
+let result_tree_to_html result =
+  let doc = Result_tree.document result in
+  labelled_tree ~class_:"result" ~root:(Result_tree.root result) ~label:(doc_label doc)
+    ~children:(fun n ->
+      Result_tree.children result n |> List.filter (Document.is_element doc))
+
+let css =
+  {|
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; }
+  h1 { font-size: 1.3rem; }
+  .meta { color: #555; margin-bottom: 1.5rem; }
+  .hit { border: 1px solid #ddd; border-radius: 6px; padding: 0.8rem 1rem; margin: 1rem 0; }
+  ul.snippet, ul.result, ul.snippet ul, ul.result ul { list-style: none; padding-left: 1.2rem;
+    border-left: 1px dotted #bbb; margin: 0.2rem 0; }
+  .tag { color: #14548c; font-weight: 600; }
+  .value { color: #222; }
+  .ilist { font-size: 0.85rem; color: #666; margin-top: 0.5rem; }
+  details { margin-top: 0.6rem; }
+  summary { cursor: pointer; color: #14548c; }
+|}
+
+let result_page ?(title = "eXtract") ~query ~bound results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  Buffer.add_string buf (Printf.sprintf "<title>%s</title>" (escape title));
+  Buffer.add_string buf (Printf.sprintf "<style>%s</style></head><body>" css);
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>%s</h1><p class=\"meta\">query: <b>%s</b> &middot; %d result(s) &middot; snippet bound: %d edges</p>"
+       (escape title) (escape query) (List.length results) bound);
+  List.iteri
+    (fun i (r : Pipeline.snippet_result) ->
+      Buffer.add_string buf "<div class=\"hit\">";
+      Buffer.add_string buf (Printf.sprintf "<div class=\"rank\">result %d</div>" (i + 1));
+      Buffer.add_string buf (snippet_to_html r.Pipeline.selection.Selector.snippet);
+      Buffer.add_string buf
+        (Printf.sprintf "<div class=\"ilist\">IList: %s</div>"
+           (escape (Ilist.to_string r.Pipeline.ilist)));
+      Buffer.add_string buf "<details><summary>complete query result</summary>";
+      Buffer.add_string buf (result_tree_to_html r.Pipeline.result);
+      Buffer.add_string buf "</details></div>")
+    results;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let write_page ~path ?title ~query ~bound results =
+  let oc = open_out_bin path in
+  (try output_string oc (result_page ?title ~query ~bound results)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,10 @@
+(** Structure-only snippet baseline: breadth-first truncation.
+
+    Takes the query result and keeps nodes in breadth-first (then document)
+    order until the edge bound is reached, ignoring keywords, entities,
+    keys and features alike. This is the ablation for the IList ranking:
+    any quality eXtract gains over this baseline is attributable to {e
+    what} it chooses to show, not to showing a small tree per se. *)
+
+val generate : bound:int -> Extract_search.Result_tree.t -> Snippet_tree.t
+(** @raise Invalid_argument when [bound < 0]. *)

@@ -1,0 +1,80 @@
+module Document = Extract_store.Document
+
+type outcome = {
+  selection : Selector.selection;
+  exact : bool;
+  steps : int;
+}
+
+type best = {
+  mutable count : int;
+  mutable choices : (Ilist.entry * Document.node * int) list; (* covered items *)
+  mutable found : bool;
+}
+
+let solve ?(max_steps = 2_000_000) ~bound result ilist =
+  if bound < 0 then invalid_arg "Optimal.solve: negative bound";
+  let entries = Array.of_list (Ilist.coverable ilist) in
+  let uncoverable =
+    List.filter (fun (e : Ilist.entry) -> Array.length e.instances = 0) (Ilist.entries ilist)
+  in
+  let n = Array.length entries in
+  let snippet = Snippet_tree.create result in
+  let best = { count = -1; choices = []; found = false } in
+  let steps = ref 0 in
+  let truncated = ref false in
+  (* choices on the current path, most recent first *)
+  let rec explore i covered acc =
+    incr steps;
+    if !steps > max_steps then truncated := true
+    else if i >= n then begin
+      if covered > best.count then begin
+        best.count <- covered;
+        best.choices <- List.rev acc;
+        best.found <- true
+      end
+    end
+    else if covered + (n - i) <= best.count then () (* bound: cannot beat best *)
+    else begin
+      let entry = entries.(i) in
+      (* try each instance, cheapest first for better pruning *)
+      let costed =
+        Array.to_list entry.instances
+        |> List.map (fun inst -> Snippet_tree.cost_of snippet inst, inst)
+        |> List.sort compare
+      in
+      List.iter
+        (fun (cost, inst) ->
+          if (not !truncated) && Snippet_tree.edge_count snippet + cost <= bound then begin
+            let added = Snippet_tree.add snippet inst in
+            explore (i + 1) (covered + 1) ((entry, inst, cost) :: acc);
+            Snippet_tree.remove snippet added
+          end)
+        costed;
+      (* or skip the item *)
+      if not !truncated then explore (i + 1) covered acc
+    end
+  in
+  explore 0 0 [];
+  (* Rebuild the best snippet deterministically. *)
+  let final = Snippet_tree.create result in
+  let covered =
+    List.map
+      (fun (entry, instance, _) ->
+        let added = Snippet_tree.add final instance in
+        { Selector.entry; instance; cost = List.length added })
+      best.choices
+  in
+  let covered_set = Hashtbl.create 16 in
+  List.iter (fun (c : Selector.covered) -> Hashtbl.replace covered_set c.entry.rank ()) covered;
+  let skipped =
+    List.filter
+      (fun (e : Ilist.entry) ->
+        Array.length e.instances > 0 && not (Hashtbl.mem covered_set e.rank))
+      (Ilist.entries ilist)
+  in
+  {
+    selection = { Selector.snippet = final; covered; skipped; uncoverable; bound };
+    exact = not !truncated;
+    steps = !steps;
+  }

@@ -1,0 +1,20 @@
+(** Exact instance selection by branch and bound.
+
+    Explores, item by item in IList order, either skipping the item or
+    connecting one of its instances, and keeps the assignment covering the
+    most items within the edge bound. Used only to evaluate the greedy
+    algorithm's quality (experiment E5) — the problem is NP-hard, so this
+    is exponential in the worst case. [max_steps] caps the search; when the
+    cap is hit the best solution found so far is returned with
+    [exact = false]. *)
+
+type outcome = {
+  selection : Selector.selection;
+  exact : bool;      (** false when the step cap interrupted the search *)
+  steps : int;       (** search-tree nodes explored *)
+}
+
+val solve :
+  ?max_steps:int -> bound:int -> Extract_search.Result_tree.t -> Ilist.t -> outcome
+(** [max_steps] defaults to 2_000_000.
+    @raise Invalid_argument when [bound < 0]. *)

@@ -1,0 +1,126 @@
+module Document = Extract_store.Document
+module Node_kind = Extract_store.Node_kind
+module Key_miner = Extract_store.Key_miner
+module Inverted_index = Extract_store.Inverted_index
+module Dataguide = Extract_store.Dataguide
+module Engine = Extract_search.Engine
+module Query = Extract_search.Query
+module Result_tree = Extract_search.Result_tree
+
+type t = {
+  doc : Document.t;
+  guide : Dataguide.t;
+  kinds : Node_kind.t;
+  keys : Key_miner.t;
+  index : Inverted_index.t;
+}
+
+let build doc =
+  let guide = Dataguide.build doc in
+  let kinds = Node_kind.classify guide in
+  let keys = Key_miner.mine kinds in
+  let index = Inverted_index.build doc in
+  { doc; guide; kinds; keys; index }
+
+let of_xml_string s = build (Document.load_string s)
+
+let of_file path = build (Document.load_file path)
+
+(* Rebuild everything derivable cheaply (classification, keys) and reuse
+   the persisted index. *)
+let of_parts doc index =
+  let guide = Dataguide.build doc in
+  let kinds = Node_kind.classify guide in
+  let keys = Key_miner.mine kinds in
+  { doc; guide; kinds; keys; index }
+
+let save path t = Extract_store.Persist.save_bundle path t.doc t.index
+
+let load path =
+  let doc, index = Extract_store.Persist.load_bundle path in
+  of_parts doc index
+
+let document t = t.doc
+
+let kinds t = t.kinds
+
+let keys t = t.keys
+
+let index t = t.index
+
+let dataguide t = t.guide
+
+type snippet_result = {
+  result : Result_tree.t;
+  ilist : Ilist.t;
+  selection : Selector.selection;
+}
+
+let default_bound = 10
+
+let ilist_of ?config t result query =
+  Ilist.build ?config t.kinds t.keys t.index result query
+
+let snippet_of ?config ?(bound = default_bound) t result query =
+  let ilist = ilist_of ?config t result query in
+  let selection = Selector.greedy ~bound result ilist in
+  { result; ilist; selection }
+
+let search ?semantics ?limit t query_string =
+  let query = Query.of_string query_string in
+  Engine.run ?semantics ?limit t.index t.kinds query
+
+let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit t query_string =
+  let query = Query.of_string query_string in
+  let results = Engine.run ?semantics ?limit t.index t.kinds query in
+  let analyses = List.map (Feature.analyze t.kinds) results in
+  let differ = Differentiator.make analyses in
+  List.map
+    (fun result ->
+      let ilist = Differentiator.apply differ (ilist_of ?config t result query) in
+      let selection = Selector.greedy ~bound result ilist in
+      { result; ilist; selection })
+    results
+
+let run_ranked ?semantics ?config ?(bound = default_bound) ?limit t query_string =
+  let query = Query.of_string query_string in
+  let ranker = Extract_search.Ranker.make t.index in
+  Engine.run ?semantics t.index t.kinds query
+  |> Extract_search.Ranker.rank ranker query
+  |> (fun scored ->
+       match limit with
+       | None -> scored
+       | Some k -> List.filteri (fun i _ -> i < k) scored)
+  |> List.map (fun (result, score) -> score, snippet_of ?config ~bound t result query)
+
+let run ?semantics ?config ?(bound = default_bound) ?limit t query_string =
+  let query = Query.of_string query_string in
+  Engine.run ?semantics ?limit t.index t.kinds query
+  |> List.map (fun result -> snippet_of ?config ~bound t result query)
+
+(* Per-result snippet generation is embarrassingly parallel: the arena,
+   index and classification are immutable after [build], and each result's
+   analysis/selection state is local. Results are dealt round-robin across
+   domains and reassembled in order. *)
+let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4) t
+    query_string =
+  let query = Query.of_string query_string in
+  let results = Array.of_list (Engine.run ?semantics ?limit t.index t.kinds query) in
+  let n = Array.length results in
+  let domains = max 1 (min domains n) in
+  if domains <= 1 || n <= 1 then
+    Array.to_list (Array.map (fun r -> snippet_of ?config ~bound t r query) results)
+  else begin
+    let out = Array.make n None in
+    let worker d () =
+      let i = ref d in
+      while !i < n do
+        out.(!i) <- Some (snippet_of ?config ~bound t results.(!i) query);
+        i := !i + domains
+      done
+    in
+    let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.to_list out |> List.filter_map Fun.id
+  end

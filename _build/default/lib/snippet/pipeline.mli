@@ -1,0 +1,123 @@
+(** End-to-end driver: the whole Fig. 4 architecture behind two calls.
+
+    [build] runs the offline side — Data Analyzer (dataguide, star
+    inference, node classification), key mining, Index Builder. [run]
+    executes the online side for one query: search engine → per-result
+    IList (Return Entity Identifier, Query Result Key Identifier, Dominant
+    Feature Identifier) → Instance Selector → snippet trees. *)
+
+module Document = Extract_store.Document
+
+type t
+(** An analyzed, indexed database. *)
+
+val build : Document.t -> t
+
+val of_xml_string : string -> t
+(** Parse, analyze and index an XML string. *)
+
+val of_file : string -> t
+
+val save : string -> t -> unit
+(** Persist the arena and the inverted index as one bundle
+    ({!Extract_store.Persist.save_bundle}); classification and keys are
+    rebuilt on {!load} (they are cheap and fully derived). *)
+
+val load : string -> t
+(** Load a bundle written by {!save}.
+    @raise Extract_store.Codec.Corrupt on malformed input. *)
+
+val document : t -> Document.t
+
+val kinds : t -> Extract_store.Node_kind.t
+
+val keys : t -> Extract_store.Key_miner.t
+
+val index : t -> Extract_store.Inverted_index.t
+
+val dataguide : t -> Extract_store.Dataguide.t
+
+type snippet_result = {
+  result : Extract_search.Result_tree.t;
+  ilist : Ilist.t;
+  selection : Selector.selection;
+}
+
+val default_bound : int
+(** 10 edges, the demo's default ballpark. *)
+
+val run :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?config:Config.t ->
+  ?bound:int ->
+  ?limit:int ->
+  t ->
+  string ->
+  snippet_result list
+(** [run t query_string] — the full demo interaction of Fig. 5. Defaults:
+    XSeek semantics, [default_bound], no result limit. *)
+
+val run_parallel :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?config:Config.t ->
+  ?bound:int ->
+  ?limit:int ->
+  ?domains:int ->
+  t ->
+  string ->
+  snippet_result list
+(** Like {!run}, with per-result snippet generation spread over [domains]
+    OCaml domains (default 4, clamped to the result count). The analyzed
+    database is immutable and shared; outputs are identical to {!run} and
+    in the same order. Worth it when many large results are snippeted at
+    once — see bench E19. *)
+
+val run_ranked :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?config:Config.t ->
+  ?bound:int ->
+  ?limit:int ->
+  t ->
+  string ->
+  (float * snippet_result) list
+(** Like {!run} but results come ranked by the XRank-style score (best
+    first), and [limit] keeps the top-scored results rather than the first
+    in document order. *)
+
+val run_differentiated :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?config:Config.t ->
+  ?bound:int ->
+  ?limit:int ->
+  t ->
+  string ->
+  snippet_result list
+(** Like {!run}, but after building every result's IList the
+    {!Differentiator} re-ranks dominant features by cross-result
+    distinctiveness, so the snippets of a multi-result answer emphasize
+    what sets each result apart. *)
+
+val search :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?limit:int ->
+  t ->
+  string ->
+  Extract_search.Result_tree.t list
+(** Search only (no snippets). *)
+
+val snippet_of :
+  ?config:Config.t ->
+  ?bound:int ->
+  t ->
+  Extract_search.Result_tree.t ->
+  Extract_search.Query.t ->
+  snippet_result
+(** Snippet generation for one externally produced query result — the
+    paper's orthogonality claim: results may come from any engine. *)
+
+val ilist_of :
+  ?config:Config.t ->
+  t ->
+  Extract_search.Result_tree.t ->
+  Extract_search.Query.t ->
+  Ilist.t

@@ -1,0 +1,58 @@
+module Document = Extract_store.Document
+module Node_kind = Extract_store.Node_kind
+module Inverted_index = Extract_store.Inverted_index
+module Result_tree = Extract_search.Result_tree
+module Query = Extract_search.Query
+
+type t = {
+  kinds : Node_kind.t;
+  result : Result_tree.t;
+  hot : (Document.node, unit) Hashtbl.t; (* hot entity instances *)
+}
+
+(* The entity instance a match "belongs to": its nearest entity
+   ancestor-or-self inside the result. *)
+let owning_entity kinds result node =
+  let doc = Result_tree.document result in
+  let rec up n =
+    if Document.is_element doc n && Node_kind.is_entity kinds n then Some n
+    else
+      match Document.parent doc n with
+      | Some p when Result_tree.mem result p -> up p
+      | Some _ | None -> None
+  in
+  up node
+
+let make kinds index result query =
+  let hot = Hashtbl.create 32 in
+  List.iter
+    (fun keyword ->
+      List.iter
+        (fun m ->
+          match owning_entity kinds result m with
+          | Some e -> Hashtbl.replace hot e ()
+          | None -> ())
+        (Result_tree.restrict_matches result (Inverted_index.lookup index keyword)))
+    (Query.keywords query);
+  { kinds; result; hot }
+
+let hot_entities t =
+  Hashtbl.fold (fun n () acc -> n :: acc) t.hot [] |> List.sort compare
+
+let affinity t analysis f =
+  match Feature.instances analysis f with
+  | [] -> 0.0
+  | instances ->
+    let hot_count =
+      List.length
+        (List.filter
+           (fun inst ->
+             match owning_entity t.kinds t.result inst with
+             | Some e -> Hashtbl.mem t.hot e
+             | None -> false)
+           instances)
+    in
+    float_of_int hot_count /. float_of_int (List.length instances)
+
+let biased_score t analysis f (stats : Feature.stats) =
+  stats.Feature.score *. (1.0 +. affinity t analysis f)

@@ -1,0 +1,25 @@
+module Document = Extract_store.Document
+module Key_miner = Extract_store.Key_miner
+
+type key = {
+  entity : Document.node;
+  attribute : Document.node;
+  value : string;
+}
+
+let key_of_result keys kinds result query =
+  let doc = Extract_search.Result_tree.document result in
+  let candidates =
+    Return_entity.return_entities kinds result query
+    |> List.sort (fun a b ->
+           let da = Document.depth doc a and db = Document.depth doc b in
+           if da <> db then compare da db else compare a b)
+  in
+  List.find_map
+    (fun entity ->
+      match Key_miner.key_of_instance keys entity with
+      | Some (attribute, value)
+        when value <> "" && Extract_search.Result_tree.mem result attribute ->
+        Some { entity; attribute; value }
+      | Some _ | None -> None)
+    candidates

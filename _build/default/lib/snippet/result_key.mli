@@ -1,0 +1,23 @@
+(** Query Result Key Identifier (paper §2.2).
+
+    The key of a query result — its "title", making its snippet
+    distinguishable from the other results' — is the value of the mined key
+    attribute of a return entity. When several return entities exist, the
+    highest (shallowest, then first in document order) instance that
+    actually carries a key wins. *)
+
+module Document = Extract_store.Document
+
+type key = {
+  entity : Document.node;     (** the return-entity instance *)
+  attribute : Document.node;  (** its key attribute node *)
+  value : string;
+}
+
+val key_of_result :
+  Extract_store.Key_miner.t ->
+  Extract_store.Node_kind.t ->
+  Extract_search.Result_tree.t ->
+  Extract_search.Query.t ->
+  key option
+(** [None] when no return entity carries a mined key. *)

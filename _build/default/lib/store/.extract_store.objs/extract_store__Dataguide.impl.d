@@ -1,0 +1,1 @@
+lib/store/dataguide.ml: Array Document Extract_util Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/store/dewey.ml: Array Document Format

@@ -1,0 +1,1 @@
+lib/store/dewey.mli: Document Format

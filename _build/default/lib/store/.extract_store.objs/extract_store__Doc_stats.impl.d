@@ -1,0 +1,1 @@
+lib/store/doc_stats.ml: Dataguide Document Extract_util Format List Node_kind

@@ -1,0 +1,1 @@
+lib/store/doc_stats.mli: Document Format Node_kind

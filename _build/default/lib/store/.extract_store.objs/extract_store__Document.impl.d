@@ -1,0 +1,1 @@
+lib/store/document.ml: Array Buffer Bytes Extract_util Extract_xml Format List Option Printf

@@ -1,0 +1,1 @@
+lib/store/document.mli: Bytes Extract_util Extract_xml Format

@@ -1,0 +1,1 @@
+lib/store/inverted_index.ml: Array Document Extract_util Hashtbl List String Tokenizer

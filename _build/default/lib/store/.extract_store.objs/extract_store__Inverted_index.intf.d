@@ -1,0 +1,1 @@
+lib/store/inverted_index.mli: Document

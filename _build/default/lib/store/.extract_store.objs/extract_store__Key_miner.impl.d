@@ -1,0 +1,1 @@
+lib/store/key_miner.ml: Dataguide Document Hashtbl List Node_kind Option String

@@ -1,0 +1,1 @@
+lib/store/key_miner.mli: Dataguide Document Node_kind

@@ -1,0 +1,1 @@
+lib/store/node_kind.ml: Array Dataguide Document Format List Schema_infer String

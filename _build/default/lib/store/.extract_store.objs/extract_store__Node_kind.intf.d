@@ -1,0 +1,1 @@
+lib/store/node_kind.mli: Dataguide Document Extract_xml Format Schema_infer

@@ -1,0 +1,1 @@
+lib/store/path_query.ml: Document List Printf String

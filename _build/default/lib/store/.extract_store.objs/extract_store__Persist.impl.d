@@ -1,0 +1,1 @@
+lib/store/persist.ml: Array Bytes Codec Document Inverted_index Printf

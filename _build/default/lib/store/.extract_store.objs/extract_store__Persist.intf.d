@@ -1,0 +1,1 @@
+lib/store/persist.mli: Document Inverted_index

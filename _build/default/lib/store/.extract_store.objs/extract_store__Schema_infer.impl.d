@@ -1,0 +1,1 @@
+lib/store/schema_infer.ml: Array Dataguide Document Extract_xml Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/store/schema_infer.mli: Dataguide Extract_xml

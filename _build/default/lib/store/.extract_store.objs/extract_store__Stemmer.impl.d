@@ -1,0 +1,1 @@
+lib/store/stemmer.ml: Fun Hashtbl List String

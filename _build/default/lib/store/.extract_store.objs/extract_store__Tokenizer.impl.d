@@ -1,0 +1,1 @@
+lib/store/tokenizer.ml: Buffer Char List String

@@ -1,0 +1,41 @@
+(** Binary encoding primitives for {!Persist}.
+
+    A deliberately boring format: unsigned LEB128 varints for integers
+    (with a zig-zag variant for possibly-negative values) and
+    length-prefixed byte strings. No [Marshal]: files are portable across
+    OCaml versions and trivially inspectable. *)
+
+type writer
+
+val writer : unit -> writer
+
+val write_varint : writer -> int -> unit
+(** Non-negative integers. @raise Invalid_argument on negatives. *)
+
+val write_int : writer -> int -> unit
+(** Any integer (zig-zag encoded). *)
+
+val write_string : writer -> string -> unit
+
+val write_bytes_raw : writer -> bytes -> unit
+(** Length-prefixed raw bytes. *)
+
+val contents : writer -> string
+
+type reader
+
+val reader : string -> reader
+(** Reader positioned at the start of the buffer. *)
+
+val read_varint : reader -> int
+
+val read_int : reader -> int
+
+val read_string : reader -> string
+
+val read_bytes_raw : reader -> bytes
+
+val at_end : reader -> bool
+
+exception Corrupt of string
+(** Raised on truncated or malformed input. *)

@@ -1,0 +1,394 @@
+module Interner = Extract_util.Interner
+module Arraylist = Extract_util.Arraylist
+module Xml = Extract_xml.Types
+
+type node = int
+
+type kind = Element | Text
+
+type t = {
+  dtd : Extract_xml.Dtd.t option;
+  dtd_source : string option; (* original internal subset, for persistence *)
+  tags : Interner.t;
+  kinds : Bytes.t;          (* 0 = element, 1 = text *)
+  tag : int array;          (* tag id, -1 for text nodes *)
+  parent : int array;       (* -1 for the root *)
+  depth : int array;
+  size : int array;         (* subtree size in nodes, including self *)
+  texts : string array;     (* "" for elements *)
+  element_count : int;
+}
+
+let node_count t = Array.length t.tag
+
+let check t n =
+  if n < 0 || n >= node_count t then
+    invalid_arg (Printf.sprintf "Document: node %d out of range [0,%d)" n (node_count t))
+
+(* Flattening: first convert XML attributes to leaf children, then a
+   two-pass walk (count, fill) to allocate exact-size arrays. *)
+
+let rec attrs_to_children (node : Xml.t) : Xml.t =
+  match node with
+  | Xml.Text _ -> node
+  | Xml.Element e ->
+    let attr_children =
+      List.map (fun (a : Xml.attribute) -> Xml.leaf a.name a.value) e.attrs
+    in
+    let children = attr_children @ List.map attrs_to_children e.children in
+    Xml.Element { e with attrs = []; children }
+
+let of_xml ?dtd xml =
+  (match xml with
+  | Xml.Text _ -> invalid_arg "Document.of_xml: the root must be an element"
+  | Xml.Element _ -> ());
+  let xml = attrs_to_children xml in
+  let total = Xml.count_nodes xml in
+  let tags = Interner.create () in
+  let kinds = Bytes.make total '\000' in
+  let tag = Array.make total (-1) in
+  let parent = Array.make total (-1) in
+  let depth = Array.make total 0 in
+  let size = Array.make total 1 in
+  let texts = Array.make total "" in
+  let elements = ref 0 in
+  let next = ref 0 in
+  let rec fill node ~parent_id ~level =
+    let id = !next in
+    next := id + 1;
+    parent.(id) <- parent_id;
+    depth.(id) <- level;
+    (match node with
+    | Xml.Text s ->
+      Bytes.set kinds id '\001';
+      texts.(id) <- s
+    | Xml.Element e ->
+      incr elements;
+      tag.(id) <- Interner.intern tags e.tag;
+      List.iter (fun c -> fill c ~parent_id:id ~level:(level + 1)) e.children);
+    size.(id) <- !next - id
+  in
+  fill xml ~parent_id:(-1) ~level:0;
+  {
+    dtd;
+    dtd_source = None;
+    tags;
+    kinds;
+    tag;
+    parent;
+    depth;
+    size;
+    texts;
+    element_count = !elements;
+  }
+
+(* Streaming construction: one SAX pass, no intermediate tree. XML
+   attributes become leaf children at the point their element starts,
+   matching [attrs_to_children]. *)
+let of_string_streaming input =
+  let tags = Interner.create () in
+  let kind_buf = Buffer.create 1024 in
+  let tag = Arraylist.create ~capacity:1024 () in
+  let parent = Arraylist.create ~capacity:1024 () in
+  let depth = Arraylist.create ~capacity:1024 () in
+  let size = Arraylist.create ~capacity:1024 () in
+  let texts = Arraylist.create ~capacity:1024 () in
+  let elements = ref 0 in
+  let push_node ~is_element ~tag_id ~parent_id ~level ~text =
+    let id = Arraylist.length tag in
+    Buffer.add_char kind_buf (if is_element then '\000' else '\001');
+    Arraylist.push tag tag_id;
+    Arraylist.push parent parent_id;
+    Arraylist.push depth level;
+    Arraylist.push size 1;
+    Arraylist.push texts text;
+    if is_element then incr elements;
+    id
+  in
+  (* stack of open element ids; the accumulator is unused (unit) *)
+  let stack = ref [] in
+  let current_parent () =
+    match !stack with
+    | id :: _ -> id
+    | [] -> -1
+  in
+  let level () = List.length !stack in
+  let (), dtd_source =
+    Extract_xml.Sax.fold_document input ~init:() ~f:(fun () ev ->
+        match ev with
+        | Extract_xml.Sax.Start_element (name, attrs) ->
+          let id =
+            push_node ~is_element:true ~tag_id:(Interner.intern tags name)
+              ~parent_id:(current_parent ()) ~level:(level ()) ~text:""
+          in
+          stack := id :: !stack;
+          (* XML attributes -> leaf children *)
+          List.iter
+            (fun (aname, avalue) ->
+              let attr_id =
+                push_node ~is_element:true ~tag_id:(Interner.intern tags aname)
+                  ~parent_id:id ~level:(level ()) ~text:""
+              in
+              let _ =
+                push_node ~is_element:false ~tag_id:(-1) ~parent_id:attr_id
+                  ~level:(level () + 1) ~text:avalue
+              in
+              Arraylist.set size attr_id 2)
+            attrs
+        | Extract_xml.Sax.Text text ->
+          let _ =
+            push_node ~is_element:false ~tag_id:(-1) ~parent_id:(current_parent ())
+              ~level:(level ()) ~text
+          in
+          ()
+        | Extract_xml.Sax.End_element _ ->
+          (match !stack with
+          | id :: rest ->
+            Arraylist.set size id (Arraylist.length tag - id);
+            stack := rest
+          | [] -> assert false))
+  in
+  let dtd = Option.map Extract_xml.Dtd.parse dtd_source in
+  {
+    dtd;
+    dtd_source;
+    tags;
+    kinds = Bytes.of_string (Buffer.contents kind_buf);
+    tag = Arraylist.to_array tag;
+    parent = Arraylist.to_array parent;
+    depth = Arraylist.to_array depth;
+    size = Arraylist.to_array size;
+    texts = Arraylist.to_array texts;
+    element_count = !elements;
+  }
+
+let of_document (doc : Xml.document) =
+  let dtd =
+    match doc.dtd with
+    | Some subset -> Some (Extract_xml.Dtd.parse subset)
+    | None -> None
+  in
+  let t = of_xml ?dtd (Xml.Element doc.root) in
+  { t with dtd_source = doc.dtd }
+
+let load_string s = of_document (Extract_xml.Parser.parse_document s)
+
+let load_file path = of_document (Extract_xml.Parser.parse_file path)
+
+let dtd t = t.dtd
+
+let element_count t = t.element_count
+
+let root _ = 0
+
+let kind t n =
+  check t n;
+  if Bytes.get t.kinds n = '\000' then Element else Text
+
+let is_element t n =
+  check t n;
+  Bytes.get t.kinds n = '\000'
+
+let tag_id t n =
+  check t n;
+  let id = t.tag.(n) in
+  if id < 0 then invalid_arg (Printf.sprintf "Document.tag_id: node %d is a text node" n);
+  id
+
+let tag_name t n = Interner.name t.tags (tag_id t n)
+
+let tag_interner t = t.tags
+
+let tag_of_name t name = Interner.find t.tags name
+
+let text t n =
+  check t n;
+  if Bytes.get t.kinds n <> '\001' then
+    invalid_arg (Printf.sprintf "Document.text: node %d is an element" n);
+  t.texts.(n)
+
+let parent t n =
+  check t n;
+  let p = t.parent.(n) in
+  if p < 0 then None else Some p
+
+let parent_exn t n =
+  match parent t n with
+  | Some p -> p
+  | None -> invalid_arg "Document.parent_exn: the root has no parent"
+
+let depth t n =
+  check t n;
+  t.depth.(n)
+
+let subtree_size t n =
+  check t n;
+  t.size.(n)
+
+let subtree_last t n = n + subtree_size t n - 1
+
+let iter_children t n f =
+  check t n;
+  let stop = subtree_last t n in
+  let c = ref (n + 1) in
+  while !c <= stop do
+    f !c;
+    c := !c + t.size.(!c)
+  done
+
+let children t n =
+  let acc = ref [] in
+  iter_children t n (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let first_child t n =
+  check t n;
+  if t.size.(n) > 1 then Some (n + 1) else None
+
+let next_sibling t n =
+  check t n;
+  let p = t.parent.(n) in
+  if p < 0 then None
+  else begin
+    let candidate = n + t.size.(n) in
+    if candidate <= subtree_last t p then Some candidate else None
+  end
+
+let fold_subtree t n f acc =
+  check t n;
+  let acc = ref acc in
+  for i = n to subtree_last t n do
+    acc := f !acc i
+  done;
+  !acc
+
+let is_ancestor_or_self t ~anc ~desc =
+  check t anc;
+  check t desc;
+  anc <= desc && desc <= subtree_last t anc
+
+let is_ancestor t ~anc ~desc = anc <> desc && is_ancestor_or_self t ~anc ~desc
+
+let rec lca t a b =
+  if a = b then a
+  else if t.depth.(a) > t.depth.(b) then lca t t.parent.(a) b
+  else if t.depth.(b) > t.depth.(a) then lca t a t.parent.(b)
+  else lca t t.parent.(a) t.parent.(b)
+
+let lca t a b =
+  check t a;
+  check t b;
+  lca t a b
+
+let ancestors t n =
+  check t n;
+  let rec up acc n =
+    match t.parent.(n) with
+    | -1 -> List.rev acc
+    | p -> up (p :: acc) p
+  in
+  (* acc is pushed farthest-last, so the single reverse yields nearest
+     ancestor first. *)
+  up [] n
+
+let ancestor_at_depth t n d =
+  check t n;
+  if d < 0 || d > t.depth.(n) then
+    invalid_arg (Printf.sprintf "Document.ancestor_at_depth: depth %d vs node depth %d" d t.depth.(n));
+  let rec up n = if t.depth.(n) = d then n else up t.parent.(n) in
+  up n
+
+let immediate_text t n =
+  let buf = Buffer.create 16 in
+  iter_children t n (fun c ->
+      if Bytes.get t.kinds c = '\001' then Buffer.add_string buf t.texts.(c));
+  Buffer.contents buf
+
+let subtree_text t n =
+  check t n;
+  let buf = Buffer.create 32 in
+  for i = n to subtree_last t n do
+    if Bytes.get t.kinds i = '\001' then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf t.texts.(i)
+    end
+  done;
+  Buffer.contents buf
+
+let has_only_text_children t n =
+  check t n;
+  if t.size.(n) <= 1 then false
+  else begin
+    let ok = ref true and any = ref false in
+    iter_children t n (fun c ->
+        any := true;
+        if Bytes.get t.kinds c = '\000' then ok := false);
+    !any && !ok
+  end
+
+let rec to_xml t n =
+  check t n;
+  if Bytes.get t.kinds n = '\001' then Xml.Text t.texts.(n)
+  else begin
+    let kids = List.map (to_xml t) (children t n) in
+    Xml.Element { Xml.tag = tag_name t n; attrs = []; children = kids }
+  end
+
+let pp_node t ppf n =
+  check t n;
+  if Bytes.get t.kinds n = '\001' then Format.fprintf ppf "#%d text %S" n t.texts.(n)
+  else Format.fprintf ppf "#%d <%s> depth=%d size=%d" n (tag_name t n) t.depth.(n) t.size.(n)
+
+let dtd_source t =
+  match t.dtd_source, t.dtd with
+  | (Some _ as s), _ -> s
+  | None, Some dtd ->
+    let rendered = Format.asprintf "%a" Extract_xml.Dtd.pp dtd in
+    if rendered = "" then None else Some rendered
+  | None, None -> None
+
+module Internal = struct
+  type repr = {
+    dtd_source : string option;
+    tag_names : string array;
+    kinds : Bytes.t;
+    tag : int array;
+    parent : int array;
+    depth : int array;
+    size : int array;
+    texts : string array;
+    element_count : int;
+  }
+
+  let to_repr t =
+    let tag_names = Array.make (Interner.count t.tags) "" in
+    Interner.iter (fun id name -> tag_names.(id) <- name) t.tags;
+    {
+      dtd_source = dtd_source t;
+      tag_names;
+      kinds = t.kinds;
+      tag = t.tag;
+      parent = t.parent;
+      depth = t.depth;
+      size = t.size;
+      texts = t.texts;
+      element_count = t.element_count;
+    }
+
+  let of_repr (r : repr) =
+    let tags = Interner.create ~capacity:(Array.length r.tag_names) () in
+    Array.iter (fun name -> ignore (Interner.intern tags name)) r.tag_names;
+    let dtd = Option.map Extract_xml.Dtd.parse r.dtd_source in
+    {
+      dtd;
+      dtd_source = r.dtd_source;
+      tags;
+      kinds = r.kinds;
+      tag = r.tag;
+      parent = r.parent;
+      depth = r.depth;
+      size = r.size;
+      texts = r.texts;
+      element_count = r.element_count;
+    }
+end

@@ -1,0 +1,152 @@
+(** Column-oriented document arena.
+
+    A parsed XML tree is flattened into pre-order arrays. Node identifiers
+    are pre-order ranks (the root is node [0]); a subtree is the contiguous
+    id interval [[n, n + size n)], so ancestorship is an O(1) interval test.
+    This is the storage every search and snippet algorithm runs on.
+
+    XML attributes ([name="v"]) are converted into child leaf elements at
+    load time, unifying them with the paper's data model where an
+    "attribute" is an element with a single text child. *)
+
+type node = int
+(** Pre-order rank. *)
+
+type kind =
+  | Element
+  | Text
+
+type t
+
+val of_xml : ?dtd:Extract_xml.Dtd.t -> Extract_xml.Types.t -> t
+(** Flatten a tree. @raise Invalid_argument if the argument is a text
+    node. The DTD, when given, is carried for downstream classification. *)
+
+val of_document : Extract_xml.Types.document -> t
+(** Flatten a parsed document, parsing its internal DTD subset if any. *)
+
+val load_string : string -> t
+(** Parse and flatten, in one step (tree-building parser). *)
+
+val of_string_streaming : string -> t
+(** Build the arena in a single SAX pass, without materializing the
+    intermediate {!Extract_xml.Types.t} tree — same result as
+    {!load_string} (property-tested), lower peak memory on large inputs
+    (benchmark E15). *)
+
+val load_file : string -> t
+
+val dtd : t -> Extract_xml.Dtd.t option
+
+val dtd_source : t -> string option
+(** The DTD internal-subset text the document was loaded with (or a
+    re-rendering of the element declarations when only a parsed DTD was
+    supplied). Used by {!Persist}. *)
+
+(** {1 Size and structure} *)
+
+val node_count : t -> int
+
+val element_count : t -> int
+
+val root : t -> node
+(** Always [0]. *)
+
+val kind : t -> node -> kind
+
+val is_element : t -> node -> bool
+
+val tag_id : t -> node -> int
+(** Interned tag of an element. @raise Invalid_argument on a text node. *)
+
+val tag_name : t -> node -> string
+
+val tag_interner : t -> Extract_util.Interner.t
+
+val tag_of_name : t -> string -> int option
+(** Id of a tag name occurring in the document. *)
+
+val text : t -> node -> string
+(** Content of a text node. @raise Invalid_argument on an element. *)
+
+val parent : t -> node -> node option
+(** [None] for the root. *)
+
+val parent_exn : t -> node -> node
+
+val depth : t -> node -> int
+(** Root has depth 0. *)
+
+val subtree_size : t -> node -> int
+(** Number of nodes in the subtree, including [node] itself. *)
+
+val subtree_last : t -> node -> node
+(** Largest id in the subtree. *)
+
+val children : t -> node -> node list
+
+val first_child : t -> node -> node option
+
+val next_sibling : t -> node -> node option
+
+val iter_children : t -> node -> (node -> unit) -> unit
+
+val fold_subtree : t -> node -> ('a -> node -> 'a) -> 'a -> 'a
+(** Pre-order fold over the subtree, including the root. *)
+
+(** {1 Relations} *)
+
+val is_ancestor : t -> anc:node -> desc:node -> bool
+(** Proper ancestorship (a node is not its own ancestor). *)
+
+val is_ancestor_or_self : t -> anc:node -> desc:node -> bool
+
+val lca : t -> node -> node -> node
+(** Lowest common ancestor, O(depth). *)
+
+val ancestors : t -> node -> node list
+(** Strict ancestors, nearest first; [[]] for the root. *)
+
+val ancestor_at_depth : t -> node -> int -> node
+(** The unique ancestor-or-self at the given depth.
+    @raise Invalid_argument if the depth exceeds the node's depth. *)
+
+(** {1 Content} *)
+
+val immediate_text : t -> node -> string
+(** Concatenated direct text children of an element. *)
+
+val subtree_text : t -> node -> string
+(** All text in the subtree, document order, space-joined. *)
+
+val has_only_text_children : t -> node -> bool
+(** True when the element has at least one child and all children are text
+    nodes — the shape of a paper "attribute". *)
+
+val to_xml : t -> node -> Extract_xml.Types.t
+(** Rebuild the subtree as an XML tree (inverse of {!of_xml} up to
+    attribute conversion). *)
+
+val pp_node : t -> Format.formatter -> node -> unit
+(** One-line description, for debugging and error messages. *)
+
+(**/**)
+
+(** Internal representation access, for {!Persist} only. *)
+module Internal : sig
+  type repr = {
+    dtd_source : string option;
+    tag_names : string array;
+    kinds : Bytes.t;
+    tag : int array;
+    parent : int array;
+    depth : int array;
+    size : int array;
+    texts : string array;
+    element_count : int;
+  }
+
+  val to_repr : t -> repr
+
+  val of_repr : repr -> t
+end

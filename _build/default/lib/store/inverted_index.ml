@@ -1,0 +1,136 @@
+module Interner = Extract_util.Interner
+module Arraylist = Extract_util.Arraylist
+
+type t = {
+  doc : Document.t;
+  tokens : Interner.t;
+  postings : Document.node array array;    (* token id -> sorted element ids *)
+  tag_tokens : (int * int, unit) Hashtbl.t; (* (token id, tag id) membership *)
+}
+
+let build doc =
+  let tokens = Interner.create ~capacity:1024 () in
+  let lists : Document.node Arraylist.t Arraylist.t = Arraylist.create () in
+  let tag_tokens = Hashtbl.create 256 in
+  let posting_for tok =
+    let id = Interner.intern tokens tok in
+    while Arraylist.length lists <= id do
+      Arraylist.push lists (Arraylist.create ())
+    done;
+    id, Arraylist.get lists id
+  in
+  (* Nodes are visited in pre-order, so posting lists stay sorted; only
+     consecutive duplicates (same node, same token twice) need removing. *)
+  let add tok node =
+    let _, list = posting_for tok in
+    if Arraylist.is_empty list || Arraylist.last list <> node then Arraylist.push list node
+  in
+  for node = 0 to Document.node_count doc - 1 do
+    if Document.is_element doc node then
+      List.iter
+        (fun tok ->
+          let id, list = posting_for tok in
+          Hashtbl.replace tag_tokens (id, Document.tag_id doc node) ();
+          if Arraylist.is_empty list || Arraylist.last list <> node then
+            Arraylist.push list node)
+        (Tokenizer.tokens (Document.tag_name doc node))
+    else begin
+      match Document.parent doc node with
+      | Some p -> List.iter (fun tok -> add tok p) (Tokenizer.tokens (Document.text doc node))
+      | None -> ()
+    end
+  done;
+  let postings = Array.make (Arraylist.length lists) [||] in
+  Arraylist.iteri (fun i list -> postings.(i) <- Arraylist.to_array list) lists;
+  { doc; tokens; postings; tag_tokens }
+
+let document t = t.doc
+
+let token_count t = Interner.count t.tokens
+
+let postings_size t = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.postings
+
+let lookup t keyword =
+  match Interner.find t.tokens (Tokenizer.normalize keyword) with
+  | Some id -> t.postings.(id)
+  | None -> [||]
+
+let matches t keyword = Array.to_list (lookup t keyword)
+
+let contains t keyword = Array.length (lookup t keyword) > 0
+
+let vocabulary t =
+  let acc = ref [] in
+  Interner.iter (fun _ s -> acc := s :: !acc) t.tokens;
+  List.rev !acc
+
+let mem_sorted list node =
+  let rec search lo hi =
+    if lo > hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if list.(mid) = node then true
+      else if list.(mid) < node then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search 0 (Array.length list - 1)
+
+let match_kind t ~keyword ~node =
+  let tok = Tokenizer.normalize keyword in
+  match Interner.find t.tokens tok with
+  | None -> None
+  | Some id ->
+    if not (mem_sorted t.postings.(id) node) then None
+    else begin
+      let tag_match =
+        Document.is_element t.doc node && Hashtbl.mem t.tag_tokens (id, Document.tag_id t.doc node)
+        && List.mem tok (Tokenizer.tokens (Document.tag_name t.doc node))
+      in
+      let value_match = List.mem tok (Tokenizer.tokens (Document.immediate_text t.doc node)) in
+      match tag_match, value_match with
+      | true, true -> Some `Both
+      | false, true -> Some `Value
+      | true, false | false, false -> Some `Tag
+    end
+
+let complete t ?(limit = 10) prefix =
+  let prefix = Tokenizer.normalize prefix in
+  if prefix = "" then []
+  else begin
+    let out = ref [] in
+    Interner.iter
+      (fun id tok ->
+        if String.length tok >= String.length prefix
+           && String.sub tok 0 (String.length prefix) = prefix
+        then out := (tok, Array.length t.postings.(id)) :: !out)
+      t.tokens;
+    List.sort
+      (fun (ta, ca) (tb, cb) -> if ca <> cb then compare cb ca else compare ta tb)
+      !out
+    |> List.filteri (fun i _ -> i < limit)
+  end
+
+module Internal = struct
+  type repr = {
+    tokens : string array;
+    postings : Document.node array array;
+    tag_tokens : (int * int) array;
+  }
+
+  let to_repr (idx : t) =
+    let tokens = Array.make (Interner.count idx.tokens) "" in
+    Interner.iter (fun id s -> tokens.(id) <- s) idx.tokens;
+    let tag_tokens =
+      Hashtbl.fold (fun pair () acc -> pair :: acc) idx.tag_tokens []
+      |> List.sort compare |> Array.of_list
+    in
+    { tokens; postings = idx.postings; tag_tokens }
+
+  let of_repr ~doc (r : repr) =
+    let tokens = Interner.create ~capacity:(Array.length r.tokens) () in
+    Array.iter (fun s -> ignore (Interner.intern tokens s)) r.tokens;
+    let tag_tokens = Hashtbl.create (Array.length r.tag_tokens) in
+    Array.iter (fun pair -> Hashtbl.replace tag_tokens pair ()) r.tag_tokens;
+    { doc; tokens; postings = r.postings; tag_tokens }
+end

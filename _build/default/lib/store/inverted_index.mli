@@ -1,0 +1,53 @@
+(** Keyword inverted index — the paper's Index Builder (Fig. 4).
+
+    Maps each token to the sorted array of element nodes that match it. An
+    element matches a token when the token appears in the element's tag name
+    or in its direct text children. Postings are element ids in document
+    (pre-)order, deduplicated, which is exactly what the SLCA/ELCA merge
+    algorithms consume. *)
+
+type t
+
+val build : Document.t -> t
+
+val document : t -> Document.t
+
+val token_count : t -> int
+(** Distinct tokens. *)
+
+val postings_size : t -> int
+(** Total number of postings across all tokens (index "size"). *)
+
+val lookup : t -> string -> Document.node array
+(** [lookup t keyword] is the posting list for the normalized keyword —
+    the shared array, do not mutate. Empty when the keyword is absent. *)
+
+val matches : t -> string -> Document.node list
+
+val contains : t -> string -> bool
+
+val vocabulary : t -> string list
+(** All tokens, in first-indexed order. *)
+
+val match_kind : t -> keyword:string -> node:Document.node -> [ `Tag | `Value | `Both ] option
+(** How (and whether) a specific element matches the keyword. *)
+
+val complete : t -> ?limit:int -> string -> (string * int) list
+(** [complete t prefix] — indexed tokens starting with the (normalized)
+    prefix, with their posting counts, most frequent first ([limit]
+    defaults to 10). The demo UI's query-box suggestions. *)
+
+(**/**)
+
+(** Internal representation access, for {!Persist} only. *)
+module Internal : sig
+  type repr = {
+    tokens : string array;
+    postings : Document.node array array;
+    tag_tokens : (int * int) array;
+  }
+
+  val to_repr : t -> repr
+
+  val of_repr : doc:Document.t -> repr -> t
+end

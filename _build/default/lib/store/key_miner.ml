@@ -1,0 +1,118 @@
+type candidate = {
+  attribute : Dataguide.path;
+  coverage : float;
+  uniqueness : float;
+  strict : bool;
+}
+
+type t = {
+  kinds : Node_kind.t;
+  by_entity : (Dataguide.path, candidate list) Hashtbl.t;
+  key : (Dataguide.path, Dataguide.path) Hashtbl.t;        (* entity -> key attr, with fallback *)
+  strict_key : (Dataguide.path, Dataguide.path) Hashtbl.t; (* entity -> strict key attr *)
+}
+
+let preferred_names = [ "id"; "key"; "name"; "title" ]
+
+let preference_rank name =
+  let rec find i = function
+    | [] -> List.length preferred_names
+    | n :: rest -> if String.equal n name then i else find (i + 1) rest
+  in
+  find 0 preferred_names
+
+(* Attribute child paths of an entity path, in path (document) order. *)
+let attribute_children kinds entity =
+  let guide = Node_kind.dataguide kinds in
+  List.filter
+    (fun p ->
+      Node_kind.kind_of_path kinds p = Node_kind.Attribute
+      && Dataguide.parent_path guide p = Some entity)
+    (Dataguide.paths guide)
+
+let stats_for kinds entity attribute =
+  let guide = Node_kind.dataguide kinds in
+  let doc = Node_kind.document kinds in
+  let attr_tag = Dataguide.path_tag guide attribute in
+  let instances = Dataguide.instances guide entity in
+  let n = List.length instances in
+  let values = Hashtbl.create (max 16 n) in
+  let covered = ref 0 in
+  List.iter
+    (fun e ->
+      (* children of this entity instance on the attribute path *)
+      let hits = ref [] in
+      Document.iter_children doc e (fun c ->
+          if Document.is_element doc c && Document.tag_id doc c = attr_tag then
+            hits := c :: !hits);
+      match !hits with
+      | [ a ] ->
+        incr covered;
+        Hashtbl.replace values (Node_kind.attribute_value kinds a) ()
+      | _ -> ())
+    instances;
+  let coverage = if n = 0 then 0.0 else float_of_int !covered /. float_of_int n in
+  let uniqueness =
+    if !covered = 0 then 0.0
+    else float_of_int (Hashtbl.length values) /. float_of_int !covered
+  in
+  {
+    attribute;
+    coverage;
+    uniqueness;
+    strict = !covered = n && n > 0 && Hashtbl.length values = !covered;
+  }
+
+let better kinds a b =
+  (* true when a should rank before b *)
+  let guide = Node_kind.dataguide kinds in
+  let name p = Dataguide.path_tag_name guide p in
+  if a.strict <> b.strict then a.strict
+  else if a.uniqueness <> b.uniqueness then a.uniqueness > b.uniqueness
+  else if a.coverage <> b.coverage then a.coverage > b.coverage
+  else begin
+    let ra = preference_rank (name a.attribute) and rb = preference_rank (name b.attribute) in
+    if ra <> rb then ra < rb else a.attribute < b.attribute
+  end
+
+let mine kinds =
+  let by_entity = Hashtbl.create 16 in
+  let key = Hashtbl.create 16 in
+  let strict_key = Hashtbl.create 16 in
+  List.iter
+    (fun entity ->
+      let cands =
+        List.map (stats_for kinds entity) (attribute_children kinds entity)
+        |> List.sort (fun a b ->
+               if better kinds a b then -1 else if better kinds b a then 1 else 0)
+      in
+      Hashtbl.replace by_entity entity cands;
+      (match List.find_opt (fun c -> c.strict) cands with
+      | Some c -> Hashtbl.replace strict_key entity c.attribute
+      | None -> ());
+      match cands with
+      | best :: _ when best.strict -> Hashtbl.replace key entity best.attribute
+      | best :: _ when best.coverage >= 0.5 && best.uniqueness >= 0.5 ->
+        Hashtbl.replace key entity best.attribute
+      | _ -> ())
+    (Node_kind.entity_paths kinds);
+  { kinds; by_entity; key; strict_key }
+
+let key_path t entity = Hashtbl.find_opt t.key entity
+
+let strict_key_path t entity = Hashtbl.find_opt t.strict_key entity
+
+let candidates t entity = Option.value ~default:[] (Hashtbl.find_opt t.by_entity entity)
+
+let key_of_instance t e =
+  let guide = Node_kind.dataguide t.kinds in
+  let doc = Node_kind.document t.kinds in
+  match key_path t (Dataguide.path_of_node guide e) with
+  | None -> None
+  | Some key_attr ->
+    let attr_tag = Dataguide.path_tag guide key_attr in
+    let found = ref None in
+    Document.iter_children doc e (fun c ->
+        if !found = None && Document.is_element doc c && Document.tag_id doc c = attr_tag
+        then found := Some c);
+    Option.map (fun a -> a, Node_kind.attribute_value t.kinds a) !found

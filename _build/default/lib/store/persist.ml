@@ -1,0 +1,235 @@
+let magic = "XTRARENA"
+
+let version = 1
+
+let write_int_array w arr =
+  Codec.write_varint w (Array.length arr);
+  Array.iter (Codec.write_int w) arr
+
+let read_int_array r =
+  let n = Codec.read_varint r in
+  Array.init n (fun _ -> Codec.read_int r)
+
+let write_string_array w arr =
+  Codec.write_varint w (Array.length arr);
+  Array.iter (Codec.write_string w) arr
+
+let read_string_array r =
+  let n = Codec.read_varint r in
+  Array.init n (fun _ -> Codec.read_string r)
+
+let encode doc =
+  let repr = Document.Internal.to_repr doc in
+  let w = Codec.writer () in
+  Codec.write_string w magic;
+  Codec.write_varint w version;
+  (match repr.Document.Internal.dtd_source with
+  | None -> Codec.write_varint w 0
+  | Some s ->
+    Codec.write_varint w 1;
+    Codec.write_string w s);
+  write_string_array w repr.Document.Internal.tag_names;
+  Codec.write_bytes_raw w repr.Document.Internal.kinds;
+  write_int_array w repr.Document.Internal.tag;
+  write_int_array w repr.Document.Internal.parent;
+  write_int_array w repr.Document.Internal.depth;
+  write_int_array w repr.Document.Internal.size;
+  write_string_array w repr.Document.Internal.texts;
+  Codec.write_varint w repr.Document.Internal.element_count;
+  Codec.contents w
+
+let decode data =
+  let r = Codec.reader data in
+  let m = Codec.read_string r in
+  if m <> magic then raise (Codec.Corrupt (Printf.sprintf "bad magic %S" m));
+  let v = Codec.read_varint r in
+  if v <> version then raise (Codec.Corrupt (Printf.sprintf "unsupported version %d" v));
+  let dtd_source =
+    match Codec.read_varint r with
+    | 0 -> None
+    | 1 -> Some (Codec.read_string r)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "bad dtd flag %d" n))
+  in
+  let tag_names = read_string_array r in
+  let kinds = Codec.read_bytes_raw r in
+  let tag = read_int_array r in
+  let parent = read_int_array r in
+  let depth = read_int_array r in
+  let size = read_int_array r in
+  let texts = read_string_array r in
+  let element_count = Codec.read_varint r in
+  let node_count = Array.length tag in
+  if Bytes.length kinds <> node_count
+     || Array.length parent <> node_count
+     || Array.length depth <> node_count
+     || Array.length size <> node_count
+     || Array.length texts <> node_count
+  then raise (Codec.Corrupt "inconsistent array lengths");
+  if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes");
+  Document.Internal.of_repr
+    {
+      Document.Internal.dtd_source;
+      tag_names;
+      kinds;
+      tag;
+      parent;
+      depth;
+      size;
+      texts;
+      element_count;
+    }
+
+let save path doc =
+  let oc = open_out_bin path in
+  (try output_string oc (encode doc)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let data =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  decode data
+
+(* ------------------------------------------------------------------ *)
+(* Index persistence: posting lists are sorted and ascending, so they are
+   stored gap-encoded (first id, then deltas), each as a varint — the
+   classic inverted-file compression. *)
+
+let index_magic = "XTRINDEX"
+
+let encode_index index =
+  let repr = Inverted_index.Internal.to_repr index in
+  let w = Codec.writer () in
+  Codec.write_string w index_magic;
+  Codec.write_varint w version;
+  write_string_array w repr.Inverted_index.Internal.tokens;
+  Codec.write_varint w (Array.length repr.Inverted_index.Internal.postings);
+  Array.iter
+    (fun list ->
+      Codec.write_varint w (Array.length list);
+      let prev = ref 0 in
+      Array.iteri
+        (fun i node ->
+          if i = 0 then Codec.write_varint w node
+          else Codec.write_varint w (node - !prev);
+          prev := node)
+        list)
+    repr.Inverted_index.Internal.postings;
+  Codec.write_varint w (Array.length repr.Inverted_index.Internal.tag_tokens);
+  Array.iter
+    (fun (a, b) ->
+      Codec.write_varint w a;
+      Codec.write_varint w b)
+    repr.Inverted_index.Internal.tag_tokens;
+  Codec.contents w
+
+let decode_index ~doc data =
+  let r = Codec.reader data in
+  let m = Codec.read_string r in
+  if m <> index_magic then raise (Codec.Corrupt (Printf.sprintf "bad index magic %S" m));
+  let v = Codec.read_varint r in
+  if v <> version then raise (Codec.Corrupt (Printf.sprintf "unsupported index version %d" v));
+  let tokens = read_string_array r in
+  let n_lists = Codec.read_varint r in
+  let postings =
+    Array.init n_lists (fun _ ->
+        let len = Codec.read_varint r in
+        let out = Array.make len 0 in
+        let prev = ref 0 in
+        for i = 0 to len - 1 do
+          let v = Codec.read_varint r in
+          let node = if i = 0 then v else !prev + v in
+          out.(i) <- node;
+          prev := node
+        done;
+        out)
+  in
+  if Array.length tokens <> n_lists then
+    raise (Codec.Corrupt "token/postings arity mismatch");
+  let n_pairs = Codec.read_varint r in
+  let tag_tokens =
+    Array.init n_pairs (fun _ ->
+        let a = Codec.read_varint r in
+        let b = Codec.read_varint r in
+        a, b)
+  in
+  if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes after index");
+  Inverted_index.Internal.of_repr ~doc { Inverted_index.Internal.tokens; postings; tag_tokens }
+
+let save_index path index =
+  let oc = open_out_bin path in
+  (try output_string oc (encode_index index)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load_index path ~doc =
+  let ic = open_in_bin path in
+  let data =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  decode_index ~doc data
+
+(* ------------------------------------------------------------------ *)
+(* Bundles: arena + index in one file, each as a length-prefixed section
+   so either part can evolve independently. *)
+
+let bundle_magic = "XTRBUNDL"
+
+let encode_bundle doc index =
+  let w = Codec.writer () in
+  Codec.write_string w bundle_magic;
+  Codec.write_varint w version;
+  Codec.write_string w (encode doc);
+  Codec.write_string w (encode_index index);
+  Codec.contents w
+
+let decode_bundle data =
+  let r = Codec.reader data in
+  let m = Codec.read_string r in
+  if m <> bundle_magic then raise (Codec.Corrupt (Printf.sprintf "bad bundle magic %S" m));
+  let v = Codec.read_varint r in
+  if v <> version then raise (Codec.Corrupt (Printf.sprintf "unsupported bundle version %d" v));
+  let doc = decode (Codec.read_string r) in
+  let index = decode_index ~doc (Codec.read_string r) in
+  if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes after bundle");
+  doc, index
+
+let save_bundle path doc index =
+  let oc = open_out_bin path in
+  (try output_string oc (encode_bundle doc index)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load_bundle path =
+  let ic = open_in_bin path in
+  let data =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  decode_bundle data
+
+(* first bytes of any Persist file: a Codec string length then the magic;
+   used by the CLI to sniff file kinds *)
+let sniff_magic data =
+  match Codec.read_string (Codec.reader data) with
+  | magic -> Some magic
+  | exception Codec.Corrupt _ -> None

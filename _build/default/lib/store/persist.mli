@@ -1,0 +1,72 @@
+(** Binary persistence for document arenas.
+
+    The demo runs as a server: documents are analyzed and indexed once,
+    then queried many times. Persisting the flattened arena lets a process
+    restart skip XML parsing entirely (the benchmark's E7 companion
+    measures the speedup). The format is versioned and self-describing
+    (magic ["XTRARENA"], format version, then {!Codec} sections); the
+    inverted index and classification are cheap to rebuild and are not
+    stored.
+
+    Files are not portable across architectures with different [int]
+    widths (varints cap at 63 bits — every platform OCaml 5 supports). *)
+
+val magic : string
+
+val version : int
+
+val encode : Document.t -> string
+(** Serialize the arena to a byte string. *)
+
+val decode : string -> Document.t
+(** @raise Codec.Corrupt on malformed input, wrong magic or unsupported
+    version. *)
+
+val save : string -> Document.t -> unit
+(** Write to a file. @raise Sys_error on IO failure. *)
+
+val load : string -> Document.t
+(** Read from a file.
+    @raise Codec.Corrupt or [Sys_error] as appropriate. *)
+
+(** {1 Index persistence}
+
+    Posting lists are ascending node ids; they are stored gap-encoded
+    (first id, then deltas) as varints — the classic inverted-file
+    compression. An index file only makes sense next to the arena it was
+    built from: [load_index] takes that document and the caller is
+    responsible for pairing the right files (a mismatched pair yields
+    nonsense postings, though never a crash — lookups are bounds-checked
+    by the arena). *)
+
+val index_magic : string
+
+val encode_index : Inverted_index.t -> string
+
+val decode_index : doc:Document.t -> string -> Inverted_index.t
+(** @raise Codec.Corrupt on malformed input. *)
+
+val save_index : string -> Inverted_index.t -> unit
+
+val load_index : string -> doc:Document.t -> Inverted_index.t
+
+(** {1 Bundles}
+
+    An arena and its index in one file — what the demo server persists per
+    data set. *)
+
+val bundle_magic : string
+
+val encode_bundle : Document.t -> Inverted_index.t -> string
+
+val decode_bundle : string -> Document.t * Inverted_index.t
+(** @raise Codec.Corrupt on malformed input. *)
+
+val save_bundle : string -> Document.t -> Inverted_index.t -> unit
+
+val load_bundle : string -> Document.t * Inverted_index.t
+
+val sniff_magic : string -> string option
+(** The leading magic of any Persist-produced byte string ({!magic},
+    {!index_magic} or {!bundle_magic}), or [None] / an arbitrary string
+    for foreign data — used to dispatch file kinds. *)

@@ -1,0 +1,156 @@
+let vowels = [ 'a'; 'e'; 'i'; 'o'; 'u' ]
+
+let is_vowel word i =
+  let c = word.[i] in
+  List.mem c vowels || (c = 'y' && i > 0 && not (List.mem word.[i - 1] vowels))
+
+(* Porter's "measure": the number of vowel-consonant sequences. *)
+let measure word =
+  let n = String.length word in
+  let m = ref 0 in
+  let in_vowel_run = ref false in
+  for i = 0 to n - 1 do
+    if is_vowel word i then in_vowel_run := true
+    else if !in_vowel_run then begin
+      incr m;
+      in_vowel_run := false
+    end
+  done;
+  !m
+
+let contains_vowel word = String.length word > 0 && List.exists (fun i -> is_vowel word i) (List.init (String.length word) Fun.id)
+
+let ends_with word suffix =
+  let lw = String.length word and ls = String.length suffix in
+  lw >= ls && String.sub word (lw - ls) ls = suffix
+
+let chop word n = String.sub word 0 (String.length word - n)
+
+let replace_suffix word suffix replacement =
+  chop word (String.length suffix) ^ replacement
+
+(* try rules in order; a rule fires when the suffix matches and the guard
+   holds on the stem *)
+let try_rules word rules =
+  let rec loop = function
+    | [] -> None
+    | (suffix, replacement, guard) :: rest ->
+      if ends_with word suffix then begin
+        let stem = chop word (String.length suffix) in
+        if guard stem then Some (stem ^ replacement) else loop rest
+      end
+      else loop rest
+  in
+  loop rules
+
+let always _ = true
+
+let step_1a word =
+  match
+    try_rules word
+      [
+        "sses", "ss", always;
+        "ies", "i", always;
+        "ss", "ss", always;
+        "s", "", (fun stem -> String.length stem > 1);
+      ]
+  with
+  | Some w -> w
+  | None -> word
+
+let double_consonant word =
+  let n = String.length word in
+  n >= 2 && word.[n - 1] = word.[n - 2] && not (is_vowel word (n - 1))
+
+let step_1b word =
+  match
+    try_rules word [ "eed", "ee", (fun stem -> measure stem > 0) ]
+  with
+  | Some w -> w
+  | None -> begin
+    let stripped =
+      try_rules word
+        [ "ing", "", contains_vowel; "ed", "", contains_vowel ]
+    in
+    match stripped with
+    | None -> word
+    | Some w ->
+      if ends_with w "at" || ends_with w "bl" || ends_with w "iz" then w ^ "e"
+      else if double_consonant w && not (ends_with w "l" || ends_with w "s" || ends_with w "z")
+      then chop w 1
+      else w
+  end
+
+let step_1c word =
+  if ends_with word "y" && contains_vowel (chop word 1) then replace_suffix word "y" "i"
+  else word
+
+let m_positive stem = measure stem > 0
+
+let step_2_3 word =
+  match
+    try_rules word
+      [
+        "ization", "ize", m_positive;
+        "ational", "ate", m_positive;
+        "fulness", "ful", m_positive;
+        "ousness", "ous", m_positive;
+        "iveness", "ive", m_positive;
+        "tional", "tion", m_positive;
+        "biliti", "ble", m_positive;
+        "entli", "ent", m_positive;
+        "ousli", "ous", m_positive;
+        "alism", "al", m_positive;
+        "ation", "ate", m_positive;
+        "aliti", "al", m_positive;
+        "iviti", "ive", m_positive;
+        "ement", "", (fun stem -> measure stem > 1);
+        "alli", "al", m_positive;
+        "enci", "ence", m_positive;
+        "anci", "ance", m_positive;
+        "izer", "ize", m_positive;
+        "ator", "ate", m_positive;
+        "ical", "ic", m_positive;
+        "ness", "", m_positive;
+        "ful", "", m_positive;
+        "eli", "e", m_positive;
+      ]
+  with
+  | Some w -> w
+  | None -> word
+
+let step_5 word =
+  let word =
+    if ends_with word "e" && measure (chop word 1) > 1 then chop word 1 else word
+  in
+  if double_consonant word && ends_with word "l" && measure word > 1 then chop word 1
+  else word
+
+let stem token =
+  if String.length token < 3 then token
+  else
+    (* step_2_3 runs twice so chained derivational suffixes collapse
+       (hopefulness -> hopeful -> hope), mirroring Porter's separate
+       steps 2 and 3 *)
+    token |> step_1a |> step_1b |> step_1c |> step_2_3 |> step_2_3 |> step_5
+
+let stopwords =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun w -> Hashtbl.replace table w ())
+    [
+      "a"; "an"; "the"; "and"; "or"; "but"; "of"; "in"; "on"; "at"; "to"; "for"; "by";
+      "with"; "from"; "as"; "is"; "are"; "was"; "were"; "be"; "been"; "being"; "it";
+      "its"; "this"; "that"; "these"; "those"; "he"; "she"; "they"; "them"; "his";
+      "her"; "their"; "we"; "you"; "i"; "not"; "no"; "so"; "if"; "then"; "than";
+      "there"; "here"; "into"; "over"; "under"; "about"; "up"; "down"; "out"; "off";
+      "own"; "same"; "too"; "very"; "can"; "will"; "just"; "do"; "does"; "did"; "has";
+      "have"; "had"; "what"; "which"; "who"; "whom"; "when"; "where"; "why"; "how";
+      "all"; "any"; "both"; "each"; "few"; "more"; "most"; "other"; "some"; "such";
+    ];
+  table
+
+let is_stopword w = Hashtbl.mem stopwords w
+
+let normalize_tokens tokens =
+  tokens |> List.filter (fun t -> not (is_stopword t)) |> List.map stem

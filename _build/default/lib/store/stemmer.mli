@@ -1,0 +1,24 @@
+(** English suffix stripping (Porter-style, simplified) and a stopword
+    list — the usual text-IR normalization the text-snippet baseline and
+    the optional stemming index rely on.
+
+    The implementation covers Porter's steps 1a/1b (plural and participle
+    endings), the most productive derivational suffixes (-ization, -fulness,
+    -ousness, -iveness, -ational, …) and final -e/-y handling, with the
+    measure-based guards that keep short words intact ([sky] does not
+    become [ski]). It is intentionally not a certified Porter stemmer; the
+    property required by the search code is only that inflectional
+    variants of the dataset vocabularies collapse ("stores" → "store",
+    "fitting" → "fit"). *)
+
+val stem : string -> string
+(** Stem one lowercase token. Tokens shorter than 3 characters are
+    returned unchanged. *)
+
+val is_stopword : string -> bool
+(** Classic English stopword list (articles, pronouns, auxiliaries,
+    prepositions). *)
+
+val normalize_tokens : string list -> string list
+(** Drop stopwords, stem the rest — the full text-IR pipeline over
+    {!Tokenizer.tokens} output. *)

@@ -1,0 +1,21 @@
+let is_token_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || Char.code c >= 0x80
+
+let tokens s =
+  let acc = ref [] in
+  let buf = Buffer.create 12 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      acc := String.lowercase_ascii (Buffer.contents buf) :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_token_char c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !acc
+
+let normalize s =
+  match tokens s with
+  | [] -> ""
+  | toks -> String.concat "" toks

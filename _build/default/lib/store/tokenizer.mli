@@ -1,0 +1,13 @@
+(** Word tokenization for the inverted index and for keyword queries.
+
+    Tokens are maximal runs of ASCII letters and digits (bytes >= 0x80 are
+    treated as letters so UTF-8 words survive), lowercased. Both document
+    text and query keywords go through the same function, so matching is
+    case-insensitive by construction. *)
+
+val tokens : string -> string list
+(** Tokens in order of appearance, duplicates preserved. *)
+
+val normalize : string -> string
+(** Lowercase a single keyword (ASCII case folding). Returns [""] when the
+    keyword contains no token characters. *)

@@ -1,0 +1,1 @@
+lib/util/arraylist.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/util/interner.ml: Arraylist Hashtbl Printf

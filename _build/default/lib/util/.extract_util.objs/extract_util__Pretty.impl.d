@@ -1,0 +1,1 @@
+lib/util/pretty.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/util/table.ml: Array Arraylist Buffer List Printf String

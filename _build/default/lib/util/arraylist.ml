@@ -1,0 +1,97 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  ignore (max capacity 1);
+  (* The backing store is allocated lazily on first push because we have no
+     placeholder element of type ['a]; [capacity] is accepted for API
+     stability. *)
+  { data = [||]; len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Arraylist: index %d out of bounds [0,%d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let grow t x =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let data = Array.make new_cap x in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Arraylist.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let last t =
+  if t.len = 0 then invalid_arg "Arraylist.last: empty";
+  t.data.(t.len - 1)
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let map f t =
+  if t.len = 0 then { data = [||]; len = 0 }
+  else begin
+    let data = Array.make t.len (f t.data.(0)) in
+    for i = 0 to t.len - 1 do
+      data.(i) <- f t.data.(i)
+    done;
+    { data; len = t.len }
+  end
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_list t = Array.to_list (to_array t)
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

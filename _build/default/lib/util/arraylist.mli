@@ -1,0 +1,56 @@
+(** Growable arrays (amortized O(1) append), the workhorse buffer used when
+    building pre-order document arenas and inverted-index posting lists. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty array list. [capacity] pre-sizes the backing
+    store (default 16); it is a hint only. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is an array list of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th element. @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t i x] replaces the [i]-th element. @raise Invalid_argument if out
+    of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** [push t x] appends [x] at the end. *)
+
+val pop : 'a t -> 'a
+(** [pop t] removes and returns the last element.
+    @raise Invalid_argument on an empty array list. *)
+
+val last : 'a t -> 'a
+(** [last t] is the last element. @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+(** [clear t] removes all elements (keeps the backing store). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+(** [to_array t] is a fresh array with the elements of [t] in order. *)
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** [sort cmp t] sorts [t] in place. *)

@@ -1,0 +1,34 @@
+(** Bounded LRU cache.
+
+    The demo server answers repeated queries; caching (query, bound) →
+    rendered page keeps hot queries cheap. Plain association of hashable
+    keys to values with least-recently-used eviction; O(1) amortized per
+    operation (hash table + doubly linked list). Not thread-safe. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does not refresh recency. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; evicts the least recently used entry when full. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Cached call: on a miss, compute, insert, return. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val clear : ('k, 'v) t -> unit
+
+val stats : ('k, 'v) t -> int * int
+(** (hits, misses) since creation or [clear]. *)

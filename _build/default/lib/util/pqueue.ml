@@ -1,0 +1,72 @@
+(* Binary min-heap over (priority, sequence number, value). The sequence
+   number makes pops deterministic under priority ties. *)
+
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  heap : 'a entry Arraylist.t;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Arraylist.create (); next_seq = 0 }
+
+let length t = Arraylist.length t.heap
+
+let is_empty t = length t = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let x = Arraylist.get t.heap i and y = Arraylist.get t.heap j in
+  Arraylist.set t.heap i y;
+  Arraylist.set t.heap j x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Arraylist.get t.heap i) (Arraylist.get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = length t in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Arraylist.get t.heap l) (Arraylist.get t.heap !smallest) then
+    smallest := l;
+  if r < n && less (Arraylist.get t.heap r) (Arraylist.get t.heap !smallest) then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  Arraylist.push t.heap entry;
+  sift_up t (length t - 1)
+
+let min t =
+  if is_empty t then None
+  else
+    let e = Arraylist.get t.heap 0 in
+    Some (e.prio, e.value)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let top = Arraylist.get t.heap 0 in
+    let last = Arraylist.pop t.heap in
+    if not (is_empty t) then begin
+      Arraylist.set t.heap 0 last;
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear t =
+  Arraylist.clear t.heap;
+  t.next_seq <- 0

@@ -1,0 +1,25 @@
+(** Minimum priority queue (binary heap) with integer priorities.
+
+    Used by the greedy instance selector to repeatedly extract the candidate
+    instance with the smallest marginal edge cost. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:int -> 'a -> unit
+(** [add t ~prio x] inserts [x] with priority [prio]. *)
+
+val min : 'a t -> (int * 'a) option
+(** [min t] is the minimum-priority binding without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop t] removes and returns the minimum-priority binding. Ties are
+    broken by insertion order (earlier insertions first), making traversals
+    deterministic. *)
+
+val clear : 'a t -> unit

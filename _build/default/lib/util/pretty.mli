@@ -1,0 +1,27 @@
+(** ASCII tree rendering, used for snippets and result trees on the CLI. *)
+
+type tree = Node of string * tree list
+(** A labelled rose tree. *)
+
+val render : tree -> string
+(** Unicode box-drawing rendition, one node per line, no trailing
+    newline. Example:
+
+    {v
+    retailer
+    ├── name "Brook Brothers"
+    └── store
+        └── city "Houston"
+    v} *)
+
+val render_ascii : tree -> string
+(** Pure-ASCII variant ([|--], [`--]) for environments without UTF-8. *)
+
+val size : tree -> int
+(** Number of nodes. *)
+
+val edges : tree -> int
+(** Number of edges, i.e. [size t - 1]. *)
+
+val depth : tree -> int
+(** Length of the longest root-to-leaf path in edges; 0 for a leaf. *)

@@ -1,0 +1,56 @@
+(* splitmix64: tiny, fast, and statistically solid for data generation.
+   Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let int_in_range t ~min ~max =
+  if max < min then invalid_arg "Prng.int_in_range: max < min";
+  min + int t (max - min + 1)
+
+let float t bound =
+  let r = Int64.shift_right_logical (next_int64 t) 11 in
+  (* 53 random bits, the mantissa width of a double *)
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let x = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- x
+  done
+
+let sample t arr k =
+  let copy = Array.copy arr in
+  shuffle t copy;
+  let k = Stdlib.min k (Array.length copy) in
+  Array.to_list (Array.sub copy 0 k)

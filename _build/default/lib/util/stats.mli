@@ -1,0 +1,26 @@
+(** Descriptive statistics over float samples, for the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty sample. *)
+
+val mean : float array -> float
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for samples of size 1. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], nearest-rank on the sorted
+    sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/xml/content_model.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Content_model Format Hashtbl Lexer List Option Parser_literals Types

@@ -1,0 +1,1 @@
+lib/xml/dtd.mli: Content_model Format Types

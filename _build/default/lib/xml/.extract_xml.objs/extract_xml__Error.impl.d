@@ -1,0 +1,1 @@
+lib/xml/error.ml: Format Printexc

@@ -1,0 +1,1 @@
+lib/xml/lexer.ml: Char Error String

@@ -1,0 +1,1 @@
+lib/xml/lexer.mli: Error Format

@@ -1,0 +1,1 @@
+lib/xml/markup.ml: Buffer Char Lexer List String Types

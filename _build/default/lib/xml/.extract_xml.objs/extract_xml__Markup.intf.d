@@ -1,0 +1,1 @@
+lib/xml/markup.mli: Lexer Types

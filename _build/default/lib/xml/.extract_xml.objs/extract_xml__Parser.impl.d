@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Lexer List Markup Types

@@ -1,0 +1,1 @@
+lib/xml/parser_literals.ml: Lexer String

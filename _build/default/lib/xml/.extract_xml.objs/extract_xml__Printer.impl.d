@@ -1,0 +1,1 @@
+lib/xml/printer.ml: Buffer List String Types

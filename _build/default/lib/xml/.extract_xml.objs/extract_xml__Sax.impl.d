@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Lexer List Markup Types

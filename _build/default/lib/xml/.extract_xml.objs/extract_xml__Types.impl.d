@@ -1,0 +1,1 @@
+lib/xml/types.ml: Format List Stdlib String

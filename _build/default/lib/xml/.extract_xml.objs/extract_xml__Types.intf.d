@@ -1,0 +1,1 @@
+lib/xml/types.mli: Format

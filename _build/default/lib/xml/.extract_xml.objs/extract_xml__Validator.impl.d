@@ -1,0 +1,1 @@
+lib/xml/validator.ml: Content_model Dtd Format List String Types

@@ -1,0 +1,1 @@
+lib/xml/validator.mli: Content_model Dtd Format Types

@@ -1,0 +1,45 @@
+(** DTD internal-subset parser.
+
+    Parses [<!ELEMENT ...>] declarations into {!Content_model.t} and records
+    [<!ATTLIST ...>] declarations. [<!ENTITY ...>] and [<!NOTATION ...>]
+    declarations, comments and processing instructions are skipped.
+    Parameter-entity references are rejected (the synthetic datasets and the
+    demo datasets do not use them).
+
+    The classifier in {!Extract_store.Node_kind} consults
+    {!is_star_child}; when a document has no DTD the same question is
+    answered from the data by {!Extract_store.Schema_infer}. *)
+
+type attribute_decl = {
+  att_name : string;
+  att_type : string;   (** e.g. [CDATA], [ID], [(a|b)] — kept verbatim *)
+  att_default : string; (** e.g. [#REQUIRED], [#IMPLIED], or a literal *)
+}
+
+type t
+
+val empty : t
+(** A DTD declaring nothing ([element_model] is always [None]). *)
+
+val parse : string -> t
+(** Parse an internal subset (the text between [\[] and [\]] of a DOCTYPE).
+    @raise Error.Parse_error on malformed declarations. *)
+
+val of_document : Types.document -> t
+(** [parse] applied to the document's captured subset, or {!empty}. *)
+
+val element_names : t -> string list
+(** Declared element names, in declaration order. *)
+
+val element_model : t -> string -> Content_model.t option
+
+val attributes : t -> string -> attribute_decl list
+(** Declared XML attributes of an element (empty when undeclared). *)
+
+val is_star_child : t -> parent:string -> child:string -> bool option
+(** [Some b] when [parent] is declared, where [b] tells whether [child] may
+    occur more than once under it; [None] when [parent] has no
+    declaration. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the subset back in DTD syntax (element declarations only). *)

@@ -1,0 +1,163 @@
+let resolve_named_entity lx name =
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ -> Lexer.fail lx "unknown entity &%s; (custom general entities are not supported)" name
+
+(* Encode a Unicode scalar value as UTF-8 bytes. *)
+let utf8_encode lx code =
+  let buf = Buffer.create 4 in
+  if code < 0 then Lexer.fail lx "negative character reference"
+  else if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code <= 0x10FFFF then begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else Lexer.fail lx "character reference out of Unicode range: %d" code;
+  Buffer.contents buf
+
+let parse_reference lx =
+  if Lexer.eat lx "#x" || Lexer.eat lx "#X" then begin
+    let digits = Lexer.take_while lx (function
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+      | _ -> false)
+    in
+    if digits = "" then Lexer.fail lx "empty hexadecimal character reference";
+    Lexer.expect lx ";";
+    utf8_encode lx (int_of_string ("0x" ^ digits))
+  end
+  else if Lexer.eat lx "#" then begin
+    let digits = Lexer.take_while lx (function '0' .. '9' -> true | _ -> false) in
+    if digits = "" then Lexer.fail lx "empty character reference";
+    Lexer.expect lx ";";
+    utf8_encode lx (int_of_string digits)
+  end
+  else begin
+    let name = Lexer.take_name lx in
+    Lexer.expect lx ";";
+    resolve_named_entity lx name
+  end
+
+let parse_attr_value lx =
+  let quote =
+    match Lexer.peek lx with
+    | Some ('"' as q) | Some ('\'' as q) ->
+      Lexer.advance lx;
+      q
+    | _ -> Lexer.fail lx "expected a quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match Lexer.peek lx with
+    | None -> Lexer.fail lx "unterminated attribute value"
+    | Some c when c = quote -> Lexer.advance lx
+    | Some '<' -> Lexer.fail lx "'<' is not allowed in attribute values"
+    | Some '&' ->
+      Lexer.advance lx;
+      Buffer.add_string buf (parse_reference lx);
+      loop ()
+    | Some c ->
+      Lexer.advance lx;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attributes lx =
+  let rec loop acc =
+    Lexer.skip_whitespace lx;
+    match Lexer.peek lx with
+    | Some c when Lexer.is_name_start c ->
+      let name = Lexer.take_name lx in
+      Lexer.skip_whitespace lx;
+      Lexer.expect lx "=";
+      Lexer.skip_whitespace lx;
+      let value = parse_attr_value lx in
+      if List.exists (fun (a : Types.attribute) -> a.name = name) acc then
+        Lexer.fail lx "duplicate attribute %S" name;
+      loop ({ Types.name; value } :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let is_blank s = String.for_all (function ' ' | '\t' | '\r' | '\n' -> true | _ -> false) s
+
+let skip_comment lx =
+  let _ = Lexer.take_until lx "--" in
+  Lexer.expect lx "--";
+  if not (Lexer.eat lx ">") then Lexer.fail lx "'--' is not allowed inside comments"
+
+let skip_pi lx =
+  let _ = Lexer.take_until lx "?>" in
+  Lexer.expect lx "?>"
+
+(* [<!DOCTYPE name SYSTEM "..." [subset]>]; we capture the bracketed
+   internal subset verbatim and ignore external identifiers. *)
+let parse_doctype lx =
+  Lexer.expect_whitespace lx;
+  let _name = Lexer.take_name lx in
+  Lexer.skip_whitespace lx;
+  if Lexer.eat lx "SYSTEM" then begin
+    Lexer.skip_whitespace lx;
+    let _ = parse_attr_value lx in
+    Lexer.skip_whitespace lx
+  end
+  else if Lexer.eat lx "PUBLIC" then begin
+    Lexer.skip_whitespace lx;
+    let _ = parse_attr_value lx in
+    Lexer.skip_whitespace lx;
+    let _ = parse_attr_value lx in
+    Lexer.skip_whitespace lx
+  end;
+  let subset =
+    if Lexer.eat lx "[" then begin
+      let s = Lexer.take_until lx "]" in
+      Lexer.expect lx "]";
+      Lexer.skip_whitespace lx;
+      Some s
+    end
+    else None
+  in
+  Lexer.expect lx ">";
+  subset
+
+let skip_misc lx =
+  let rec loop () =
+    Lexer.skip_whitespace lx;
+    if Lexer.eat lx "<!--" then begin
+      skip_comment lx;
+      loop ()
+    end
+    else if Lexer.looking_at lx "<?" && not (Lexer.looking_at lx "<?xml ") then begin
+      Lexer.expect lx "<?";
+      skip_pi lx;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_prolog lx =
+  let _ = Lexer.eat lx "\xEF\xBB\xBF" in
+  if Lexer.looking_at lx "<?xml " || Lexer.looking_at lx "<?xml?" then begin
+    Lexer.expect lx "<?";
+    skip_pi lx
+  end;
+  skip_misc lx;
+  let dtd = if Lexer.eat lx "<!DOCTYPE" then parse_doctype lx else None in
+  skip_misc lx;
+  dtd

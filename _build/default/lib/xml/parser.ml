@@ -1,0 +1,92 @@
+let rec parse_element lx ~keep_whitespace =
+  (* after '<' *)
+  let tag = Lexer.take_name lx in
+  let attrs = Markup.parse_attributes lx in
+  Lexer.skip_whitespace lx;
+  if Lexer.eat lx "/>" then { Types.tag; attrs; children = [] }
+  else begin
+    Lexer.expect lx ">";
+    let children = parse_content lx ~keep_whitespace ~parent:tag in
+    { Types.tag; attrs; children }
+  end
+
+and parse_content lx ~keep_whitespace ~parent =
+  let children = ref [] in
+  let text_buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      let s = Buffer.contents text_buf in
+      Buffer.clear text_buf;
+      if keep_whitespace || not (Markup.is_blank s) then children := Types.Text s :: !children
+    end
+  in
+  let rec loop () =
+    match Lexer.peek lx with
+    | None -> Lexer.fail lx "unterminated element <%s>" parent
+    | Some '<' ->
+      if Lexer.looking_at lx "</" then begin
+        flush_text ();
+        Lexer.expect lx "</";
+        let close = Lexer.take_name lx in
+        Lexer.skip_whitespace lx;
+        Lexer.expect lx ">";
+        if close <> parent then
+          Lexer.fail lx "mismatched closing tag: expected </%s>, found </%s>" parent close
+      end
+      else if Lexer.eat lx "<!--" then begin
+        Markup.skip_comment lx;
+        loop ()
+      end
+      else if Lexer.eat lx "<![CDATA[" then begin
+        let data = Lexer.take_until lx "]]>" in
+        Lexer.expect lx "]]>";
+        Buffer.add_string text_buf data;
+        loop ()
+      end
+      else if Lexer.eat lx "<?" then begin
+        Markup.skip_pi lx;
+        loop ()
+      end
+      else begin
+        flush_text ();
+        Lexer.expect lx "<";
+        let e = parse_element lx ~keep_whitespace in
+        children := Types.Element e :: !children;
+        loop ()
+      end
+    | Some '&' ->
+      Lexer.advance lx;
+      Buffer.add_string text_buf (Markup.parse_reference lx);
+      loop ()
+    | Some c ->
+      Lexer.advance lx;
+      Buffer.add_char text_buf c;
+      loop ()
+  in
+  loop ();
+  List.rev !children
+
+let parse_document ?(keep_whitespace = false) input =
+  let lx = Lexer.of_string input in
+  let dtd = Markup.parse_prolog lx in
+  Lexer.expect lx "<";
+  (match Lexer.peek lx with
+  | Some c when Lexer.is_name_start c -> ()
+  | _ -> Lexer.fail lx "expected the root element");
+  let root = parse_element lx ~keep_whitespace in
+  Markup.skip_misc lx;
+  if not (Lexer.at_end lx) then Lexer.fail lx "trailing content after the root element";
+  { Types.dtd; root }
+
+let parse ?keep_whitespace input = Types.Element (parse_document ?keep_whitespace input).root
+
+let parse_file ?keep_whitespace path =
+  let ic = open_in_bin path in
+  let content =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  parse_document ?keep_whitespace content

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the XML 1.0 subset used by eXtract.
+
+    Supported: prolog, [<!DOCTYPE name [internal subset]>] (the subset is
+    captured verbatim for {!Dtd.parse}), elements, attributes with single or
+    double quotes, character data, CDATA sections, comments, processing
+    instructions, character references ([&#10;], [&#x0A;]) and the five
+    predefined entities. Not supported (rejected with a parse error rather
+    than mis-parsed): external DTD content, parameter entities in content,
+    and custom general entities.
+
+    Whitespace-only text between elements is dropped by default, matching
+    how data-centric XML databases load documents; pass
+    [~keep_whitespace:true] to retain it. Adjacent text/CDATA runs are
+    merged into one {!Types.Text} node. *)
+
+val parse_document : ?keep_whitespace:bool -> string -> Types.document
+(** Parse a complete document. @raise Error.Parse_error on malformed
+    input. *)
+
+val parse : ?keep_whitespace:bool -> string -> Types.t
+(** Parse and return just the root element (as a {!Types.Element}). *)
+
+val parse_file : ?keep_whitespace:bool -> string -> Types.document
+(** Read a file and parse it. @raise Sys_error on IO failure. *)

@@ -1,0 +1,8 @@
+let quoted lx =
+  match Lexer.peek lx with
+  | Some ('"' as q) | Some ('\'' as q) ->
+    Lexer.advance lx;
+    let body = Lexer.take_until lx (String.make 1 q) in
+    Lexer.expect lx (String.make 1 q);
+    body
+  | _ -> Lexer.fail lx "expected a quoted literal"

@@ -1,0 +1,6 @@
+(** Shared literal readers for the XML and DTD parsers. *)
+
+val quoted : Lexer.t -> string
+(** Read a single- or double-quoted literal, verbatim (no reference
+    expansion — DTD default values are stored as written).
+    @raise Error.Parse_error if the input does not start with a quote. *)

@@ -1,0 +1,26 @@
+(** XML serialization. Round-trips with {!Parser}: for any tree [t],
+    [Parser.parse (to_string t)] is structurally equal to [t] (up to the
+    parser's whitespace policy — use [~indent:None] for exact
+    round-trips). *)
+
+val escape_text : string -> string
+(** Escape [&], [<] and [>] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and both quote characters for
+    attribute values. *)
+
+val to_string : ?indent:int option -> Types.t -> string
+(** Serialize a tree. [indent] is the indentation step: [Some 2] (default)
+    pretty-prints with 2-space indentation and newlines — safe for
+    data-centric XML where elements contain either text or elements, not
+    both; [None] emits everything on one line with no inserted
+    whitespace. *)
+
+val document_to_string : ?indent:int option -> ?dtd:string -> Types.document -> string
+(** Serialize a full document with an XML declaration, and a DOCTYPE when
+    the document carries an internal subset (or [dtd] is given). *)
+
+val to_channel : out_channel -> ?indent:int option -> Types.t -> unit
+
+val write_file : string -> ?indent:int option -> Types.document -> unit

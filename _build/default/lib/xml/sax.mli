@@ -1,0 +1,40 @@
+(** Streaming (SAX-style) XML parsing.
+
+    [fold] walks the document and hands events to a callback without ever
+    building a {!Types.t} tree — the store uses it to construct its arena
+    in one pass ({!Extract_store.Document.of_string_streaming}), halving
+    peak memory on large inputs (benchmark E15).
+
+    Same dialect as {!Parser} (same prolog/DOCTYPE/CDATA/reference
+    handling, same whitespace policy), and the two are property-tested to
+    agree: folding {!event}s and rebuilding a tree equals [Parser.parse].
+
+    Text is reported after reference expansion and adjacent-run merging,
+    exactly like the tree parser; XML attributes are delivered with the
+    start-element event in document order. *)
+
+type event =
+  | Start_element of string * (string * string) list
+      (** tag, attributes (name, value) *)
+  | Text of string
+  | End_element of string
+
+val fold :
+  ?keep_whitespace:bool -> string -> init:'acc -> f:('acc -> event -> 'acc) -> 'acc
+(** Run the callback over the document's events. The DOCTYPE internal
+    subset is skipped (use {!Parser.parse_document} when you need the
+    DTD). @raise Error.Parse_error on malformed input. *)
+
+val fold_document :
+  ?keep_whitespace:bool ->
+  string ->
+  init:'acc ->
+  f:('acc -> event -> 'acc) ->
+  'acc * string option
+(** Like {!fold} but also returns the DOCTYPE internal subset, if any. *)
+
+val events : ?keep_whitespace:bool -> string -> event list
+(** All events, in order (convenience for tests). *)
+
+val count_elements : string -> int
+(** Number of elements, without building anything. *)

@@ -1,0 +1,67 @@
+(** Parsed XML documents as ordinary trees.
+
+    This is the exchange representation between the parser, the dataset
+    generators, and the column-oriented arena ({!Extract_store.Document})
+    that the search and snippet algorithms actually run on. *)
+
+type attribute = { name : string; value : string }
+
+type t =
+  | Element of element
+  | Text of string
+      (** Character data. The parser collapses adjacent text and CDATA runs
+          into a single [Text] node and drops whitespace-only runs between
+          elements. *)
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : t list;
+}
+
+type document = {
+  dtd : string option;
+      (** Raw internal DTD subset from [<!DOCTYPE name [ ... ]>], if any,
+          ready for {!Dtd.parse}. *)
+  root : element;
+}
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+(** [element tag children] builds an element node. *)
+
+val text : string -> t
+
+val leaf : string -> string -> t
+(** [leaf tag value] is [element tag [text value]] — the shape of an XML
+    "attribute" in the entity/attribute/connection sense of the paper. *)
+
+val tag : t -> string option
+(** [tag n] is the element tag, or [None] for text nodes. *)
+
+val child_elements : element -> element list
+
+val find_child : element -> string -> element option
+(** First child element with the given tag. *)
+
+val find_children : element -> string -> element list
+
+val text_content : t -> string
+(** Concatenation of all text in the subtree, in document order. *)
+
+val immediate_text : element -> string
+(** Concatenation of the element's direct text children only. *)
+
+val attr : element -> string -> string option
+
+val count_nodes : t -> int
+(** Elements and text nodes in the subtree, including the root. *)
+
+val count_elements : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (single line, not escaping-complete; use
+    {!Printer.to_string} for serialization). *)

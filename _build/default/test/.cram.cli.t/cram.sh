@@ -1,0 +1,19 @@
+  $ extract gen paper -o paper.xml
+  $ extract stats paper.xml | head -5
+  $ extract search paper.xml "Texas apparel retailer"
+  $ extract snippet paper.xml "store texas" -b 6 -n 1
+  $ extract explain paper.xml "Texas apparel retailer" | head -15
+  $ extract view paper.xml '/retailers/retailer[2]/name'
+  $ extract view paper.xml '//store[city="Austin"]' | head -5
+  $ extract save paper.xml paper.arena
+  $ extract search paper.arena "Texas apparel retailer"
+  $ extract search paper.xml "outwear woman" --ranked -n 2 | head -3
+  $ extract demo paper.xml "store texas" -b 6 -n 2 -o out.html
+  $ grep -c snippet out.html
+  $ extract search paper.xml "store texas" -e slca | head -2
+  $ extract search paper.xml "store texas" -e xsearch | head -2
+  $ extract view paper.xml 'not-a-path'
+  $ extract search paper.xml "no such tokens anywhere"
+  $ extract gen courses -o courses.xml
+  $ extract snippet courses.xml "cs databases course" -b 6 -n 1 | head -11
+  $ extract search paper.xml "store texas zzzz" --relax -n 1

@@ -1,0 +1,7 @@
+  $ extract gen movies -o movies.xml
+  $ extract search movies.xml "drama movie" --ranked -n 3
+  $ extract snippet movies.xml "documentary movie" -b 5 -n 1 --order biased
+  $ extract snippet movies.xml "drama movie" -b 5 -n 1 --differentiate
+  $ extract explain movies.xml "documentary meridian" -n 1 | head -8
+  $ extract demo movies.xml "drama movie" -b 5 -n 3 -o movies.html
+  $ grep -c "class=\"snippet\"" movies.html

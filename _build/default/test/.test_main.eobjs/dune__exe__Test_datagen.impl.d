@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Extract_datagen Extract_search Extract_snippet Extract_store Extract_util Extract_xml Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Extract_datagen Extract_search Extract_snippet Extract_store List Pipeline Printf Selector Snippet_tree String

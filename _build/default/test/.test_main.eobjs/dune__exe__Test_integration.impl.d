@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Extract_datagen Extract_search Extract_snippet Extract_store Extract_xml Filename Lazy List Printf String Sys

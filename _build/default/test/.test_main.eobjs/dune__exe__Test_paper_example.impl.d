@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Extract_datagen Extract_search Extract_snippet Extract_store Feature Ilist Lazy List Option Pipeline Printf Result_key Return_entity Selector Snippet_tree

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Extract_datagen Extract_search Extract_snippet Extract_store Extract_xml Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Elca Engine Extract_search Extract_store Extract_xml Lca List Printf Query Result_tree Slca String Xseek

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Buffer Bytes Extract_datagen Extract_server Extract_snippet Extract_store Extract_util Extract_xml List Option Printf String Unix

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Dataguide Dewey Doc_stats Document Extract_store Inverted_index Key_miner List Node_kind Option Printf Schema_infer Tokenizer

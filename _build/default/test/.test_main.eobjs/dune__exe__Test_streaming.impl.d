@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Extract_datagen Extract_snippet Extract_store Extract_xml List Printf

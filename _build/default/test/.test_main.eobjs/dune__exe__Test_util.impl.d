@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Arraylist Extract_util Fun Interner List Pqueue Pretty Prng Stats String Table Zipf

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array Corpus Extract_datagen Extract_snippet Extract_store Extract_xml Format List Option Pipeline Printf String

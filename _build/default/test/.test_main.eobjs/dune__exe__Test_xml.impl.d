@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Content_model Dtd Error Extract_xml List Option Parser Printer Printf String Types

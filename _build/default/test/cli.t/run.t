@@ -1,0 +1,139 @@
+The extract CLI, end to end on the paper's running example.
+
+Generate the Figure 1 dataset:
+
+  $ extract gen paper -o paper.xml
+  wrote paper.xml
+
+Dataset statistics (the Data Analyzer's view):
+
+  $ extract stats paper.xml | head -5
+  nodes: 7350 (elements 4226, text 3124)
+  tags: 12, paths: 13, max depth: 6
+  entity paths: 3 (1089 instances)
+  attribute paths: 8 (3124 instances)
+  connection paths: 2
+
+Search returns one result for the paper's query:
+
+  $ extract search paper.xml "Texas apparel retailer"
+  1 result(s)
+   1. <retailer> (7295 nodes)
+
+The Fig. 5 interaction — query "store texas" with a 6-edge bound:
+
+  $ extract snippet paper.xml "store texas" -b 6 -n 1
+  1 result(s) for "store texas", bound 6 edges
+  
+  --- result 1 -------------------------------------
+  store
+  ├── name "Galleria"
+  ├── state "Texas"
+  └── merchandises
+      └── clothes
+          ├── category "outwear"
+          └── fitting "man"
+  (6/10 IList items, 6 edges)
+  
+
+
+
+The Fig. 3 IList with scores:
+
+  $ extract explain paper.xml "Texas apparel retailer" | head -15
+  --- result 1: IList -------------------------------
+   0. keyword  texas                                              10 instance(s)
+   1. keyword  apparel                                            1 instance(s)
+   2. keyword  retailer                                           1 instance(s)
+   3. entity   clothes                                            1070 instance(s)
+   4. entity   store                                              10 instance(s)
+   5. key      Brook Brothers                                     1 instance(s)
+   6. feature  (store, city, Houston) DS=3.00 (N=6/10 D=5)        6 instance(s)
+   7. feature  (clothes, category, outwear) DS=2.26 (N=220/1070 D=11) 220 instance(s)
+   8. feature  (clothes, fitting, man) DS=1.80 (N=600/1000 D=3)   600 instance(s)
+   9. feature  (clothes, situation, casual) DS=1.40 (N=700/1000 D=2) 700 instance(s)
+  10. feature  (clothes, category, suit) DS=1.23 (N=120/1070 D=11) 120 instance(s)
+  11. feature  (clothes, fitting, woman) DS=1.08 (N=360/1000 D=3) 360 instance(s)
+  
+
+XPath-lite views into the data:
+
+  $ extract view paper.xml '/retailers/retailer[2]/name'
+  1 match(es)
+  --- match 1 ---
+  <name>Levis</name>
+
+  $ extract view paper.xml '//store[city="Austin"]' | head -5
+  1 match(es)
+  --- match 1 ---
+  <store>
+    <name>Uptown</name>
+    <state>Texas</state>
+
+Binary persistence round trip: save the arena, query it directly:
+
+  $ extract save paper.xml paper.arena
+  wrote paper.arena (7350 nodes, 65 tokens)
+
+  $ extract search paper.arena "Texas apparel retailer"
+  1 result(s)
+   1. <retailer> (7295 nodes)
+
+Ranked search orders specific results first:
+
+  $ extract search paper.xml "outwear woman" --ranked -n 2 | head -3
+  11 result(s)
+   1. <store> (729 nodes)  score=14.360
+   2. <store> (729 nodes)  score=14.360
+
+The HTML demo page (Fig. 5):
+
+  $ extract demo paper.xml "store texas" -b 6 -n 2 -o out.html
+  wrote out.html (2 results)
+
+  $ grep -c snippet out.html
+  2
+
+Engines are swappable (orthogonality):
+
+  $ extract search paper.xml "store texas" -e slca | head -2
+  10 result(s)
+   1. <store> (729 nodes)
+
+  $ extract search paper.xml "store texas" -e xsearch | head -2
+  10 result(s)
+   1. <store> (729 nodes)
+
+Errors are reported, not crashes:
+
+  $ extract view paper.xml 'not-a-path'
+  Path_query: a path must start with '/'
+  [1]
+
+  $ extract search paper.xml "no such tokens anywhere"
+  0 result(s)
+
+The WSU-flavoured course dataset (companion-paper evaluation corpus):
+
+  $ extract gen courses -o courses.xml
+  wrote courses.xml
+
+  $ extract snippet courses.xml "cs databases course" -b 6 -n 1 | head -11
+  1 result(s) for "cs databases course", bound 6 edges
+  
+  --- result 1 -------------------------------------
+  course
+  ├── code "CS-156-56"
+  ├── crs "156"
+  ├── title "Databases"
+  ├── credit "3"
+  └── sessions
+      └── session
+  (7/11 IList items, 6 edges)
+
+Relaxed search drops unmatched keywords instead of returning nothing:
+
+  $ extract search paper.xml "store texas zzzz" --relax -n 1
+  (relaxed: dropped zzzz)
+  10 result(s)
+   1. <store> (729 nodes)

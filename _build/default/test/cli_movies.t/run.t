@@ -1,0 +1,53 @@
+The CLI on the movies dataset: ranked search, biased and differentiated
+snippet orderings, and the HTML demo page.
+
+  $ extract gen movies -o movies.xml
+  wrote movies.xml
+
+  $ extract search movies.xml "drama movie" --ranked -n 3
+  23 result(s)
+   1. <movie> (37 nodes)  score=13.980
+   2. <movie> (37 nodes)  score=13.980
+   3. <movie> (37 nodes)  score=13.980
+
+  $ extract snippet movies.xml "documentary movie" -b 5 -n 1 --order biased
+  1 result(s) for "documentary movie", bound 5 edges
+  
+  --- result 1 -------------------------------------
+  movie
+  ├── genre "documentary"
+  ├── cast
+  │   └── actor "Noor Johnson"
+  └── reviews
+      └── review
+  (4/9 IList items, 5 edges)
+  
+
+  $ extract snippet movies.xml "drama movie" -b 5 -n 1 --differentiate
+  1 result(s) for "drama movie", bound 5 edges
+  
+  --- result 1 -------------------------------------
+  movie
+  ├── genre "drama"
+  ├── cast
+  │   └── actor "Jessica Chen"
+  └── reviews
+      └── review
+  (4/9 IList items, 5 edges)
+  
+
+  $ extract explain movies.xml "documentary meridian" -n 1 | head -8
+  --- result 1: IList -------------------------------
+   0. keyword  documentary                                        1 instance(s)
+   1. keyword  meridian                                           1 instance(s)
+   2. entity   actor                                              4 instance(s)
+   3. entity   review                                             2 instance(s)
+   4. entity   movie                                              1 instance(s)
+   5. key      The Burning Summer-56                              1 instance(s)
+   6. feature  (movie, year, 1974) DS=1.00 (N=1/1 D=1)            1 instance(s)
+
+  $ extract demo movies.xml "drama movie" -b 5 -n 3 -o movies.html
+  wrote movies.html (3 results)
+
+  $ grep -c "class=\"snippet\"" movies.html
+  1

@@ -1,0 +1,8 @@
+(* Aggregated alcotest runner: every suite from every library, plus the
+   paper regression, integration tests and qcheck properties. *)
+
+let () =
+  Alcotest.run "extract"
+    (Test_util.suites @ Test_xml.suites @ Test_store.suites @ Test_search.suites
+   @ Test_snippet.suites @ Test_paper_example.suites @ Test_extensions.suites
+   @ Test_validation.suites @ Test_streaming.suites @ Test_server.suites @ Test_edge_cases.suites @ Test_datagen.suites @ Test_integration.suites @ Test_properties.suites)

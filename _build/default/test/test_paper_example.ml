@@ -1,0 +1,397 @@
+(* Regression tests against the paper itself: the running example of
+   Figures 1–3 and the hand-computed numbers of §2.1–2.4.
+
+   The generated document (Extract_datagen.Paper_example) reconstructs the
+   Figure 1 query result exactly; these tests assert that every number and
+   every list the paper states is reproduced by the implementation. *)
+
+open Extract_snippet
+module Document = Extract_store.Document
+module Node_kind = Extract_store.Node_kind
+module Dataguide = Extract_store.Dataguide
+module Result_tree = Extract_search.Result_tree
+module Query = Extract_search.Query
+module Paper = Extract_datagen.Paper_example
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+type ctx = {
+  db : Pipeline.t;
+  result : Result_tree.t;
+  query : Query.t;
+  analysis : Feature.analysis;
+}
+
+let make_ctx ~with_dtd =
+  let doc = Document.of_document (Paper.document ~with_dtd ()) in
+  let db = Pipeline.build doc in
+  let query = Query.of_string Paper.query in
+  match Pipeline.search db Paper.query with
+  | [ result ] ->
+    { db; result; query; analysis = Feature.analyze (Pipeline.kinds db) result }
+  | results ->
+    Alcotest.failf "expected exactly 1 result for %S, got %d" Paper.query
+      (List.length results)
+
+let ctx = lazy (make_ctx ~with_dtd:true)
+let ctx_nodtd = lazy (make_ctx ~with_dtd:false)
+
+(* ------------------------------------------------------------------ *)
+(* §2.1: node classification on the retailer schema *)
+
+let test_classification () =
+  let { db; _ } = Lazy.force ctx in
+  let kinds = Pipeline.kinds db in
+  let guide = Pipeline.dataguide db in
+  let kind_of names =
+    Node_kind.kind_of_path kinds (Option.get (Dataguide.find_path guide names))
+  in
+  (* "retailer, store and clothes are entities" (§2.1) *)
+  check bool "retailer entity" true
+    (kind_of [ "retailers"; "retailer" ] = Node_kind.Entity);
+  check bool "store entity" true
+    (kind_of [ "retailers"; "retailer"; "store" ] = Node_kind.Entity);
+  check bool "clothes entity" true
+    (kind_of [ "retailers"; "retailer"; "store"; "merchandises"; "clothes" ]
+    = Node_kind.Entity);
+  check bool "city attribute" true
+    (kind_of [ "retailers"; "retailer"; "store"; "city" ] = Node_kind.Attribute);
+  check bool "fitting attribute" true
+    (kind_of
+       [ "retailers"; "retailer"; "store"; "merchandises"; "clothes"; "fitting" ]
+    = Node_kind.Attribute);
+  check bool "merchandises connection" true
+    (kind_of [ "retailers"; "retailer"; "store"; "merchandises" ] = Node_kind.Connection)
+
+let test_classification_without_dtd_agrees () =
+  let a = Lazy.force ctx and b = Lazy.force ctx_nodtd in
+  let paths db =
+    let kinds = Pipeline.kinds db in
+    let guide = Pipeline.dataguide db in
+    List.map
+      (fun p -> Dataguide.path_string guide p, Node_kind.kind_of_path kinds p)
+      (Dataguide.paths guide)
+    |> List.sort compare
+  in
+  check bool "DTD and data inference agree on this document" true
+    (paths a.db = paths b.db)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the query result *)
+
+let test_single_result_rooted_at_retailer () =
+  let { db; result; _ } = Lazy.force ctx in
+  let doc = Pipeline.document db in
+  check string "rooted at retailer" "retailer" (Document.tag_name doc (Result_tree.root result))
+
+let test_result_statistics_panel () =
+  (* the "attribute: value: number of occurrences" panel of Figure 1 *)
+  let { analysis; _ } = Lazy.force ctx in
+  let occ e a v =
+    match Feature.stats_of analysis { Feature.entity = e; attribute = a; value = v } with
+    | Some s -> s.Feature.occurrences
+    | None -> 0
+  in
+  check int "Houston: 6" 6 (occ "store" "city" "Houston");
+  check int "Austin: 1" 1 (occ "store" "city" "Austin");
+  check int "Man: 600" 600 (occ "clothes" "fitting" "man");
+  check int "Woman: 360" 360 (occ "clothes" "fitting" "woman");
+  check int "Children: 40" 40 (occ "clothes" "fitting" "children");
+  check int "Casual: 700" 700 (occ "clothes" "situation" "casual");
+  check int "Formal: 300" 300 (occ "clothes" "situation" "formal");
+  check int "Outwear: 220" 220 (occ "clothes" "category" "outwear");
+  check int "Suit: 120" 120 (occ "clothes" "category" "suit");
+  check int "Skirt: 80" 80 (occ "clothes" "category" "skirt");
+  check int "Sweaters: 70" 70 (occ "clothes" "category" "sweaters")
+
+let test_result_domain_sizes () =
+  let { analysis; _ } = Lazy.force ctx in
+  let dom e a v =
+    (Option.get (Feature.stats_of analysis { Feature.entity = e; attribute = a; value = v }))
+      .Feature.domain_size
+  in
+  check int "D(store,city) = 5" 5 (dom "store" "city" "Houston");
+  check int "D(clothes,fitting) = 3" 3 (dom "clothes" "fitting" "man");
+  check int "D(clothes,situation) = 2" 2 (dom "clothes" "situation" "casual");
+  check int "D(clothes,category) = 11" 11 (dom "clothes" "category" "outwear");
+  check int "D(store,state) = 1" 1 (dom "store" "state" "Texas")
+
+let test_result_type_totals () =
+  let { analysis; _ } = Lazy.force ctx in
+  let total e a v =
+    (Option.get (Feature.stats_of analysis { Feature.entity = e; attribute = a; value = v }))
+      .Feature.type_total
+  in
+  check int "N(store,city) = 10" 10 (total "store" "city" "Houston");
+  check int "N(clothes,fitting) = 1000" 1000 (total "clothes" "fitting" "man");
+  check int "N(clothes,situation) = 1000" 1000 (total "clothes" "situation" "casual");
+  check int "N(clothes,category) = 1070" 1070 (total "clothes" "category" "outwear")
+
+(* ------------------------------------------------------------------ *)
+(* §2.3: dominance scores *)
+
+let score ctx_ e a v =
+  (Option.get (Feature.stats_of ctx_.analysis { Feature.entity = e; attribute = a; value = v }))
+    .Feature.score
+
+let test_dominance_scores () =
+  let c = Lazy.force ctx in
+  (* "DS(Houston) = 6/(10/5) = 3.0. Similarly, the dominance scores of man,
+     woman, casual, outwear and suit are 1.8, 1.1, 1.4, 2.2 and 1.2" *)
+  Alcotest.check (Alcotest.float 1e-9) "Houston 3.0" 3.0 (score c "store" "city" "Houston");
+  Alcotest.check (Alcotest.float 1e-9) "man 1.8" 1.8 (score c "clothes" "fitting" "man");
+  Alcotest.check (Alcotest.float 0.05) "woman ~1.1" 1.08
+    (score c "clothes" "fitting" "woman");
+  Alcotest.check (Alcotest.float 1e-9) "casual 1.4" 1.4
+    (score c "clothes" "situation" "casual");
+  Alcotest.check (Alcotest.float 0.05) "outwear ~2.2" 2.26
+    (score c "clothes" "category" "outwear");
+  Alcotest.check (Alcotest.float 0.05) "suit ~1.2" 1.23
+    (score c "clothes" "category" "suit")
+
+let test_non_dominant_features () =
+  let c = Lazy.force ctx in
+  (* children (0.12), formal (0.6), skirt, sweaters must NOT be dominant *)
+  let dominated e a v =
+    Feature.is_dominant
+      (Option.get
+         (Feature.stats_of c.analysis { Feature.entity = e; attribute = a; value = v }))
+  in
+  check bool "children not dominant" false (dominated "clothes" "fitting" "children");
+  check bool "formal not dominant" false (dominated "clothes" "situation" "formal");
+  check bool "skirt not dominant" false (dominated "clothes" "category" "skirt");
+  check bool "sweaters not dominant" false (dominated "clothes" "category" "sweaters");
+  (* the paper's exception: domain size 1 is trivially dominant *)
+  check bool "Texas trivially dominant" true (dominated "store" "state" "Texas")
+
+(* ------------------------------------------------------------------ *)
+(* §2.2: return entity and result key *)
+
+let test_return_entity_is_retailer () =
+  let { db; result; query; _ } = Lazy.force ctx in
+  let kinds = Pipeline.kinds db in
+  let doc = Pipeline.document db in
+  let returns = Return_entity.return_entities kinds result query in
+  check bool "non-empty" true (returns <> []);
+  List.iter
+    (fun e -> check string "every return entity is a retailer" "retailer" (Document.tag_name doc e))
+    returns
+
+let test_result_key_brook_brothers () =
+  let { db; result; query; _ } = Lazy.force ctx in
+  match Result_key.key_of_result (Pipeline.keys db) (Pipeline.kinds db) result query with
+  | Some key -> check string "key" "Brook Brothers" key.Result_key.value
+  | None -> Alcotest.fail "expected the result key"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: the IList *)
+
+let test_ilist_matches_figure_3 () =
+  let { db; result; query; _ } = Lazy.force ctx in
+  let il = Pipeline.ilist_of db result query in
+  let displays = List.map (fun (e : Ilist.entry) -> Ilist.display e.Ilist.item) (Ilist.entries il) in
+  check (Alcotest.list string) "IList = Fig. 3 verbatim" Paper.expected_ilist displays
+
+let test_ilist_same_without_dtd () =
+  let c = Lazy.force ctx_nodtd in
+  let il = Pipeline.ilist_of c.db c.result c.query in
+  let displays = List.map (fun (e : Ilist.entry) -> Ilist.display e.Ilist.item) (Ilist.entries il) in
+  check (Alcotest.list string) "IList without DTD" Paper.expected_ilist displays
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 / §2.4: the snippet *)
+
+let test_snippet_of_figure_2 () =
+  (* Figure 2's hand-drawn snippet covers all 12 IList items in 13 edges —
+     that is an optimal packing (suit/man share one clothes, casual/woman/
+     outwear share another). The greedy selector is within one edge of it:
+     11/12 items at bound 13, all 12 at bound 14. *)
+  let { db; result; query; _ } = Lazy.force ctx in
+  let il = Pipeline.ilist_of db result query in
+  let sel13 = Selector.greedy ~bound:13 result il in
+  check int "11 items at the optimal bound" 11 (Selector.covered_count sel13);
+  let sel14 = Selector.greedy ~bound:14 result il in
+  check int "all 12 items one edge later" 12 (Selector.covered_count sel14);
+  check bool "within 14 edges" true (Snippet_tree.edge_count sel14.Selector.snippet <= 14)
+
+let test_snippet_structure () =
+  let { db; result; query; _ } = Lazy.force ctx in
+  let il = Pipeline.ilist_of db result query in
+  let sel = Selector.greedy ~bound:14 result il in
+  let doc = Pipeline.document db in
+  let tags =
+    Snippet_tree.nodes sel.Selector.snippet |> List.map (Document.tag_name doc)
+  in
+  (* the snippet shows the retailer, its name and product, at least one
+     store with city Houston, and clothes with the dominant features *)
+  List.iter
+    (fun t -> check bool (Printf.sprintf "snippet has %s" t) true (List.mem t tags))
+    [ "retailer"; "name"; "product"; "store"; "city"; "merchandises"; "clothes";
+      "category"; "fitting"; "situation" ]
+
+let test_snippet_small_bounds_degrade_gracefully () =
+  let { db; result; query; _ } = Lazy.force ctx in
+  let il = Pipeline.ilist_of db result query in
+  let prev = ref (-1) in
+  List.iter
+    (fun bound ->
+      let sel = Selector.greedy ~bound result il in
+      let covered = Selector.covered_count sel in
+      check bool "bound respected" true (Snippet_tree.edge_count sel.Selector.snippet <= bound);
+      check bool "coverage monotone in bound" true (covered >= !prev);
+      prev := covered)
+    [ 0; 2; 4; 6; 8; 10; 13; 14 ]
+
+let test_choosing_close_instances () =
+  (* §2.4: "Choosing outwear3 in Figure 1 results in a smaller tree with
+     Houston than outwear4" — i.e. instance selection shares paths. With
+     bound 13 all items fit, which is only possible when instances share
+     entities; verify total edges < sum of standalone path costs. *)
+  let { db; result; query; _ } = Lazy.force ctx in
+  let il = Pipeline.ilist_of db result query in
+  let sel = Selector.greedy ~bound:14 result il in
+  let standalone_cost =
+    List.fold_left
+      (fun acc (c : Selector.covered) ->
+        let fresh = Snippet_tree.create result in
+        acc + Snippet_tree.cost_of fresh c.Selector.instance)
+      0 sel.Selector.covered
+  in
+  check bool "sharing beats standalone" true
+    (Snippet_tree.edge_count sel.Selector.snippet < standalone_cost)
+
+(* ------------------------------------------------------------------ *)
+(* Keys mined from the data (§2.2 "after mining the keys of entities") *)
+
+let test_mined_keys () =
+  let { db; _ } = Lazy.force ctx in
+  let kinds = Pipeline.kinds db in
+  let keys = Pipeline.keys db in
+  let guide = Pipeline.dataguide db in
+  let key_attr entity_path =
+    Extract_store.Key_miner.key_path keys (Option.get (Dataguide.find_path guide entity_path))
+    |> Option.map (Dataguide.path_tag_name guide)
+  in
+  ignore kinds;
+  check bool "retailer key = name" true (key_attr [ "retailers"; "retailer" ] = Some "name");
+  check bool "store key = name" true
+    (key_attr [ "retailers"; "retailer"; "store" ] = Some "name");
+  check bool "clothes has no key" true
+    (key_attr [ "retailers"; "retailer"; "store"; "merchandises"; "clothes" ] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 demo query: "store texas" with bound 6 *)
+
+let test_store_texas_demo () =
+  let { db; _ } = Lazy.force ctx in
+  let results = Pipeline.run ~bound:6 db "store texas" in
+  check int "ten Texas stores" 10 (List.length results);
+  List.iter
+    (fun (r : Pipeline.snippet_result) ->
+      check bool "bound 6" true (Snippet_tree.edge_count r.Pipeline.selection.Selector.snippet <= 6);
+      let doc = Pipeline.document db in
+      check string "rooted at store" "store"
+        (Document.tag_name doc (Result_tree.root r.Pipeline.result)))
+    results;
+  (* snippets are distinguishable: every store snippet shows its key (the
+     store name), so the rendered snippets are pairwise distinct *)
+  let rendered =
+    List.map (fun (r : Pipeline.snippet_result) -> Snippet_tree.render r.Pipeline.selection.snippet) results
+  in
+  check int "pairwise distinct" (List.length rendered)
+    (List.length (List.sort_uniq compare rendered))
+
+(* §2.2 fallback: when no entity or attribute name matches a keyword, the
+   highest entity is the default return entity. *)
+let test_return_entity_fallback_on_paper_data () =
+  let { db; _ } = Lazy.force ctx in
+  let kinds = Pipeline.kinds db in
+  let doc = Pipeline.document db in
+  (* "houston casual": both are values; nothing matches an entity or
+     attribute name *)
+  match Pipeline.search db "houston casual" with
+  | result :: _ ->
+    let q = Query.of_string "houston casual" in
+    let returns = Return_entity.return_entities kinds result q in
+    check bool "non-empty" true (returns <> []);
+    (* the highest entity of the result is the result root's entity *)
+    List.iter
+      (fun e ->
+        check bool "fallback return entities are highest" true
+          (Node_kind.nearest_entity_ancestor kinds e = None
+          || not (Extract_search.Result_tree.mem result
+                    (Option.get (Node_kind.nearest_entity_ancestor kinds e)))))
+      returns;
+    (match Result_key.key_of_result (Pipeline.keys db) kinds result q with
+    | Some key ->
+      check bool "key comes from the highest entity" true
+        (Document.tag_name doc key.Result_key.entity = "store"
+        || Document.tag_name doc key.Result_key.entity = "retailer")
+    | None -> Alcotest.fail "expected a key")
+  | [] -> Alcotest.fail "expected results for houston casual"
+
+(* attribute-name heuristic: a keyword matching an attribute name (not an
+   entity name) selects that attribute's entity as the return entity *)
+let test_return_entity_via_attribute_name () =
+  let { db; _ } = Lazy.force ctx in
+  let kinds = Pipeline.kinds db in
+  let doc = Pipeline.document db in
+  match Pipeline.search db "fitting casual" with
+  | result :: _ ->
+    let q = Query.of_string "fitting casual" in
+    let returns = Return_entity.return_entities kinds result q in
+    check bool "clothes are the return entities" true
+      (returns <> []
+      && List.for_all (fun e -> Document.tag_name doc e = "clothes") returns)
+  | [] -> Alcotest.fail "expected results for fitting casual"
+
+let suites =
+  [
+    ( "paper.classification",
+      [
+        Alcotest.test_case "entities/attributes/connections" `Quick test_classification;
+        Alcotest.test_case "DTD vs data inference" `Quick test_classification_without_dtd_agrees;
+      ] );
+    ( "paper.figure1",
+      [
+        Alcotest.test_case "single retailer result" `Quick test_single_result_rooted_at_retailer;
+        Alcotest.test_case "occurrence panel" `Quick test_result_statistics_panel;
+        Alcotest.test_case "domain sizes" `Quick test_result_domain_sizes;
+        Alcotest.test_case "type totals" `Quick test_result_type_totals;
+      ] );
+    ( "paper.section2_3",
+      [
+        Alcotest.test_case "dominance scores" `Quick test_dominance_scores;
+        Alcotest.test_case "non-dominant features" `Quick test_non_dominant_features;
+      ] );
+    ( "paper.section2_2",
+      [
+        Alcotest.test_case "return entity" `Quick test_return_entity_is_retailer;
+        Alcotest.test_case "result key" `Quick test_result_key_brook_brothers;
+        Alcotest.test_case "mined keys" `Quick test_mined_keys;
+      ] );
+    ( "paper.figure3",
+      [
+        Alcotest.test_case "IList verbatim" `Quick test_ilist_matches_figure_3;
+        Alcotest.test_case "IList without DTD" `Quick test_ilist_same_without_dtd;
+      ] );
+    ( "paper.figure2",
+      [
+        Alcotest.test_case "13-edge snippet covers all" `Quick test_snippet_of_figure_2;
+        Alcotest.test_case "snippet structure" `Quick test_snippet_structure;
+        Alcotest.test_case "graceful degradation" `Quick test_snippet_small_bounds_degrade_gracefully;
+        Alcotest.test_case "close instances" `Quick test_choosing_close_instances;
+      ] );
+    ( "paper.section2_2_fallbacks",
+      [
+        Alcotest.test_case "highest-entity fallback" `Quick
+          test_return_entity_fallback_on_paper_data;
+        Alcotest.test_case "attribute-name heuristic" `Quick
+          test_return_entity_via_attribute_name;
+      ] );
+    ( "paper.figure5",
+      [ Alcotest.test_case "store texas demo" `Quick test_store_texas_demo ] );
+  ]

@@ -1,0 +1,305 @@
+(* Tests for the LRU cache, the demo HTTP server (pure handler and socket
+   round trip) and the courses dataset. *)
+
+module Lru = Extract_util.Lru
+module Demo_server = Extract_server.Demo_server
+module Corpus = Extract_snippet.Corpus
+module Pipeline = Extract_snippet.Pipeline
+module Document = Extract_store.Document
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub hay i ln = needle || loop (i + 1)) in
+  ln = 0 || loop 0
+
+(* ------------------------------------------------------------------ *)
+(* LRU *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  check bool "find a" true (Lru.find c "a" = Some 1);
+  check bool "find b" true (Lru.find c "b" = Some 2);
+  check int "length" 2 (Lru.length c);
+  check int "capacity" 2 (Lru.capacity c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  (* touch a so b is the LRU *)
+  ignore (Lru.find c "a");
+  Lru.put c "c" 3;
+  check bool "b evicted" true (Lru.find c "b" = None);
+  check bool "a kept" true (Lru.find c "a" = Some 1);
+  check bool "c kept" true (Lru.find c "c" = Some 3)
+
+let test_lru_replace () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "a" 9;
+  check bool "replaced" true (Lru.find c "a" = Some 9);
+  check int "no growth" 1 (Lru.length c)
+
+let test_lru_find_or_add () =
+  let c = Lru.create ~capacity:4 in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  check int "first computes" 42 (Lru.find_or_add c "k" compute);
+  check int "second cached" 42 (Lru.find_or_add c "k" compute);
+  check int "one computation" 1 !calls;
+  let hits, misses = Lru.stats c in
+  check int "hits" 1 hits;
+  check int "misses" 1 misses
+
+let test_lru_remove_clear () =
+  let c = Lru.create ~capacity:4 in
+  Lru.put c 1 "x";
+  Lru.put c 2 "y";
+  Lru.remove c 1;
+  check bool "removed" true (Lru.find c 1 = None);
+  Lru.clear c;
+  check int "cleared" 0 (Lru.length c)
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  check bool "only latest" true (Lru.find c "a" = None && Lru.find c "b" = Some 2);
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+let test_lru_stress_against_model () =
+  (* random ops vs a naive model *)
+  let rng = Extract_util.Prng.create 55 in
+  let cap = 8 in
+  let c = Lru.create ~capacity:cap in
+  let model = ref [] in (* (key, value), most recent first *)
+  for _ = 1 to 2000 do
+    let key = Extract_util.Prng.int rng 20 in
+    if Extract_util.Prng.bool rng then begin
+      let v = Extract_util.Prng.int rng 1000 in
+      Lru.put c key v;
+      model := (key, v) :: List.remove_assoc key !model;
+      if List.length !model > cap then
+        model := List.filteri (fun i _ -> i < cap) !model
+    end
+    else begin
+      let got = Lru.find c key in
+      let expected = List.assoc_opt key !model in
+      if got <> expected then
+        Alcotest.failf "model mismatch on key %d: cache %s, model %s" key
+          (match got with Some v -> string_of_int v | None -> "-")
+          (match expected with Some v -> string_of_int v | None -> "-");
+      (* a hit refreshes recency in both *)
+      match expected with
+      | Some v -> model := (key, v) :: List.remove_assoc key !model
+      | None -> ()
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Server: URL parsing *)
+
+let test_url_decode () =
+  check string "plus" "store texas" (Demo_server.url_decode "store+texas");
+  check string "percent" "a&b=c" (Demo_server.url_decode "a%26b%3Dc");
+  check string "utf8" "caf\xc3\xa9" (Demo_server.url_decode "caf%C3%A9");
+  check string "broken escape kept" "100%" (Demo_server.url_decode "100%");
+  check string "broken hex kept" "%zz!" (Demo_server.url_decode "%zz!")
+
+let test_parse_target () =
+  let path, params = Demo_server.parse_target "/search?data=retail&q=store+texas&bound=6" in
+  check string "path" "/search" path;
+  check bool "params" true
+    (params = [ "data", "retail"; "q", "store texas"; "bound", "6" ]);
+  let path2, params2 = Demo_server.parse_target "/" in
+  check string "bare path" "/" path2;
+  check int "no params" 0 (List.length params2)
+
+(* ------------------------------------------------------------------ *)
+(* Server: handler *)
+
+let server () =
+  let db =
+    Pipeline.build (Document.of_document (Extract_datagen.Paper_example.document ()))
+  in
+  Demo_server.create (Corpus.of_list [ "paper", db ])
+
+let test_handle_home () =
+  let s = server () in
+  let r = Demo_server.handle s "/" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "lists data set" true (contains_substring r.Demo_server.body "paper")
+
+let test_handle_search () =
+  let s = server () in
+  let r = Demo_server.handle s "/search?data=paper&q=store+texas&bound=6" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "html" true (contains_substring r.Demo_server.content_type "text/html");
+  check bool "snippet markup" true (contains_substring r.Demo_server.body "class=\"snippet\"");
+  check bool "a store name shows" true (contains_substring r.Demo_server.body "Galleria")
+
+let test_handle_search_caches () =
+  let s = server () in
+  let target = "/search?data=paper&q=store+texas&bound=6" in
+  let a = Demo_server.handle s target in
+  let b = Demo_server.handle s target in
+  check bool "same body" true (a.Demo_server.body = b.Demo_server.body);
+  let hits, _ = Demo_server.cache_stats s in
+  check int "second was a cache hit" 1 hits
+
+let test_handle_complete () =
+  let s = server () in
+  let r = Demo_server.handle s "/complete?data=paper&prefix=hou" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "houston suggested" true (contains_substring r.Demo_server.body "houston")
+
+let test_handle_stats () =
+  let s = server () in
+  let r = Demo_server.handle s "/stats?data=paper" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "mentions nodes" true (contains_substring r.Demo_server.body "nodes")
+
+let test_handle_errors () =
+  let s = server () in
+  check int "missing data" 400 (Demo_server.handle s "/search?q=x").Demo_server.status;
+  check int "unknown data" 404
+    (Demo_server.handle s "/search?data=nope&q=x").Demo_server.status;
+  check int "missing q" 400 (Demo_server.handle s "/search?data=paper").Demo_server.status;
+  check int "unknown route" 404 (Demo_server.handle s "/nope").Demo_server.status
+
+(* ------------------------------------------------------------------ *)
+(* Server: socket round trip (single-process: connect backlogs before
+   accept) *)
+
+let http_get port target =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  sock
+
+let read_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let n = Unix.read fd chunk 0 4096 in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+    end
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let test_socket_roundtrip () =
+  let s = server () in
+  let listening = Demo_server.listen ~port:0 in
+  let port = Demo_server.bound_port listening in
+  let client = http_get port "/stats?data=paper" in
+  Demo_server.serve_once s listening;
+  let response = read_all client in
+  Unix.close client;
+  Unix.close listening;
+  check bool "status line" true (contains_substring response "HTTP/1.0 200 OK");
+  check bool "content" true (contains_substring response "nodes")
+
+let test_socket_404 () =
+  let s = server () in
+  let listening = Demo_server.listen ~port:0 in
+  let port = Demo_server.bound_port listening in
+  let client = http_get port "/missing" in
+  Demo_server.serve_once s listening;
+  let response = read_all client in
+  Unix.close client;
+  Unix.close listening;
+  check bool "404" true (contains_substring response "HTTP/1.0 404")
+
+(* ------------------------------------------------------------------ *)
+(* Courses dataset *)
+
+let test_courses_shape () =
+  let doc = Extract_datagen.Courses.generate Extract_datagen.Courses.default in
+  let d = Document.of_document doc in
+  let kinds = Extract_store.Node_kind.of_document d in
+  let guide = Extract_store.Node_kind.dataguide kinds in
+  let course = Option.get (Extract_store.Dataguide.find_path guide [ "courses"; "course" ]) in
+  check bool "course is an entity" true
+    (Extract_store.Node_kind.kind_of_path kinds course = Extract_store.Node_kind.Entity);
+  check int "120 courses" 120 (Extract_store.Dataguide.instance_count guide course);
+  (* code is unique and total: it is the mined key *)
+  let keys = Extract_store.Key_miner.mine kinds in
+  let key = Extract_store.Key_miner.key_path keys course in
+  check bool "code mined as key" true
+    (Option.map (Extract_store.Dataguide.path_tag_name guide) key = Some "code")
+
+let test_courses_validates () =
+  let doc = Extract_datagen.Courses.generate Extract_datagen.Courses.default in
+  match doc.Extract_xml.Types.dtd with
+  | None -> Alcotest.fail "courses should carry a DTD"
+  | Some subset ->
+    check bool "valid against own DTD" true
+      (Extract_xml.Validator.is_valid (Extract_xml.Dtd.parse subset)
+         doc.Extract_xml.Types.root)
+
+let test_courses_pipeline () =
+  let db =
+    Pipeline.build
+      (Document.of_document (Extract_datagen.Courses.generate Extract_datagen.Courses.default))
+  in
+  let results = Pipeline.run ~bound:6 db "course databases" in
+  check bool "has results" true (results <> []);
+  List.iter
+    (fun (r : Pipeline.snippet_result) ->
+      check bool "bound" true
+        (Extract_snippet.Snippet_tree.edge_count
+           r.Pipeline.selection.Extract_snippet.Selector.snippet
+        <= 6))
+    results
+
+let suites =
+  [
+    ( "util.lru",
+      [
+        Alcotest.test_case "basic" `Quick test_lru_basic;
+        Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        Alcotest.test_case "replace" `Quick test_lru_replace;
+        Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
+        Alcotest.test_case "remove/clear" `Quick test_lru_remove_clear;
+        Alcotest.test_case "capacity one" `Quick test_lru_capacity_one;
+        Alcotest.test_case "model stress" `Quick test_lru_stress_against_model;
+      ] );
+    ( "server.url",
+      [
+        Alcotest.test_case "decode" `Quick test_url_decode;
+        Alcotest.test_case "parse target" `Quick test_parse_target;
+      ] );
+    ( "server.handler",
+      [
+        Alcotest.test_case "home" `Quick test_handle_home;
+        Alcotest.test_case "search" `Quick test_handle_search;
+        Alcotest.test_case "page cache" `Quick test_handle_search_caches;
+        Alcotest.test_case "complete" `Quick test_handle_complete;
+        Alcotest.test_case "stats" `Quick test_handle_stats;
+        Alcotest.test_case "errors" `Quick test_handle_errors;
+      ] );
+    ( "server.socket",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_socket_roundtrip;
+        Alcotest.test_case "404" `Quick test_socket_404;
+      ] );
+    ( "datagen.courses",
+      [
+        Alcotest.test_case "shape" `Quick test_courses_shape;
+        Alcotest.test_case "validates" `Quick test_courses_validates;
+        Alcotest.test_case "pipeline" `Quick test_courses_pipeline;
+      ] );
+  ]

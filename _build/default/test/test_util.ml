@@ -1,0 +1,398 @@
+(* Unit tests for the extract.util substrate. *)
+
+open Extract_util
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Arraylist *)
+
+let test_arraylist_empty () =
+  let t = Arraylist.create () in
+  check int "length" 0 (Arraylist.length t);
+  check bool "is_empty" true (Arraylist.is_empty t);
+  check bool "to_list" true (Arraylist.to_list t = [])
+
+let test_arraylist_push_get () =
+  let t = Arraylist.create () in
+  for i = 0 to 99 do
+    Arraylist.push t (i * i)
+  done;
+  check int "length" 100 (Arraylist.length t);
+  check int "get 0" 0 (Arraylist.get t 0);
+  check int "get 99" (99 * 99) (Arraylist.get t 99);
+  check int "last" (99 * 99) (Arraylist.last t)
+
+let test_arraylist_set () =
+  let t = Arraylist.of_list [ 1; 2; 3 ] in
+  Arraylist.set t 1 42;
+  check bool "after set" true (Arraylist.to_list t = [ 1; 42; 3 ])
+
+let test_arraylist_pop () =
+  let t = Arraylist.of_list [ 1; 2; 3 ] in
+  check int "pop" 3 (Arraylist.pop t);
+  check int "length after pop" 2 (Arraylist.length t);
+  check int "pop" 2 (Arraylist.pop t);
+  check int "pop" 1 (Arraylist.pop t);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Arraylist.pop: empty") (fun () ->
+      ignore (Arraylist.pop t))
+
+let test_arraylist_bounds () =
+  let t = Arraylist.of_list [ 1 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Arraylist: index 1 out of bounds [0,1)") (fun () ->
+      ignore (Arraylist.get t 1));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Arraylist: index -1 out of bounds [0,1)") (fun () ->
+      ignore (Arraylist.get t (-1)))
+
+let test_arraylist_clear_reuse () =
+  let t = Arraylist.of_list [ 1; 2 ] in
+  Arraylist.clear t;
+  check int "cleared" 0 (Arraylist.length t);
+  Arraylist.push t 9;
+  check int "reused" 9 (Arraylist.get t 0)
+
+let test_arraylist_iter_fold_map () =
+  let t = Arraylist.of_list [ 1; 2; 3; 4 ] in
+  let sum = Arraylist.fold_left ( + ) 0 t in
+  check int "fold" 10 sum;
+  let doubled = Arraylist.map (fun x -> x * 2) t in
+  check bool "map" true (Arraylist.to_list doubled = [ 2; 4; 6; 8 ]);
+  let seen = ref [] in
+  Arraylist.iteri (fun i x -> seen := (i, x) :: !seen) t;
+  check int "iteri count" 4 (List.length !seen);
+  check bool "exists" true (Arraylist.exists (fun x -> x = 3) t);
+  check bool "not exists" false (Arraylist.exists (fun x -> x = 7) t)
+
+let test_arraylist_sort () =
+  let t = Arraylist.of_list [ 3; 1; 2 ] in
+  Arraylist.sort compare t;
+  check bool "sorted" true (Arraylist.to_list t = [ 1; 2; 3 ])
+
+let test_arraylist_make () =
+  let t = Arraylist.make 5 'x' in
+  check int "make length" 5 (Arraylist.length t);
+  check bool "make fill" true (Arraylist.to_list t = [ 'x'; 'x'; 'x'; 'x'; 'x' ])
+
+(* ------------------------------------------------------------------ *)
+(* Interner *)
+
+let test_interner_basics () =
+  let t = Interner.create () in
+  let a = Interner.intern t "alpha" in
+  let b = Interner.intern t "beta" in
+  check int "first id" 0 a;
+  check int "second id" 1 b;
+  check int "repeat" a (Interner.intern t "alpha");
+  check int "count" 2 (Interner.count t);
+  check string "name" "beta" (Interner.name t b)
+
+let test_interner_find () =
+  let t = Interner.create () in
+  ignore (Interner.intern t "x");
+  check bool "find present" true (Interner.find t "x" = Some 0);
+  check bool "find absent" true (Interner.find t "y" = None)
+
+let test_interner_bad_id () =
+  let t = Interner.create () in
+  Alcotest.check_raises "unknown id" (Invalid_argument "Interner.name: unknown id 0")
+    (fun () -> ignore (Interner.name t 0))
+
+let test_interner_iter_order () =
+  let t = Interner.create () in
+  List.iter (fun s -> ignore (Interner.intern t s)) [ "c"; "a"; "b" ];
+  let order = ref [] in
+  Interner.iter (fun id s -> order := (id, s) :: !order) t;
+  check bool "id order = first-seen order" true
+    (List.rev !order = [ 0, "c"; 1, "a"; 2, "b" ])
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q ~prio:p v) [ 5, "e"; 1, "a"; 3, "c"; 2, "b" ];
+  let drain () =
+    let rec loop acc =
+      match Pqueue.pop q with
+      | None -> List.rev acc
+      | Some (_, v) -> loop (v :: acc)
+    in
+    loop []
+  in
+  check bool "pops in priority order" true (drain () = [ "a"; "b"; "c"; "e" ])
+
+let test_pqueue_ties_fifo () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.add q ~prio:7 v) [ "first"; "second"; "third" ];
+  let pops =
+    List.init 3 (fun _ ->
+        match Pqueue.pop q with
+        | Some (_, v) -> v
+        | None -> assert false)
+  in
+  check bool "ties break by insertion order" true (pops = [ "first"; "second"; "third" ])
+
+let test_pqueue_min_peek () =
+  let q = Pqueue.create () in
+  check bool "empty min" true (Pqueue.min q = None);
+  Pqueue.add q ~prio:9 "x";
+  Pqueue.add q ~prio:4 "y";
+  check bool "peek" true (Pqueue.min q = Some (4, "y"));
+  check int "peek does not pop" 2 (Pqueue.length q)
+
+let test_pqueue_random_against_sort () =
+  let rng = Prng.create 99 in
+  let q = Pqueue.create () in
+  let items = List.init 200 (fun i -> Prng.int rng 50, i) in
+  List.iter (fun (p, v) -> Pqueue.add q ~prio:p v) items;
+  let rec drain acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (p, _) -> drain (p :: acc)
+  in
+  let popped = drain [] in
+  check bool "priorities nondecreasing" true (List.sort compare popped = popped)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1000) in
+  check bool "same seed, same stream" true (xs = ys)
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1000000) in
+  check bool "different seeds differ" true (xs <> ys)
+
+let test_prng_bounds () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let x = Prng.int_in_range rng ~min:3 ~max:5 in
+    if x < 3 || x > 5 then Alcotest.fail "range out of bounds"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_float () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng 2.5 in
+    if x < 0.0 || x >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_split_independence () =
+  let a = Prng.create 77 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000000) in
+  check bool "split streams differ" true (xs <> ys)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 31 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool "shuffle is a permutation" true (Array.to_list sorted = List.init 50 Fun.id)
+
+let test_prng_sample () =
+  let rng = Prng.create 13 in
+  let arr = Array.init 10 Fun.id in
+  let s = Prng.sample rng arr 4 in
+  check int "sample size" 4 (List.length s);
+  check int "distinct" 4 (List.length (List.sort_uniq compare s));
+  let all = Prng.sample rng arr 99 in
+  check int "oversample returns all" 10 (List.length all)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:4 ~skew:0.0 in
+  List.iter
+    (fun k ->
+      Alcotest.check (Alcotest.float 1e-9) "uniform mass" 0.25 (Zipf.probability z k))
+    [ 0; 1; 2; 3 ]
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:6 ~skew:1.2 in
+  for k = 0 to 4 do
+    if Zipf.probability z k < Zipf.probability z (k + 1) then
+      Alcotest.fail "mass should decrease with rank"
+  done
+
+let test_zipf_mass_sums_to_one () =
+  let z = Zipf.create ~n:9 ~skew:0.7 in
+  let total = List.fold_left (fun acc k -> acc +. Zipf.probability z k) 0.0 (List.init 9 Fun.id) in
+  Alcotest.check (Alcotest.float 1e-9) "sums to 1" 1.0 total
+
+let test_zipf_sampling_skew () =
+  let z = Zipf.create ~n:5 ~skew:1.5 in
+  let rng = Prng.create 4 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 5000 do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check bool "rank 0 most frequent" true (counts.(0) > counts.(1));
+  check bool "rank 1 beats rank 4" true (counts.(1) > counts.(4))
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~skew:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean xs);
+  Alcotest.check (Alcotest.float 1e-6) "stddev" 2.13809 (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.check (Alcotest.float 1e-9) "p99" 99.0 (Stats.percentile xs 99.0);
+  Alcotest.check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  check int "count" 3 s.Stats.count;
+  Alcotest.check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+  Alcotest.check (Alcotest.float 1e-9) "max" 3.0 s.Stats.max;
+  Alcotest.check (Alcotest.float 1e-9) "mean" 2.0 s.Stats.mean
+
+let test_stats_singleton () =
+  let s = Stats.summarize [| 42.0 |] in
+  Alcotest.check (Alcotest.float 1e-9) "stddev of singleton" 0.0 s.Stats.stddev
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "count" ] in
+  Table.add_row t [ "alpha"; "10" ];
+  Table.add_row t [ "b"; "2" ];
+  let rendered = Table.render t in
+  check bool "has header" true (String.length rendered > 0);
+  let lines = String.split_on_char '\n' rendered in
+  check int "rows + header + rule" 4 (List.length lines);
+  (* all lines are equally wide or less; header then rule *)
+  (match lines with
+  | _header :: rule :: _ -> check bool "rule is dashes" true (String.for_all (fun c -> c = '-' || c = ' ') rule)
+  | _ -> Alcotest.fail "missing lines")
+
+let test_table_width_mismatch () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Table.add_row: expected 2 cells, got 1")
+    (fun () -> Table.add_row t [ "only" ])
+
+let test_table_row_count () =
+  let t = Table.create [ "x" ] in
+  check int "empty" 0 (Table.row_count t);
+  Table.add_row t [ "1" ];
+  check int "one" 1 (Table.row_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty *)
+
+let tree = Pretty.Node ("root", [ Pretty.Node ("a", [ Pretty.Node ("a1", []) ]); Pretty.Node ("b", []) ])
+
+let test_pretty_counts () =
+  check int "size" 4 (Pretty.size tree);
+  check int "edges" 3 (Pretty.edges tree);
+  check int "depth" 2 (Pretty.depth tree);
+  check int "leaf depth" 0 (Pretty.depth (Pretty.Node ("x", [])))
+
+let test_pretty_render_ascii () =
+  let s = Pretty.render_ascii tree in
+  check string "ascii rendition" "root\n|-- a\n|   `-- a1\n`-- b" s
+
+let test_pretty_render_unicode_lines () =
+  let s = Pretty.render tree in
+  check int "line count" 4 (List.length (String.split_on_char '\n' s))
+
+let suites =
+  [
+    ( "util.arraylist",
+      [
+        Alcotest.test_case "empty" `Quick test_arraylist_empty;
+        Alcotest.test_case "push/get" `Quick test_arraylist_push_get;
+        Alcotest.test_case "set" `Quick test_arraylist_set;
+        Alcotest.test_case "pop" `Quick test_arraylist_pop;
+        Alcotest.test_case "bounds" `Quick test_arraylist_bounds;
+        Alcotest.test_case "clear/reuse" `Quick test_arraylist_clear_reuse;
+        Alcotest.test_case "iter/fold/map" `Quick test_arraylist_iter_fold_map;
+        Alcotest.test_case "sort" `Quick test_arraylist_sort;
+        Alcotest.test_case "make" `Quick test_arraylist_make;
+      ] );
+    ( "util.interner",
+      [
+        Alcotest.test_case "basics" `Quick test_interner_basics;
+        Alcotest.test_case "find" `Quick test_interner_find;
+        Alcotest.test_case "bad id" `Quick test_interner_bad_id;
+        Alcotest.test_case "iter order" `Quick test_interner_iter_order;
+      ] );
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "priority order" `Quick test_pqueue_order;
+        Alcotest.test_case "fifo ties" `Quick test_pqueue_ties_fifo;
+        Alcotest.test_case "min peek" `Quick test_pqueue_min_peek;
+        Alcotest.test_case "random vs sort" `Quick test_pqueue_random_against_sort;
+      ] );
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "float" `Quick test_prng_float;
+        Alcotest.test_case "split" `Quick test_prng_split_independence;
+        Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "sample" `Quick test_prng_sample;
+      ] );
+    ( "util.zipf",
+      [
+        Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+        Alcotest.test_case "monotone" `Quick test_zipf_monotone;
+        Alcotest.test_case "mass" `Quick test_zipf_mass_sums_to_one;
+        Alcotest.test_case "sampling skew" `Quick test_zipf_sampling_skew;
+        Alcotest.test_case "invalid" `Quick test_zipf_invalid;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+        Alcotest.test_case "singleton" `Quick test_stats_singleton;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+        Alcotest.test_case "row count" `Quick test_table_row_count;
+      ] );
+    ( "util.pretty",
+      [
+        Alcotest.test_case "counts" `Quick test_pretty_counts;
+        Alcotest.test_case "ascii" `Quick test_pretty_render_ascii;
+        Alcotest.test_case "unicode lines" `Quick test_pretty_render_unicode_lines;
+      ] );
+  ]

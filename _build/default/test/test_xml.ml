@@ -1,0 +1,375 @@
+(* Unit tests for the extract.xml substrate: lexer, parser, printer,
+   content models and DTD. *)
+
+open Extract_xml
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let parse = Parser.parse
+
+let root_of s =
+  match parse s with
+  | Types.Element e -> e
+  | Types.Text _ -> Alcotest.fail "expected an element"
+
+(* ------------------------------------------------------------------ *)
+(* Parser: well-formed input *)
+
+let test_parse_minimal () =
+  let e = root_of "<a/>" in
+  check string "tag" "a" e.Types.tag;
+  check int "no children" 0 (List.length e.Types.children)
+
+let test_parse_nested () =
+  let e = root_of "<a><b><c/></b><d/></a>" in
+  check int "two children" 2 (List.length (Types.child_elements e));
+  let b = Option.get (Types.find_child e "b") in
+  check int "b has c" 1 (List.length (Types.child_elements b))
+
+let test_parse_text () =
+  let e = root_of "<a>hello world</a>" in
+  check string "text" "hello world" (Types.immediate_text e)
+
+let test_parse_mixed_whitespace_dropped () =
+  let e = root_of "<a>\n  <b/>\n  <c/>\n</a>" in
+  check int "whitespace-only text dropped" 2 (List.length e.Types.children)
+
+let test_parse_keep_whitespace () =
+  let t = Parser.parse ~keep_whitespace:true "<a> <b/> </a>" in
+  match t with
+  | Types.Element e -> check int "whitespace kept" 3 (List.length e.Types.children)
+  | Types.Text _ -> Alcotest.fail "expected element"
+
+let test_parse_attributes () =
+  let e = root_of {|<a x="1" y='two'/>|} in
+  check bool "x" true (Types.attr e "x" = Some "1");
+  check bool "y" true (Types.attr e "y" = Some "two");
+  check bool "absent" true (Types.attr e "z" = None)
+
+let test_parse_entities () =
+  let e = root_of "<a>&lt;tag&gt; &amp; &quot;quoted&apos;</a>" in
+  check string "decoded" "<tag> & \"quoted'" (Types.immediate_text e)
+
+let test_parse_char_refs () =
+  let e = root_of "<a>&#65;&#x42;&#x43a;</a>" in
+  (* A, B, Cyrillic ka (UTF-8: D0 BA) *)
+  check string "char refs" "AB\xd0\xba" (Types.immediate_text e)
+
+let test_parse_cdata () =
+  let e = root_of "<a><![CDATA[<not><parsed> & raw]]></a>" in
+  check string "cdata" "<not><parsed> & raw" (Types.immediate_text e)
+
+let test_parse_adjacent_text_merged () =
+  let e = root_of "<a>one <![CDATA[two]]> three</a>" in
+  check int "single text node" 1 (List.length e.Types.children);
+  check string "merged" "one two three" (Types.immediate_text e)
+
+let test_parse_comments_dropped () =
+  let e = root_of "<a><!-- a comment --><b/><!-- another --></a>" in
+  check int "only b" 1 (List.length e.Types.children)
+
+let test_parse_pi_dropped () =
+  let e = root_of "<a><?php echo ?><b/></a>" in
+  check int "only b" 1 (List.length e.Types.children)
+
+let test_parse_prolog_doctype () =
+  let doc =
+    Parser.parse_document
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE r [<!ELEMENT r (a*)>]>\n<r><a/></r>"
+  in
+  check string "root" "r" doc.Types.root.Types.tag;
+  check bool "dtd captured" true (doc.Types.dtd <> None)
+
+let test_parse_doctype_system () =
+  let doc = Parser.parse_document {|<!DOCTYPE r SYSTEM "r.dtd"><r/>|} in
+  check bool "no internal subset" true (doc.Types.dtd = None);
+  check string "root" "r" doc.Types.root.Types.tag
+
+let test_parse_bom () =
+  let doc = Parser.parse_document "\xEF\xBB\xBF<r/>" in
+  check string "root after BOM" "r" doc.Types.root.Types.tag
+
+let test_parse_utf8_content () =
+  let e = root_of "<a>caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac</a>" in
+  check string "utf8 preserved" "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac" (Types.immediate_text e)
+
+let test_parse_deep_nesting () =
+  let depth = 500 in
+  let buf = Buffer.create 4096 in
+  for i = 0 to depth do
+    Buffer.add_string buf (Printf.sprintf "<n%d>" i)
+  done;
+  for i = depth downto 0 do
+    Buffer.add_string buf (Printf.sprintf "</n%d>" i)
+  done;
+  let e = root_of (Buffer.contents buf) in
+  check string "deep root" "n0" e.Types.tag
+
+(* ------------------------------------------------------------------ *)
+(* Parser: malformed input *)
+
+let fails input =
+  match parse input with
+  | exception Error.Parse_error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "expected a parse error on %S" input)
+
+let test_parse_errors () =
+  fails "";
+  fails "<a>";
+  fails "<a></b>";
+  fails "<a><b></a></b>";
+  fails "<a x=1/>";
+  fails "<a x=\"1\" x=\"2\"/>";
+  fails "<a>&unknown;</a>";
+  fails "<a>&#xZZ;</a>";
+  fails "<a/><b/>";
+  fails "text only";
+  fails "<a attr=\"<\"/>";
+  fails "<1tag/>"
+
+let test_parse_error_position () =
+  (try ignore (parse "<a>\n<b></c></a>")
+   with Error.Parse_error (pos, _) ->
+     check int "line" 2 pos.Error.line);
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Printer: escaping and round trips *)
+
+let test_escape_text () =
+  check string "text escape" "a &amp; b &lt;c&gt;" (Printer.escape_text "a & b <c>")
+
+let test_escape_attr () =
+  check string "attr escape" "&quot;x&apos;" (Printer.escape_attr "\"x'")
+
+let test_print_parse_roundtrip () =
+  let original = root_of {|<shop loc="x&amp;y"><item>caf&#233;</item><empty/></shop>|} in
+  let printed = Printer.to_string ~indent:None (Types.Element original) in
+  let reparsed = root_of printed in
+  check bool "roundtrip equal" true (Types.equal (Types.Element original) (Types.Element reparsed))
+
+let test_pretty_print_reparses () =
+  let original = root_of "<a><b>text</b><c><d>deep</d></c></a>" in
+  let printed = Printer.to_string ~indent:(Some 2) (Types.Element original) in
+  let reparsed = root_of printed in
+  check bool "pretty roundtrip" true (Types.equal (Types.Element original) (Types.Element reparsed))
+
+let test_document_to_string_has_decl () =
+  let doc = Parser.parse_document "<r><a/></r>" in
+  let s = Printer.document_to_string doc in
+  check bool "xml decl" true (String.length s > 5 && String.sub s 0 5 = "<?xml")
+
+(* ------------------------------------------------------------------ *)
+(* Types helpers *)
+
+let test_types_text_content () =
+  let e = parse "<a>x<b>y<c>z</c></b>w</a>" in
+  check string "all text" "xyzw" (Types.text_content e)
+
+let test_types_counts () =
+  let e = parse "<a><b>t</b><c/></a>" in
+  check int "nodes" 4 (Types.count_nodes e);
+  check int "elements" 3 (Types.count_elements e)
+
+let test_types_find_children () =
+  let e = root_of "<a><b i=\"1\"/><c/><b i=\"2\"/></a>" in
+  check int "two b" 2 (List.length (Types.find_children e "b"));
+  check bool "first b" true ((Option.get (Types.find_child e "b")) |> fun b -> Types.attr b "i" = Some "1")
+
+let test_types_leaf () =
+  match Types.leaf "name" "value" with
+  | Types.Element e ->
+    check string "tag" "name" e.Types.tag;
+    check string "value" "value" (Types.immediate_text e)
+  | Types.Text _ -> Alcotest.fail "leaf should be an element"
+
+(* ------------------------------------------------------------------ *)
+(* Content models *)
+
+let model_of s =
+  let dtd = Dtd.parse (Printf.sprintf "<!ELEMENT e %s>" s) in
+  Option.get (Dtd.element_model dtd "e")
+
+let test_cm_star () =
+  let m = model_of "(a*)" in
+  check bool "a repeats" true (Content_model.may_repeat m "a");
+  check bool "b absent" false (Content_model.may_repeat m "b")
+
+let test_cm_plus_opt () =
+  let m = model_of "(a+, b?)" in
+  check bool "a repeats" true (Content_model.may_repeat m "a");
+  check bool "b does not" false (Content_model.may_repeat m "b")
+
+let test_cm_seq_twice () =
+  let m = model_of "(a, b, a)" in
+  check bool "a occurs twice in sequence" true (Content_model.may_repeat m "a");
+  check bool "b once" false (Content_model.may_repeat m "b")
+
+let test_cm_choice () =
+  let m = model_of "(a | b)" in
+  check bool "a choice once" false (Content_model.may_repeat m "a");
+  let m2 = model_of "(a | b)*" in
+  check bool "starred choice repeats" true (Content_model.may_repeat m2 "a")
+
+let test_cm_nested_star () =
+  let m = model_of "((a, b)*, c)" in
+  check bool "a under inner star" true (Content_model.may_repeat m "a");
+  check bool "c once" false (Content_model.may_repeat m "c")
+
+let test_cm_declared_children () =
+  let m = model_of "(a, (b | c)*, a)" in
+  check bool "declared children, first-mention order" true
+    (Content_model.declared_children m = [ "a"; "b"; "c" ])
+
+let test_cm_mixed () =
+  let m = model_of "(#PCDATA | em | strong)*" in
+  check bool "mixed repeats" true (Content_model.may_repeat m "em");
+  check bool "mixed allows text" true (Content_model.allows_text m);
+  check bool "undeclared child" false (Content_model.may_repeat m "x")
+
+let test_cm_pcdata () =
+  let m = model_of "(#PCDATA)" in
+  check bool "pcdata no children" true (Content_model.declared_children m = []);
+  check bool "allows text" true (Content_model.allows_text m)
+
+let test_cm_empty_any () =
+  let e = model_of "EMPTY" in
+  check bool "empty no repeat" false (Content_model.may_repeat e "a");
+  let a = model_of "ANY" in
+  check bool "any repeats anything" true (Content_model.may_repeat a "whatever")
+
+let test_cm_to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let m = model_of s in
+      let printed = Content_model.to_string m in
+      let m2 = model_of printed in
+      check bool
+        (Printf.sprintf "reparse %s" s)
+        true
+        (Content_model.to_string m2 = printed))
+    [ "(a*)"; "(a, b?)"; "(a | b | c)+"; "(#PCDATA)"; "EMPTY"; "ANY"; "((a, b)*, c)" ]
+
+(* ------------------------------------------------------------------ *)
+(* DTD *)
+
+let sample_dtd =
+  {|
+  <!-- retailer schema -->
+  <!ELEMENT retailers (retailer*)>
+  <!ELEMENT retailer (name, product, store*)>
+  <!ELEMENT store (name, state, city, merchandises)>
+  <!ELEMENT merchandises (clothes*)>
+  <!ELEMENT clothes (category?, situation?, fitting?)>
+  <!ELEMENT name (#PCDATA)>
+  <!ATTLIST store sid ID #REQUIRED open (yes|no) "yes">
+  <!ENTITY copy "(c)">
+|}
+
+let test_dtd_element_names () =
+  let dtd = Dtd.parse sample_dtd in
+  check bool "declaration order" true
+    (Dtd.element_names dtd
+    = [ "retailers"; "retailer"; "store"; "merchandises"; "clothes"; "name" ])
+
+let test_dtd_star_child () =
+  let dtd = Dtd.parse sample_dtd in
+  check bool "retailer starred" true
+    (Dtd.is_star_child dtd ~parent:"retailers" ~child:"retailer" = Some true);
+  check bool "name not starred" true
+    (Dtd.is_star_child dtd ~parent:"retailer" ~child:"name" = Some false);
+  check bool "unknown parent" true
+    (Dtd.is_star_child dtd ~parent:"nothere" ~child:"x" = None)
+
+let test_dtd_attlist () =
+  let dtd = Dtd.parse sample_dtd in
+  let atts = Dtd.attributes dtd "store" in
+  check int "two attributes" 2 (List.length atts);
+  let sid = List.hd atts in
+  check string "name" "sid" sid.Dtd.att_name;
+  check string "type" "ID" sid.Dtd.att_type;
+  check string "default" "#REQUIRED" sid.Dtd.att_default
+
+let test_dtd_empty () =
+  check bool "empty dtd" true (Dtd.element_model Dtd.empty "x" = None)
+
+let test_dtd_through_document () =
+  let doc =
+    Parser.parse_document "<!DOCTYPE r [<!ELEMENT r (a*)> <!ELEMENT a (#PCDATA)>]><r><a>1</a></r>"
+  in
+  let dtd = Dtd.of_document doc in
+  check bool "a starred under r" true (Dtd.is_star_child dtd ~parent:"r" ~child:"a" = Some true)
+
+let test_dtd_malformed () =
+  (match Dtd.parse "<!ELEMENT broken" with
+  | exception Error.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  match Dtd.parse "%param;" with
+  | exception Error.Parse_error _ -> ()
+  | _ -> Alcotest.fail "parameter entities should be rejected"
+
+let suites =
+  [
+    ( "xml.parser",
+      [
+        Alcotest.test_case "minimal" `Quick test_parse_minimal;
+        Alcotest.test_case "nested" `Quick test_parse_nested;
+        Alcotest.test_case "text" `Quick test_parse_text;
+        Alcotest.test_case "whitespace dropped" `Quick test_parse_mixed_whitespace_dropped;
+        Alcotest.test_case "keep whitespace" `Quick test_parse_keep_whitespace;
+        Alcotest.test_case "attributes" `Quick test_parse_attributes;
+        Alcotest.test_case "entities" `Quick test_parse_entities;
+        Alcotest.test_case "char refs" `Quick test_parse_char_refs;
+        Alcotest.test_case "cdata" `Quick test_parse_cdata;
+        Alcotest.test_case "adjacent text merged" `Quick test_parse_adjacent_text_merged;
+        Alcotest.test_case "comments dropped" `Quick test_parse_comments_dropped;
+        Alcotest.test_case "pi dropped" `Quick test_parse_pi_dropped;
+        Alcotest.test_case "prolog + doctype" `Quick test_parse_prolog_doctype;
+        Alcotest.test_case "doctype SYSTEM" `Quick test_parse_doctype_system;
+        Alcotest.test_case "BOM" `Quick test_parse_bom;
+        Alcotest.test_case "utf8 content" `Quick test_parse_utf8_content;
+        Alcotest.test_case "deep nesting" `Quick test_parse_deep_nesting;
+        Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+        Alcotest.test_case "error position" `Quick test_parse_error_position;
+      ] );
+    ( "xml.printer",
+      [
+        Alcotest.test_case "escape text" `Quick test_escape_text;
+        Alcotest.test_case "escape attr" `Quick test_escape_attr;
+        Alcotest.test_case "roundtrip compact" `Quick test_print_parse_roundtrip;
+        Alcotest.test_case "roundtrip pretty" `Quick test_pretty_print_reparses;
+        Alcotest.test_case "document serialization" `Quick test_document_to_string_has_decl;
+      ] );
+    ( "xml.types",
+      [
+        Alcotest.test_case "text content" `Quick test_types_text_content;
+        Alcotest.test_case "counts" `Quick test_types_counts;
+        Alcotest.test_case "find children" `Quick test_types_find_children;
+        Alcotest.test_case "leaf" `Quick test_types_leaf;
+      ] );
+    ( "xml.content_model",
+      [
+        Alcotest.test_case "star" `Quick test_cm_star;
+        Alcotest.test_case "plus/opt" `Quick test_cm_plus_opt;
+        Alcotest.test_case "sequence repeat" `Quick test_cm_seq_twice;
+        Alcotest.test_case "choice" `Quick test_cm_choice;
+        Alcotest.test_case "nested star" `Quick test_cm_nested_star;
+        Alcotest.test_case "declared children" `Quick test_cm_declared_children;
+        Alcotest.test_case "mixed" `Quick test_cm_mixed;
+        Alcotest.test_case "pcdata" `Quick test_cm_pcdata;
+        Alcotest.test_case "empty/any" `Quick test_cm_empty_any;
+        Alcotest.test_case "print/reparse" `Quick test_cm_to_string_roundtrip;
+      ] );
+    ( "xml.dtd",
+      [
+        Alcotest.test_case "element names" `Quick test_dtd_element_names;
+        Alcotest.test_case "star child" `Quick test_dtd_star_child;
+        Alcotest.test_case "attlist" `Quick test_dtd_attlist;
+        Alcotest.test_case "empty" `Quick test_dtd_empty;
+        Alcotest.test_case "via document" `Quick test_dtd_through_document;
+        Alcotest.test_case "malformed" `Quick test_dtd_malformed;
+      ] );
+  ]
