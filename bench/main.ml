@@ -33,6 +33,11 @@ module Datagen = Extract_datagen
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 
+(* --json: run only the hotpath experiment (E20) and write its results to
+   BENCH_hotpath.json — machine-readable, so successive PRs can track the
+   perf trajectory; validated by test/bench_json.t. *)
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+
 let quota_seconds = if quick then 0.05 else 0.25
 
 (* ------------------------------------------------------------------ *)
@@ -1279,8 +1284,164 @@ let e19_kernel =
          Pipeline.run_parallel ~bound:10 ~domains:2 ~limit:8 db "apparel retailer"))
 
 (* ================================================================== *)
+(* E20 (hotpath) — query hot-path: interval vs linear match restriction,
+   limit pushdown, and the query-level snippet cache                    *)
 
-let () =
+type hotpath_measurements = {
+  hp_clothes : int;
+  hp_nodes : int;
+  hp_query : string;
+  hp_results : int;
+  hp_postings : int;
+  hp_linear_ns : float;
+  hp_interval_ns : float;
+  hp_limit : int;
+  hp_full_ns : float;
+  hp_limited_ns : float;
+  hp_cold_ns : float;
+  hp_warm_ns : float;
+  hp_hits : int;
+  hp_misses : int;
+}
+
+let hotpath_measure () =
+  let clothes = if quick then 2000 else 8000 in
+  let doc = Document.of_document (Datagen.Retail.scaled clothes) in
+  let db = Pipeline.build doc in
+  let query_string = "store apparel" in
+  let query = Query.of_string query_string in
+  let index = Pipeline.index db in
+  let lists = List.map (Inverted_index.lookup index) (Query.keywords query) in
+  let postings = List.fold_left (fun acc l -> acc + Array.length l) 0 lists in
+  let repeat = if quick then 3 else 7 in
+  (* match restriction, old vs new: the pre-overhaul implementation
+     filtered the entire posting list per result by membership; the
+     current one binary-searches the result's subtree interval *)
+  let results = Pipeline.search ~limit:50 db query_string in
+  let linear_restrict r arr = Array.to_list arr |> List.filter (Result_tree.mem r) in
+  let sweep restrict () =
+    List.iter (fun r -> List.iter (fun arr -> ignore (restrict r arr)) lists) results
+  in
+  let linear_ns = time_median ~repeat (sweep linear_restrict) in
+  let interval_ns = time_median ~repeat (sweep Result_tree.restrict_matches) in
+  (* limit pushdown: top-10 without materializing every result subtree;
+     warm both paths once so first-touch effects don't skew the medians *)
+  let limit = 10 in
+  let kinds = Pipeline.kinds db in
+  ignore (Engine.run index kinds query);
+  ignore (Engine.run ~limit index kinds query);
+  let full_ns = time_median ~repeat (fun () -> Engine.run index kinds query) in
+  let limited_ns = time_median ~repeat (fun () -> Engine.run ~limit index kinds query) in
+  (* query-level snippet cache, cold vs warm *)
+  let cache = Extract_snippet.Snippet_cache.create ~capacity:16 () in
+  let run_cached () =
+    Extract_snippet.Snippet_cache.run ~bound:10 ~limit cache db query_string
+  in
+  let _, cold_ns = time_once run_cached in
+  (* a hit is far below clock resolution; time a batch and divide *)
+  let warm_iters = 1000 in
+  let warm_ns =
+    let _, total =
+      time_once (fun () ->
+          for _ = 1 to warm_iters do
+            ignore (run_cached ())
+          done)
+    in
+    total /. float_of_int warm_iters
+  in
+  let hits, misses = Extract_snippet.Snippet_cache.stats cache in
+  {
+    hp_clothes = clothes;
+    hp_nodes = Document.node_count doc;
+    hp_query = query_string;
+    hp_results = List.length results;
+    hp_postings = postings;
+    hp_linear_ns = linear_ns;
+    hp_interval_ns = interval_ns;
+    hp_limit = limit;
+    hp_full_ns = full_ns;
+    hp_limited_ns = limited_ns;
+    hp_cold_ns = cold_ns;
+    hp_warm_ns = warm_ns;
+    hp_hits = hits;
+    hp_misses = misses;
+  }
+
+let hotpath_json m =
+  let b = Buffer.create 1024 in
+  let speedup num den = if den > 0.0 then num /. den else 0.0 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"hotpath\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"mode\": %S,\n" (if quick then "quick" else "full"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"dataset\": { \"name\": \"retail\", \"target_clothes\": %d, \"nodes\": %d },\n"
+       m.hp_clothes m.hp_nodes);
+  Buffer.add_string b (Printf.sprintf "  \"query\": %S,\n" m.hp_query);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"restriction\": { \"results\": %d, \"postings\": %d, \"linear_ns\": %.0f, \
+        \"interval_ns\": %.0f, \"speedup\": %.2f },\n"
+       m.hp_results m.hp_postings m.hp_linear_ns m.hp_interval_ns
+       (speedup m.hp_linear_ns m.hp_interval_ns));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"limit_pushdown\": { \"limit\": %d, \"full_ns\": %.0f, \"limited_ns\": %.0f, \
+        \"speedup\": %.2f },\n"
+       m.hp_limit m.hp_full_ns m.hp_limited_ns (speedup m.hp_full_ns m.hp_limited_ns));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"cache\": { \"cold_ns\": %.0f, \"warm_ns\": %.0f, \"speedup\": %.2f, \
+        \"hits\": %d, \"misses\": %d }\n"
+       m.hp_cold_ns m.hp_warm_ns (speedup m.hp_cold_ns m.hp_warm_ns) m.hp_hits
+       m.hp_misses);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let e20 () =
+  let m = hotpath_measure () in
+  let t = Table.create [ "hot-path stage"; "before"; "after"; "speedup" ] in
+  Table.add_row t
+    [
+      Printf.sprintf "match restriction (%d results x %d postings)" m.hp_results
+        m.hp_postings;
+      ns_to_string m.hp_linear_ns;
+      ns_to_string m.hp_interval_ns;
+      Printf.sprintf "%.1fx" (m.hp_linear_ns /. m.hp_interval_ns);
+    ];
+  Table.add_row t
+    [
+      Printf.sprintf "search, limit %d pushdown" m.hp_limit;
+      ns_to_string m.hp_full_ns;
+      ns_to_string m.hp_limited_ns;
+      Printf.sprintf "%.1fx" (m.hp_full_ns /. m.hp_limited_ns);
+    ];
+  Table.add_row t
+    [
+      "query cache (cold vs warm)";
+      ns_to_string m.hp_cold_ns;
+      ns_to_string m.hp_warm_ns;
+      Printf.sprintf "%.0fx" (m.hp_cold_ns /. m.hp_warm_ns);
+    ];
+  Table.print
+    ~title:
+      (Printf.sprintf "E20 — query hot-path overhaul (retail scaled %d, %d nodes)"
+         m.hp_clothes m.hp_nodes)
+    t;
+  m
+
+let hotpath_json_main () =
+  print_endline "eXtract hotpath benchmark (E20)";
+  let m = hotpath_measure () in
+  let out = open_out "BENCH_hotpath.json" in
+  output_string out (hotpath_json m);
+  close_out out;
+  print_endline "wrote BENCH_hotpath.json"
+
+(* ================================================================== *)
+
+let main () =
   print_endline "eXtract benchmark harness (see DESIGN.md section 6, EXPERIMENTS.md)";
   Printf.printf "mode: %s (quota %.2fs per kernel)\n\n"
     (if quick then "quick" else "full")
@@ -1330,4 +1491,7 @@ let () =
   e17 ();
   e18 ();
   e19 ();
+  ignore (e20 ());
   print_endline "done."
+
+let () = if json_mode then hotpath_json_main () else main ()

@@ -4,65 +4,51 @@ type semantics = Slca | Elca | Xseek | Xsearch
 
 type shape = Full_subtree | Match_paths
 
-let roots_of index query = function
-  | Xseek | Xsearch -> None (* these produce results directly *)
-  | (Slca | Elca) as s ->
-    let doc = Inverted_index.document index in
-    let lists = List.map (Inverted_index.lookup index) (Query.keywords query) in
-    let roots =
-      match s with
-      | Slca -> Slca.compute doc lists
-      | Elca -> Elca.compute doc lists
-      | Xseek | Xsearch -> assert false
-    in
-    Some roots
+let take limit l =
+  match limit with
+  | None -> l
+  | Some k -> List.filteri (fun i _ -> i < k) l
 
-let shape_result index query shape doc root =
+let shape_root ctx shape doc root =
   match shape with
   | Full_subtree -> Result_tree.full doc root
   | Match_paths ->
-    let matches =
-      Query.keywords query
-      |> List.concat_map (fun k ->
-             Inverted_index.lookup index k
-             |> Array.to_list
-             |> List.filter (fun m ->
-                    Extract_store.Document.is_ancestor_or_self doc ~anc:root ~desc:m))
-    in
-    Result_tree.match_paths doc ~root ~matches
+    Result_tree.match_paths doc ~root ~matches:(Eval_ctx.matches_under ctx root)
 
-let run ?(semantics = Xseek) ?(shape = Full_subtree) ?limit index kinds query =
-  let doc = Inverted_index.document index in
-  let results =
-    if Query.is_empty query then []
-    else
-      match semantics with
-      | Xseek -> begin
-        let full_results = Xseek.compute index kinds query in
-        match shape with
-        | Full_subtree -> full_results
-        | Match_paths ->
-          List.map
-            (fun r -> shape_result index query Match_paths doc (Result_tree.root r))
-            full_results
-      end
-      | Xsearch -> begin
-        (* XSearch answers are inherently match-path trees; the full shape
-           expands each answer root to its subtree. *)
-        let path_results = Xsearch.compute index query in
-        match shape with
-        | Match_paths -> path_results
-        | Full_subtree ->
-          List.map (fun r -> Result_tree.full doc (Result_tree.root r)) path_results
-      end
-      | Slca | Elca ->
-        (match roots_of index query semantics with
-        | None -> []
-        | Some roots -> List.map (shape_result index query shape doc) roots)
-  in
-  match limit with
-  | None -> results
-  | Some k -> List.filteri (fun i _ -> i < k) results
+(* Result roots are computed for the whole query (the SLCA/ELCA/return-node
+   sets are global properties), but only the first [limit] roots are
+   materialized as result trees — the expensive part for full-subtree
+   shapes. *)
+let run_ctx ?(semantics = Xseek) ?(shape = Full_subtree) ?limit ctx kinds =
+  let doc = Eval_ctx.document ctx in
+  if Query.is_empty (Eval_ctx.query ctx) then []
+  else
+    match semantics with
+    | Xseek ->
+      Xseek.roots kinds (Eval_ctx.lists ctx)
+      |> take limit
+      |> List.map (shape_root ctx shape doc)
+    | Xsearch -> begin
+      (* XSearch answers are inherently match-path trees; the full shape
+         expands each answer root to its subtree. *)
+      let path_results = Xsearch.compute_lists ?limit doc (Eval_ctx.lists ctx) in
+      match shape with
+      | Match_paths -> path_results
+      | Full_subtree ->
+        List.map (fun r -> Result_tree.full doc (Result_tree.root r)) path_results
+    end
+    | Slca | Elca ->
+      let lists = Eval_ctx.lists ctx in
+      let roots =
+        match semantics with
+        | Slca -> Slca.compute doc lists
+        | Elca -> Elca.compute doc lists
+        | Xseek | Xsearch -> assert false
+      in
+      List.map (shape_root ctx shape doc) (take limit roots)
+
+let run ?semantics ?shape ?limit index kinds query =
+  run_ctx ?semantics ?shape ?limit (Eval_ctx.make index query) kinds
 
 let semantics_of_string = function
   | "slca" -> Some Slca

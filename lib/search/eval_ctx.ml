@@ -1,0 +1,36 @@
+module Document = Extract_store.Document
+module Postings = Extract_store.Postings
+module Inverted_index = Extract_store.Inverted_index
+
+type t = {
+  index : Inverted_index.t;
+  query : Query.t;
+  resolved : (string * Document.node array) list; (* query-keyword order *)
+}
+
+let make index query =
+  {
+    index;
+    query;
+    resolved =
+      List.map (fun k -> k, Inverted_index.lookup index k) (Query.keywords query);
+  }
+
+let index t = t.index
+
+let query t = t.query
+
+let document t = Inverted_index.document t.index
+
+let postings t keyword =
+  match List.assoc_opt keyword t.resolved with
+  | Some arr -> arr
+  | None -> Inverted_index.lookup t.index keyword
+
+let lists t = List.map snd t.resolved
+
+let matches_under t node =
+  let doc = document t in
+  List.concat_map (fun (_, arr) -> Postings.in_subtree doc arr node) t.resolved
+
+let restrict t result keyword = Result_tree.restrict_matches result (postings t keyword)

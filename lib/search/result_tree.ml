@@ -76,8 +76,18 @@ let parent_in t n =
     | Some p when mem t p -> Some p
     | _ -> None
 
+(* The members all lie in [root, subtree_last root], so only the postings
+   in that interval can qualify: binary-search the range instead of
+   scanning the whole list (postings scale with the document, the range
+   with the result). *)
 let restrict_matches t postings =
-  Array.to_list postings |> List.filter (fun n -> mem t n)
+  let lo, hi = Extract_store.Postings.subtree_range t.doc postings t.root in
+  let out = ref [] in
+  for i = hi - 1 downto lo do
+    let n = postings.(i) in
+    if mem t n then out := n :: !out
+  done;
+  !out
 
 let text_of t =
   let buf = Buffer.create 128 in

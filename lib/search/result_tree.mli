@@ -57,7 +57,9 @@ val parent_in : t -> Document.node -> Document.node option
     except the root. *)
 
 val restrict_matches : t -> Document.node array -> Document.node list
-(** Posting-list entries that are members, in document order. *)
+(** Posting-list entries that are members, in document order. The sorted
+    list is binary-searched to the root's subtree interval first, so the
+    cost follows the matches under the root, not the posting list. *)
 
 val text_of : t -> string
 (** All member text, document order, space-joined (for the text-snippet

@@ -1,29 +1,14 @@
 module Document = Extract_store.Document
+module Postings = Extract_store.Postings
 
-(* Binary searches over sorted posting arrays. *)
+(* Binary searches over sorted posting arrays live in the shared
+   Extract_store.Postings; re-exported here for the test suite. *)
 
-let lower_bound arr x =
-  (* smallest index i with arr.(i) >= x, or length *)
-  let lo = ref 0 and hi = ref (Array.length arr) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if arr.(mid) >= x then hi := mid else lo := mid + 1
-  done;
-  !lo
+let closest_in = Postings.closest_in
 
-let closest_in arr ~lo ~hi =
-  let i = lower_bound arr lo in
-  if i < Array.length arr && arr.(i) <= hi then Some arr.(i) else None
+let pred_of = Postings.pred_of
 
-let pred_of arr x =
-  (* largest element < x *)
-  let i = lower_bound arr x in
-  if i = 0 then None else Some arr.(i - 1)
-
-let succ_of arr x =
-  (* smallest element > x *)
-  let i = lower_bound arr (x + 1) in
-  if i >= Array.length arr then None else Some arr.(i)
+let succ_of = Postings.succ_of
 
 (* Deepest ancestor-or-self of [u] whose subtree intersects [arr]:
    if a match lies inside u's interval it is u itself; otherwise the deeper

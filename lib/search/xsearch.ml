@@ -48,9 +48,11 @@ let interconnected doc a b =
   end
 
 (* Witness match per keyword under [root]: the shallowest match (closest
-   to the root), ties broken by document order. *)
-let witness doc root matches =
-  List.filter (fun m -> Document.is_ancestor_or_self doc ~anc:root ~desc:m) matches
+   to the root), ties broken by document order. Only the matches under
+   [root] are considered — the posting list is binary-searched to the
+   subtree interval instead of filtered linearly. *)
+let witness_under doc root arr =
+  Extract_store.Postings.in_subtree doc arr root
   |> List.fold_left
        (fun best m ->
          match best with
@@ -59,22 +61,34 @@ let witness doc root matches =
            if Document.depth doc m < Document.depth doc b then Some m else best)
        None
 
+let compute_lists ?limit doc lists =
+  let k = List.length lists in
+  let accepted = ref 0 in
+  let full = match limit with None -> max_int | Some l -> max l 0 in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | _ when !accepted >= full -> List.rev acc
+    | root :: rest ->
+      let witnesses = List.filter_map (witness_under doc root) lists in
+      let keep =
+        List.length witnesses = k
+        &&
+        let rec pairwise = function
+          | [] -> true
+          | w :: tail ->
+            List.for_all (fun w' -> interconnected doc w w') tail && pairwise tail
+        in
+        pairwise witnesses
+      in
+      if keep then begin
+        incr accepted;
+        loop (Result_tree.match_paths doc ~root ~matches:witnesses :: acc) rest
+      end
+      else loop acc rest
+  in
+  loop [] (Slca.compute doc lists)
+
 let compute index query =
   let doc = Inverted_index.document index in
-  let keywords = Query.keywords query in
-  let lists = List.map (Inverted_index.lookup index) keywords in
-  let match_lists = List.map Array.to_list lists in
-  Slca.compute doc lists
-  |> List.filter_map (fun root ->
-         let witnesses = List.filter_map (witness doc root) match_lists in
-         if List.length witnesses <> List.length keywords then None
-         else begin
-           let rec pairwise = function
-             | [] -> true
-             | w :: rest ->
-               List.for_all (fun w' -> interconnected doc w w') rest && pairwise rest
-           in
-           if pairwise witnesses then
-             Some (Result_tree.match_paths doc ~root ~matches:witnesses)
-           else None
-         end)
+  let lists = List.map (Inverted_index.lookup index) (Query.keywords query) in
+  compute_lists doc lists

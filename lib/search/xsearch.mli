@@ -20,7 +20,13 @@ val interconnected : Document.t -> Document.node -> Document.node -> bool
     distinct equal-tag interior nodes? The end nodes themselves may share
     a tag. *)
 
+val compute_lists :
+  ?limit:int -> Document.t -> Document.node array list -> Result_tree.t list
+(** Interconnected answers for pre-resolved posting lists, one per
+    surviving SLCA, as match-path result trees in document order. With
+    [limit], stops materializing answers once that many have been
+    accepted. *)
+
 val compute :
   Extract_store.Inverted_index.t -> Query.t -> Result_tree.t list
-(** Interconnected answers, one per surviving SLCA, as match-path result
-    trees in document order. *)
+(** [compute_lists] over the keywords' posting lists. *)

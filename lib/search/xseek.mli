@@ -14,11 +14,17 @@ val return_node :
 (** Nearest entity ancestor-or-self; the node itself when no ancestor (or
     self) is an entity. *)
 
+val roots : Extract_store.Node_kind.t -> Document.node array list -> Document.node list
+(** Return nodes for pre-resolved posting lists: SLCAs, mapped to return
+    nodes, deduplicated (several SLCAs may share an entity), nested return
+    nodes merged into the outermost. Document order, no subtrees
+    materialized — the engine expands only as many as the caller's limit
+    asks for. *)
+
 val compute :
   Extract_store.Inverted_index.t ->
   Extract_store.Node_kind.t ->
   Query.t ->
   Result_tree.t list
-(** Run the query: SLCAs, mapped to return nodes, deduplicated (several
-    SLCAs may share an entity), nested return nodes merged into the
-    outermost, each expanded to its full subtree. Document order. *)
+(** Run the query: {!roots} of the keywords' posting lists, each expanded
+    to its full subtree. Document order. *)

@@ -1,14 +1,21 @@
 module Corpus = Extract_snippet.Corpus
 module Pipeline = Extract_snippet.Pipeline
 module Html_view = Extract_snippet.Html_view
+module Snippet_cache = Extract_snippet.Snippet_cache
 module Lru = Extract_util.Lru
 
 type t = {
   corpus : Corpus.t;
   pages : (string, string) Lru.t; (* request target -> rendered body *)
+  snippets : Snippet_cache.t; (* (db, query, bound, …) -> snippet results *)
 }
 
-let create ?(cache_size = 64) corpus = { corpus; pages = Lru.create ~capacity:cache_size }
+let create ?(cache_size = 64) corpus =
+  {
+    corpus;
+    pages = Lru.create ~capacity:cache_size;
+    snippets = Snippet_cache.create ~capacity:(4 * cache_size) ();
+  }
 
 type response = {
   status : int;
@@ -128,8 +135,11 @@ let search_page t target params =
           | Some _ | None -> Pipeline.default_bound
         in
         let body =
+          (* two cache levels: rendered pages by raw target, and
+             search+snippet results by normalized query — a page miss with
+             a differently-encoded target still skips the pipeline *)
           Lru.find_or_add t.pages target (fun () ->
-              let results = Pipeline.run ~bound ~limit:25 db q in
+              let results = Snippet_cache.run ~bound ~limit:25 t.snippets db q in
               Html_view.result_page
                 ~title:(Printf.sprintf "eXtract — %s" name)
                 ~query:q ~bound results)
@@ -146,10 +156,24 @@ let complete_page t params =
           (String.concat ""
              (List.map (fun (tok, count) -> Printf.sprintf "%s %d\n" tok count) completions)))
 
+let cache_report t =
+  let page_hits, page_misses = Lru.stats t.pages in
+  let snip_hits, snip_misses = Snippet_cache.stats t.snippets in
+  Printf.sprintf
+    "page cache: %d hits, %d misses, %d/%d entries\n\
+     snippet cache: %d hits, %d misses, %d/%d entries, hit rate %.2f\n"
+    page_hits page_misses (Lru.length t.pages) (Lru.capacity t.pages) snip_hits
+    snip_misses
+    (Snippet_cache.length t.snippets)
+    (Snippet_cache.capacity t.snippets)
+    (Snippet_cache.hit_rate t.snippets)
+
 let stats_page t params =
   with_db t params (fun name db ->
       let stats = Extract_store.Doc_stats.compute (Pipeline.kinds db) in
-      text_ok (Format.asprintf "data set: %s@.%a@." name Extract_store.Doc_stats.pp stats))
+      text_ok
+        (Format.asprintf "data set: %s@.%a@.%s" name Extract_store.Doc_stats.pp stats
+           (cache_report t)))
 
 let handle t target =
   match parse_target target with
@@ -166,6 +190,8 @@ let handle t target =
   end
 
 let cache_stats t = Lru.stats t.pages
+
+let snippet_cache_stats t = Snippet_cache.stats t.snippets
 
 (* ------------------------------------------------------------------ *)
 (* Transport *)

@@ -23,7 +23,9 @@
 type t
 
 val create : ?cache_size:int -> Extract_snippet.Corpus.t -> t
-(** [cache_size] bounds the rendered-page LRU (default 64 pages). *)
+(** [cache_size] bounds the rendered-page LRU (default 64 pages); the
+    query-level snippet cache underneath holds [4 × cache_size]
+    entries. *)
 
 type response = {
   status : int;
@@ -39,6 +41,11 @@ val handle : t -> string -> response
 
 val cache_stats : t -> int * int
 (** (hits, misses) of the page cache. *)
+
+val snippet_cache_stats : t -> int * int
+(** (hits, misses) of the query-level search+snippet cache
+    ({!Extract_snippet.Snippet_cache}) sitting under the page cache. Both
+    counters also appear on the [/stats] page. *)
 
 (** {1 Transport} *)
 

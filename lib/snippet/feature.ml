@@ -38,7 +38,12 @@ let entity_tag_for kinds result node =
   | Some e when Result_tree.mem result e -> Document.tag_name doc e
   | Some _ | None -> Document.tag_name doc (Result_tree.root result)
 
+let calls = Atomic.make 0
+
+let analyze_calls () = Atomic.get calls
+
 let analyze kinds result =
+  Atomic.incr calls;
   let doc = Result_tree.document result in
   let features = Hashtbl.create 64 in
   let types = Hashtbl.create 16 in

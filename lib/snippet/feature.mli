@@ -36,6 +36,11 @@ type analysis
 
 val analyze : Extract_store.Node_kind.t -> Extract_search.Result_tree.t -> analysis
 
+val analyze_calls : unit -> int
+(** Number of {!analyze} invocations since program start (monotone,
+    atomic). Instrumentation hook: the tests assert that pipeline runs
+    analyze each result exactly once. *)
+
 val all : analysis -> (t * stats) list
 (** Every feature of the result, ordered by first occurrence. *)
 

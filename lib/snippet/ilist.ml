@@ -45,13 +45,18 @@ let entity_names kinds result =
          let ca = List.length la and cb = List.length lb in
          if ca <> cb then compare cb ca else compare ta tb)
 
-let keyword_instances index result keyword =
-  Result_tree.restrict_matches result (Inverted_index.lookup index keyword)
+let keyword_instances ?ctx index result keyword =
+  let postings =
+    match ctx with
+    | Some c -> Extract_search.Eval_ctx.postings c keyword
+    | None -> Inverted_index.lookup index keyword
+  in
+  Result_tree.restrict_matches result postings
 
 (* Dominant features in the order requested by the configuration. The
    dominant set itself (DS > 1 or D = 1) is fixed by the paper's
    definition; only the ranking varies. *)
-let ordered_features config kinds index result query analysis =
+let ordered_features ?ctx config kinds index result query analysis =
   let dominant = Feature.dominant analysis in
   match config.Config.feature_order with
   | Config.By_dominance -> dominant
@@ -61,7 +66,7 @@ let ordered_features config kinds index result query analysis =
         compare b.Feature.occurrences a.Feature.occurrences)
       dominant
   | Config.Query_biased ->
-    let bias = Query_bias.make kinds index result query in
+    let bias = Query_bias.make ?ctx kinds index result query in
     List.stable_sort
       (fun (fa, sa) (fb, sb) ->
         compare
@@ -69,8 +74,12 @@ let ordered_features config kinds index result query analysis =
           (Query_bias.biased_score bias analysis fa sa))
       dominant
 
-let build ?(config = Config.default) kinds keys index result query =
-  let analysis = Feature.analyze kinds result in
+let build ?(config = Config.default) ?ctx ?analysis kinds keys index result query =
+  let analysis =
+    match analysis with
+    | Some a -> a
+    | None -> Feature.analyze kinds result
+  in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
   let count = ref 0 in
@@ -86,7 +95,7 @@ let build ?(config = Config.default) kinds keys index result query =
   in
   (* 1. query keywords *)
   List.iter
-    (fun k -> ignore (add (Keyword k) (keyword_instances index result k)))
+    (fun k -> ignore (add (Keyword k) (keyword_instances ?ctx index result k)))
     (Query.keywords query);
   (* 2. entity names *)
   if config.Config.include_entity_names then
@@ -108,7 +117,7 @@ let build ?(config = Config.default) kinds keys index result query =
         if !admitted < cap
            && add (Dominant_feature (f, stats)) (Feature.instances analysis f)
         then incr admitted)
-      (ordered_features config kinds index result query analysis)
+      (ordered_features ?ctx config kinds index result query analysis)
   end;
   { entries = Array.of_list (List.rev !out) }
 

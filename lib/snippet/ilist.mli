@@ -35,12 +35,19 @@ type t
 
 val build :
   ?config:Config.t ->
+  ?ctx:Extract_search.Eval_ctx.t ->
+  ?analysis:Feature.analysis ->
   Extract_store.Node_kind.t ->
   Extract_store.Key_miner.t ->
   Extract_store.Inverted_index.t ->
   Extract_search.Result_tree.t ->
   Extract_search.Query.t ->
   t
+(** With [ctx], keyword posting lists are taken from the per-query
+    evaluation context instead of re-resolved; with [analysis], the
+    precomputed {!Feature.analyze} of this result is reused instead of
+    running the analysis again (the differentiated pipeline computes it
+    once per result for cross-result scoring). *)
 
 val entries : t -> entry list
 

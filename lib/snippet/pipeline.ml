@@ -6,8 +6,10 @@ module Dataguide = Extract_store.Dataguide
 module Engine = Extract_search.Engine
 module Query = Extract_search.Query
 module Result_tree = Extract_search.Result_tree
+module Eval_ctx = Extract_search.Eval_ctx
 
 type t = {
+  id : int; (* unique per analyzed database; cache keys embed it *)
   doc : Document.t;
   guide : Dataguide.t;
   kinds : Node_kind.t;
@@ -15,12 +17,14 @@ type t = {
   index : Inverted_index.t;
 }
 
+let next_id = Atomic.make 0
+
 let build doc =
   let guide = Dataguide.build doc in
   let kinds = Node_kind.classify guide in
   let keys = Key_miner.mine kinds in
   let index = Inverted_index.build doc in
-  { doc; guide; kinds; keys; index }
+  { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
 
 let of_xml_string s = build (Document.load_string s)
 
@@ -32,13 +36,15 @@ let of_parts doc index =
   let guide = Dataguide.build doc in
   let kinds = Node_kind.classify guide in
   let keys = Key_miner.mine kinds in
-  { doc; guide; kinds; keys; index }
+  { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
 
 let save path t = Extract_store.Persist.save_bundle path t.doc t.index
 
 let load path =
   let doc, index = Extract_store.Persist.load_bundle path in
   of_parts doc index
+
+let id t = t.id
 
 let document t = t.doc
 
@@ -61,61 +67,73 @@ let default_bound = 10
 let ilist_of ?config t result query =
   Ilist.build ?config t.kinds t.keys t.index result query
 
-let snippet_of ?config ?(bound = default_bound) t result query =
-  let ilist = ilist_of ?config t result query in
+let snippet_with ?config ~bound ~ctx t result =
+  let query = Eval_ctx.query ctx in
+  let ilist = Ilist.build ?config ~ctx t.kinds t.keys t.index result query in
   let selection = Selector.greedy ~bound result ilist in
   { result; ilist; selection }
 
+let snippet_of ?config ?(bound = default_bound) t result query =
+  snippet_with ?config ~bound ~ctx:(Eval_ctx.make t.index query) t result
+
+let context_of t query_string = Eval_ctx.make t.index (Query.of_string query_string)
+
 let search ?semantics ?limit t query_string =
-  let query = Query.of_string query_string in
-  Engine.run ?semantics ?limit t.index t.kinds query
+  Engine.run_ctx ?semantics ?limit (context_of t query_string) t.kinds
 
 let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit t query_string =
-  let query = Query.of_string query_string in
-  let results = Engine.run ?semantics ?limit t.index t.kinds query in
-  let analyses = List.map (Feature.analyze t.kinds) results in
-  let differ = Differentiator.make analyses in
+  let ctx = context_of t query_string in
+  let results = Engine.run_ctx ?semantics ?limit ctx t.kinds in
+  (* one analysis per result, shared between the differentiator and each
+     result's IList construction *)
+  let analyses = List.map (fun r -> r, Feature.analyze t.kinds r) results in
+  let differ = Differentiator.make (List.map snd analyses) in
   List.map
-    (fun result ->
-      let ilist = Differentiator.apply differ (ilist_of ?config t result query) in
+    (fun (result, analysis) ->
+      let ilist =
+        Differentiator.apply differ
+          (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
+             (Eval_ctx.query ctx))
+      in
       let selection = Selector.greedy ~bound result ilist in
       { result; ilist; selection })
-    results
+    analyses
 
 let run_ranked ?semantics ?config ?(bound = default_bound) ?limit t query_string =
-  let query = Query.of_string query_string in
+  let ctx = context_of t query_string in
   let ranker = Extract_search.Ranker.make t.index in
-  Engine.run ?semantics t.index t.kinds query
-  |> Extract_search.Ranker.rank ranker query
+  Engine.run_ctx ?semantics ctx t.kinds
+  |> Extract_search.Ranker.rank ranker (Eval_ctx.query ctx)
   |> (fun scored ->
        match limit with
        | None -> scored
        | Some k -> List.filteri (fun i _ -> i < k) scored)
-  |> List.map (fun (result, score) -> score, snippet_of ?config ~bound t result query)
+  |> List.map (fun (result, score) -> score, snippet_with ?config ~bound ~ctx t result)
 
 let run ?semantics ?config ?(bound = default_bound) ?limit t query_string =
-  let query = Query.of_string query_string in
-  Engine.run ?semantics ?limit t.index t.kinds query
-  |> List.map (fun result -> snippet_of ?config ~bound t result query)
+  let ctx = context_of t query_string in
+  Engine.run_ctx ?semantics ?limit ctx t.kinds
+  |> List.map (fun result -> snippet_with ?config ~bound ~ctx t result)
 
 (* Per-result snippet generation is embarrassingly parallel: the arena,
-   index and classification are immutable after [build], and each result's
-   analysis/selection state is local. Results are dealt round-robin across
-   domains and reassembled in order. *)
+   index, classification and evaluation context are immutable after
+   construction, and each result's analysis/selection state is local.
+   Results are dealt round-robin across domains and reassembled in
+   order. *)
 let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4) t
     query_string =
-  let query = Query.of_string query_string in
-  let results = Array.of_list (Engine.run ?semantics ?limit t.index t.kinds query) in
+  let ctx = context_of t query_string in
+  let results = Array.of_list (Engine.run_ctx ?semantics ?limit ctx t.kinds) in
   let n = Array.length results in
   let domains = max 1 (min domains n) in
   if domains <= 1 || n <= 1 then
-    Array.to_list (Array.map (fun r -> snippet_of ?config ~bound t r query) results)
+    Array.to_list (Array.map (fun r -> snippet_with ?config ~bound ~ctx t r) results)
   else begin
     let out = Array.make n None in
     let worker d () =
       let i = ref d in
       while !i < n do
-        out.(!i) <- Some (snippet_of ?config ~bound t results.(!i) query);
+        out.(!i) <- Some (snippet_with ?config ~bound ~ctx t results.(!i));
         i := !i + domains
       done
     in

@@ -27,6 +27,11 @@ val load : string -> t
 (** Load a bundle written by {!save}.
     @raise Extract_store.Codec.Corrupt on malformed input. *)
 
+val id : t -> int
+(** Unique id of this analyzed database (process-wide, assigned at
+    {!build}/{!load}). {!Snippet_cache} keys embed it so one cache can
+    serve several databases without collisions. *)
+
 val document : t -> Document.t
 
 val kinds : t -> Extract_store.Node_kind.t
@@ -55,7 +60,10 @@ val run :
   string ->
   snippet_result list
 (** [run t query_string] — the full demo interaction of Fig. 5. Defaults:
-    XSeek semantics, [default_bound], no result limit. *)
+    XSeek semantics, [default_bound], no result limit. One
+    {!Extract_search.Eval_ctx} is built per call: every keyword's posting
+    list is resolved exactly once and shared by the engine, IList
+    construction and query-biased scoring. *)
 
 val run_parallel :
   ?semantics:Extract_search.Engine.semantics ->
@@ -95,7 +103,9 @@ val run_differentiated :
 (** Like {!run}, but after building every result's IList the
     {!Differentiator} re-ranks dominant features by cross-result
     distinctiveness, so the snippets of a multi-result answer emphasize
-    what sets each result apart. *)
+    what sets each result apart. {!Feature.analyze} runs exactly once per
+    result: the same analysis feeds the differentiator and that result's
+    IList. *)
 
 val search :
   ?semantics:Extract_search.Engine.semantics ->

@@ -23,7 +23,12 @@ let owning_entity kinds result node =
   in
   up node
 
-let make kinds index result query =
+let make ?ctx kinds index result query =
+  let postings =
+    match ctx with
+    | Some c -> Extract_search.Eval_ctx.postings c
+    | None -> Inverted_index.lookup index
+  in
   let hot = Hashtbl.create 32 in
   List.iter
     (fun keyword ->
@@ -32,7 +37,7 @@ let make kinds index result query =
           match owning_entity kinds result m with
           | Some e -> Hashtbl.replace hot e ()
           | None -> ())
-        (Result_tree.restrict_matches result (Inverted_index.lookup index keyword)))
+        (Result_tree.restrict_matches result (postings keyword)))
     (Query.keywords query);
   { kinds; result; hot }
 

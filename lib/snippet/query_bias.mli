@@ -13,11 +13,14 @@
 type t
 
 val make :
+  ?ctx:Extract_search.Eval_ctx.t ->
   Extract_store.Node_kind.t ->
   Extract_store.Inverted_index.t ->
   Extract_search.Result_tree.t ->
   Extract_search.Query.t ->
   t
+(** With [ctx], keyword posting lists come from the per-query evaluation
+    context (resolved once per query) instead of fresh index lookups. *)
 
 val hot_entities : t -> Extract_store.Document.node list
 (** Entity instances of the result containing a keyword match, document

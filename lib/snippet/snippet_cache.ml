@@ -1,0 +1,44 @@
+module Lru = Extract_util.Lru
+module Engine = Extract_search.Engine
+module Query = Extract_search.Query
+
+type key = {
+  db : int;
+  semantics : string;
+  query : string; (* normalized *)
+  bound : int;
+  limit : int option;
+  config : Config.t option;
+}
+
+type t = (key, Pipeline.snippet_result list) Lru.t
+
+let create ?(capacity = 128) () = Lru.create ~capacity
+
+let key_of ?semantics ?config ?bound ?limit db query_string =
+  {
+    db = Pipeline.id db;
+    semantics =
+      Engine.string_of_semantics (Option.value ~default:Engine.Xseek semantics);
+    query = Query.to_string (Query.of_string query_string);
+    bound = Option.value ~default:Pipeline.default_bound bound;
+    limit;
+    config;
+  }
+
+let run ?semantics ?config ?bound ?limit t db query_string =
+  let key = key_of ?semantics ?config ?bound ?limit db query_string in
+  Lru.find_or_add t key (fun () ->
+      Pipeline.run ?semantics ?config ?bound ?limit db query_string)
+
+let stats = Lru.stats
+
+let hit_rate t =
+  let hits, misses = Lru.stats t in
+  if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
+
+let length = Lru.length
+
+let capacity = Lru.capacity
+
+let clear = Lru.clear

@@ -1,0 +1,44 @@
+(** Query-level LRU cache of search + snippet results.
+
+    A production snippet service sees the same hot queries over and over;
+    re-running search, feature analysis and instance selection for each
+    repeat wastes the whole hot path. This cache memoizes complete
+    {!Pipeline.run} outputs keyed by (database id, semantics, normalized
+    query, bound, limit, config) with LRU eviction
+    ({!Extract_util.Lru}). Hit/miss counters are exposed for
+    observability; the demo server surfaces them on its stats page.
+
+    One cache may serve several databases: keys embed {!Pipeline.id}.
+    Cached values are shared (the same [snippet_result list] is returned
+    on every hit) and immutable by construction. Not thread-safe — wrap
+    with a lock if several domains serve queries from one cache. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of cached query entries (default 128). *)
+
+val run :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?config:Config.t ->
+  ?bound:int ->
+  ?limit:int ->
+  t ->
+  Pipeline.t ->
+  string ->
+  Pipeline.snippet_result list
+(** Cached {!Pipeline.run}: on a miss, runs the pipeline and stores the
+    outcome. The query string is normalized ({!Extract_search.Query}), so
+    ["Texas, APPAREL"] and ["texas apparel"] share an entry. *)
+
+val stats : t -> int * int
+(** (hits, misses) since creation or {!clear}. *)
+
+val hit_rate : t -> float
+(** hits / (hits + misses); 0 before any lookup. *)
+
+val length : t -> int
+
+val capacity : t -> int
+
+val clear : t -> unit

@@ -6,6 +6,10 @@ type t = {
   tokens : Interner.t;
   postings : Document.node array array;    (* token id -> sorted element ids *)
   tag_tokens : (int * int, unit) Hashtbl.t; (* (token id, tag id) membership *)
+  mutable sorted_tokens : (string * int) array option;
+      (* (token, id) sorted by token, built lazily on the first [complete];
+         the vocabulary is fixed after [build], so the cache never goes
+         stale *)
 }
 
 let build doc =
@@ -42,7 +46,7 @@ let build doc =
   done;
   let postings = Array.make (Arraylist.length lists) [||] in
   Arraylist.iteri (fun i list -> postings.(i) <- Arraylist.to_array list) lists;
-  { doc; tokens; postings; tag_tokens }
+  { doc; tokens; postings; tag_tokens; sorted_tokens = None }
 
 let document t = t.doc
 
@@ -94,17 +98,43 @@ let match_kind t ~keyword ~node =
       | true, false | false, false -> Some `Tag
     end
 
+let sorted_tokens t =
+  match t.sorted_tokens with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.make (Interner.count t.tokens) ("", 0) in
+    Interner.iter (fun id tok -> arr.(id) <- (tok, id)) t.tokens;
+    Array.sort compare arr;
+    t.sorted_tokens <- Some arr;
+    arr
+
+let has_prefix ~prefix tok =
+  String.length tok >= String.length prefix
+  && String.sub tok 0 (String.length prefix) = prefix
+
+(* Completions touch only the vocabulary range sharing the prefix: binary
+   search for the first token >= prefix, then walk forward while the
+   prefix holds. The old implementation scanned every token per
+   keystroke. *)
 let complete t ?(limit = 10) prefix =
   let prefix = Tokenizer.normalize prefix in
   if prefix = "" then []
   else begin
+    let arr = sorted_tokens t in
+    let n = Array.length arr in
+    (* smallest index whose token is >= prefix *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst arr.(mid) >= prefix then hi := mid else lo := mid + 1
+    done;
     let out = ref [] in
-    Interner.iter
-      (fun id tok ->
-        if String.length tok >= String.length prefix
-           && String.sub tok 0 (String.length prefix) = prefix
-        then out := (tok, Array.length t.postings.(id)) :: !out)
-      t.tokens;
+    let i = ref !lo in
+    while !i < n && has_prefix ~prefix (fst arr.(!i)) do
+      let tok, id = arr.(!i) in
+      out := (tok, Array.length t.postings.(id)) :: !out;
+      incr i
+    done;
     List.sort
       (fun (ta, ca) (tb, cb) -> if ca <> cb then compare cb ca else compare ta tb)
       !out
@@ -132,5 +162,5 @@ module Internal = struct
     Array.iter (fun s -> ignore (Interner.intern tokens s)) r.tokens;
     let tag_tokens = Hashtbl.create (Array.length r.tag_tokens) in
     Array.iter (fun pair -> Hashtbl.replace tag_tokens pair ()) r.tag_tokens;
-    { doc; tokens; postings = r.postings; tag_tokens }
+    { doc; tokens; postings = r.postings; tag_tokens; sorted_tokens = None }
 end

@@ -35,7 +35,10 @@ val match_kind : t -> keyword:string -> node:Document.node -> [ `Tag | `Value | 
 val complete : t -> ?limit:int -> string -> (string * int) list
 (** [complete t prefix] — indexed tokens starting with the (normalized)
     prefix, with their posting counts, most frequent first ([limit]
-    defaults to 10). The demo UI's query-box suggestions. *)
+    defaults to 10). The demo UI's query-box suggestions. Served from a
+    lazily-built sorted token array via prefix-range binary search, so a
+    keystroke costs O(log |vocabulary| + matches), not a vocabulary
+    scan. The lazy build makes the first call not thread-safe. *)
 
 (**/**)
 

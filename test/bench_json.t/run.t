@@ -1,0 +1,21 @@
+The benchmark harness's --json mode runs only the hot-path experiment
+(E20) and writes machine-readable results to BENCH_hotpath.json, so
+successive revisions can track the perf trajectory.
+
+  $ extract-bench quick --json
+  eXtract hotpath benchmark (E20)
+  wrote BENCH_hotpath.json
+
+The JSON shape is stable; numbers vary run to run, so normalize every
+number to N before matching:
+
+  $ sed -E 's/[0-9]+\.[0-9]+|[0-9]+/N/g' BENCH_hotpath.json
+  {
+    "experiment": "hotpath",
+    "mode": "quick",
+    "dataset": { "name": "retail", "target_clothes": N, "nodes": N },
+    "query": "store apparel",
+    "restriction": { "results": N, "postings": N, "linear_ns": N, "interval_ns": N, "speedup": N },
+    "limit_pushdown": { "limit": N, "full_ns": N, "limited_ns": N, "speedup": N },
+    "cache": { "cold_ns": N, "warm_ns": N, "speedup": N, "hits": N, "misses": N }
+  }

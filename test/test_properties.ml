@@ -172,6 +172,25 @@ let prop_elca_covers =
       let covering = Lca.covering_nodes d lists in
       List.for_all (fun e -> List.mem e covering) elcas)
 
+(* The interval-based match restriction must agree with the naive filter
+   (membership test over the whole posting list) on every tree shape —
+   full subtrees and pruned match-path views alike. *)
+let prop_restrict_matches_equals_filter =
+  Test.make ~name:"interval restrict_matches = naive filter" ~count:200
+    arb_doc_and_keywords (fun (t, kws) ->
+      let d = doc_of t in
+      let idx = Inverted_index.build d in
+      let lists = List.map (Inverted_index.lookup idx) kws in
+      let naive r arr = Array.to_list arr |> List.filter (Result_tree.mem r) in
+      let agree r = List.for_all (fun arr -> Result_tree.restrict_matches r arr = naive r arr) lists in
+      let ok = ref true in
+      for root = 0 to min (Document.node_count d - 1) 20 do
+        if not (agree (Result_tree.full d root)) then ok := false;
+        let matches = List.concat_map (fun arr -> naive (Result_tree.full d root) arr) lists in
+        if not (agree (Result_tree.match_paths d ~root ~matches)) then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Snippets *)
 
@@ -563,6 +582,7 @@ let suites =
           prop_slca_minimal;
           prop_elca_superset_of_slca;
           prop_elca_covers;
+          prop_restrict_matches_equals_filter;
         ] );
     ( "properties.snippet",
       to_alcotest
