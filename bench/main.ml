@@ -83,14 +83,30 @@ let time_once f =
   let t1 = Unix.gettimeofday () in
   x, (t1 -. t0) *. 1e9
 
+(* Total accessors: the bench harness builds its own inputs, so an empty
+   list or a missing option is a harness bug — fail with a message instead
+   of a bare Failure from the partial stdlib accessors. *)
+let hd_exn = function
+  | x :: _ -> x
+  | [] -> invalid_arg "bench: empty list"
+
+let nth_exn l k =
+  match List.nth_opt l k with
+  | Some x -> x
+  | None -> invalid_arg "bench: list index out of range"
+
+let get_exn = function
+  | Some x -> x
+  | None -> invalid_arg "bench: unexpected None"
+
 let time_median ~repeat f =
   let samples =
     List.init repeat (fun _ ->
         let _, ns = time_once f in
         ns)
-    |> List.sort compare
+    |> List.sort Float.compare
   in
-  List.nth samples (List.length samples / 2)
+  nth_exn samples (List.length samples / 2)
 
 let mean xs =
   if xs = [] then 0.0 else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
@@ -119,7 +135,7 @@ let workload_for db ~n ~seed =
 let biggest_result db query =
   match
     Pipeline.search db query
-    |> List.sort (fun a b -> compare (Result_tree.size b) (Result_tree.size a))
+    |> List.sort (fun a b -> Int.compare (Result_tree.size b) (Result_tree.size a))
   with
   | r :: _ -> Some r
   | [] -> None
@@ -140,7 +156,7 @@ let e1 () =
 let e1_kernel =
   Test.make ~name:"e1_data_analyzer"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          Node_kind.of_document (Pipeline.document db)))
 
 (* ================================================================== *)
@@ -156,7 +172,7 @@ let e2_scenarios =
            { Datagen.Retail.default with Datagen.Retail.retailers = 2; clothes_per_store }
          in
          let db = Pipeline.build (Document.of_document (Datagen.Retail.generate cfg)) in
-         let result = Option.get (biggest_result db "apparel retailer") in
+         let result = get_exn (biggest_result db "apparel retailer") in
          clothes_per_store, db, result)
        e2_sizes)
 
@@ -164,7 +180,7 @@ let e2_kernel =
   Test.make_indexed ~name:"e2_snippet_vs_result_size" ~fmt:"%s:%d"
     ~args:(List.init (List.length e2_sizes) Fun.id) (fun i ->
       Staged.stage (fun () ->
-          let _, db, result = List.nth (Lazy.force e2_scenarios) i in
+          let _, db, result = nth_exn (Lazy.force e2_scenarios) i in
           Pipeline.snippet_of ~bound:10 db result (Query.of_string "apparel retailer")))
 
 let e2 results =
@@ -189,7 +205,7 @@ let e3_bounds = if quick then [ 4; 16; 64 ] else [ 2; 4; 8; 16; 32; 64 ]
 
 let e3_setup =
   lazy
-    (let _, db, result = List.nth (Lazy.force e2_scenarios) (List.length e2_sizes - 1) in
+    (let _, db, result = nth_exn (Lazy.force e2_scenarios) (List.length e2_sizes - 1) in
      db, result)
 
 let e3_kernel =
@@ -243,7 +259,7 @@ let e4_scenarios =
            }
          in
          let db = Pipeline.build (Document.of_document (Datagen.Retail.generate cfg)) in
-         let result = Option.get (biggest_result db "apparel retailer") in
+         let result = get_exn (biggest_result db "apparel retailer") in
          let kinds = Pipeline.kinds db in
          category_pool, kinds, result)
        e4_pools)
@@ -252,7 +268,7 @@ let e4_kernel =
   Test.make_indexed ~name:"e4_features" ~fmt:"%s:%d"
     ~args:(List.init (List.length e4_pools) Fun.id) (fun i ->
       Staged.stage (fun () ->
-          let _, kinds, result = List.nth (Lazy.force e4_scenarios) i in
+          let _, kinds, result = nth_exn (Lazy.force e4_scenarios) i in
           Feature.analyze kinds result))
 
 let e4 results =
@@ -290,7 +306,7 @@ let e5_setup =
        }
      in
      let db = Pipeline.build (Document.of_document (Datagen.Retail.generate cfg)) in
-     let result = Option.get (biggest_result db "apparel retailer") in
+     let result = get_exn (biggest_result db "apparel retailer") in
      let ilist = Pipeline.ilist_of db result (Query.of_string "apparel retailer") in
      result, ilist)
 
@@ -361,7 +377,7 @@ let e6 () =
       let index_ns = time_median ~repeat (fun () -> Inverted_index.build doc) in
       let index = Inverted_index.build doc in
       let queries = Datagen.Workload.generate Datagen.Workload.default kinds in
-      let query = Query.of_string (List.hd queries) in
+      let query = Query.of_string (hd_exn queries) in
       let search_ns = time_median ~repeat (fun () -> Engine.run index kinds query) in
       match Engine.run index kinds query with
       | [] -> ()
@@ -387,7 +403,7 @@ let e6 () =
 let e6_kernel =
   Test.make ~name:"e6_full_pipeline"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          Pipeline.run ~bound:10 ~limit:3 db "apparel retailer"))
 
 (* ================================================================== *)
@@ -518,7 +534,7 @@ let e8 () =
 let e8_kernel =
   Test.make ~name:"e8_quality_eval"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          match Pipeline.run ~bound:e8_bound ~limit:1 db "apparel retailer" with
          | [ r ] -> ignore (tree_snippet_tokens db r.Pipeline.selection.Selector.snippet)
          | _ -> ()))
@@ -530,8 +546,8 @@ let e9_kernel =
   Test.make_indexed ~name:"e9_engine" ~fmt:"%s:%d"
     ~args:(List.init (List.length Engine.all_semantics) Fun.id) (fun i ->
       Staged.stage (fun () ->
-          let semantics = List.nth Engine.all_semantics i in
-          let _, db = List.hd (Lazy.force datasets) in
+          let semantics = nth_exn Engine.all_semantics i in
+          let _, db = hd_exn (Lazy.force datasets) in
           Pipeline.run ~semantics ~bound:8 ~limit:5 db "apparel retailer"))
 
 let e9 results =
@@ -539,7 +555,7 @@ let e9 results =
     Table.create
       [ "engine"; "results"; "mean result nodes"; "mean covered"; "query+snippet time" ]
   in
-  let _, db = List.hd (Lazy.force datasets) in
+  let _, db = hd_exn (Lazy.force datasets) in
   List.iteri
     (fun i semantics ->
       let out = Pipeline.run ~semantics ~bound:8 db "apparel retailer" in
@@ -595,7 +611,7 @@ let e10 () =
               in
               if truth <> [] then begin
                 let top_by f =
-                  List.sort (fun a b -> compare (f b) (f a)) all
+                  List.sort (fun a b -> Float.compare (f b) (f a)) all
                   |> List.filteri (fun i _ -> i < k)
                   |> List.map fst
                 in
@@ -610,7 +626,10 @@ let e10 () =
                 in
                 let diversity top =
                   List.map (fun (f : Feature.t) -> f.Feature.entity, f.Feature.attribute) top
-                  |> List.sort_uniq compare |> List.length |> float_of_int
+                  |> List.sort_uniq (fun (ea, aa) (eb, ab) ->
+                         let c = String.compare ea eb in
+                         if c <> 0 then c else String.compare aa ab)
+                  |> List.length |> float_of_int
                 in
                 ds_recall := recall top_ds :: !ds_recall;
                 freq_recall := recall top_freq :: !freq_recall;
@@ -639,7 +658,7 @@ let e10 () =
 let e10_kernel =
   Test.make ~name:"e10_rankings"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          match Pipeline.search ~limit:1 db "apparel retailer" with
          | [ r ] -> ignore (Feature.dominant (Feature.analyze (Pipeline.kinds db) r))
          | _ -> ()))
@@ -696,13 +715,13 @@ let e11 () =
       (Printf.sprintf
          "E11 (Table 4) — goal ablation vs the full IList targets (bound %d; %d results)"
          e8_bound
-         (snd (List.hd per_config)).n)
+         (snd (hd_exn per_config)).n)
     t
 
 let e11_kernel =
   Test.make ~name:"e11_ablation"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          Pipeline.run ~config:Extract_snippet.Config.keywords_only ~bound:e8_bound ~limit:1 db
            "apparel retailer"))
 
@@ -767,7 +786,7 @@ let e12_queries db ~n =
              | Some (city, _) -> Some (Printf.sprintf "%s apparel" city)
              | None -> None
            end)
-    |> List.sort_uniq compare
+    |> List.sort_uniq String.compare
     |> List.filteri (fun i _ -> i < n)
 
 let e12 () =
@@ -829,7 +848,7 @@ let e12 () =
                   end)
                 snippet_results)
             queries)
-        [ List.hd (Lazy.force datasets) ];
+        [ hd_exn (Lazy.force datasets) ];
       Table.add_row t
         [
           name;
@@ -846,7 +865,7 @@ let e12 () =
 let e12_kernel =
   Test.make ~name:"e12_orderings"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          Pipeline.run_differentiated ~bound:e8_bound ~limit:1 db "apparel retailer"))
 
 (* ================================================================== *)
@@ -964,7 +983,7 @@ let e14 () =
           in
           if List.length results >= 3 && all_need_cutting then begin
             let target_index = Extract_util.Prng.int rng (List.length results) in
-            let target = (List.nth results target_index).Pipeline.result in
+            let target = (nth_exn results target_index).Pipeline.result in
             let need = e14_need rng db target in
             if need <> [] then begin
               incr trials;
@@ -1014,7 +1033,7 @@ let e14 () =
 let e14_kernel =
   Test.make ~name:"e14_user_pick"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          let results = Pipeline.run ~bound:e8_bound ~limit:4 db "apparel retailer" in
          let tokens =
            List.map
@@ -1138,7 +1157,7 @@ let e16_kernel =
 let e17 () =
   let corpus =
     Extract_snippet.Corpus.of_list
-      [ "retail", snd (List.hd (Lazy.force datasets)) ]
+      [ "retail", snd (hd_exn (Lazy.force datasets)) ]
   in
   (* a small rotating workload: 8 distinct targets, requested repeatedly *)
   let targets =
@@ -1150,7 +1169,7 @@ let e17 () =
     let server = Extract_server.Demo_server.create ~cache_size corpus in
     let t0 = Unix.gettimeofday () in
     for i = 0 to requests - 1 do
-      let target = List.nth targets (i mod List.length targets) in
+      let target = nth_exn targets (i mod List.length targets) in
       let r = Extract_server.Demo_server.handle server target in
       assert (r.Extract_server.Demo_server.status = 200)
     done;
@@ -1177,7 +1196,7 @@ let e17_kernel =
           lazy
             (Extract_server.Demo_server.create
                (Extract_snippet.Corpus.of_list
-                  [ "retail", snd (List.hd (Lazy.force datasets)) ]))
+                  [ "retail", snd (hd_exn (Lazy.force datasets)) ]))
         in
         fun () ->
           Extract_server.Demo_server.handle (Lazy.force server)
@@ -1280,7 +1299,7 @@ let e19 () =
 let e19_kernel =
   Test.make ~name:"e19_parallel_snippets"
     (Staged.stage (fun () ->
-         let _, db = List.hd (Lazy.force datasets) in
+         let _, db = hd_exn (Lazy.force datasets) in
          Pipeline.run_parallel ~bound:10 ~domains:2 ~limit:8 db "apparel retailer"))
 
 (* ================================================================== *)

@@ -13,6 +13,11 @@ module Feature = Extract_snippet.Feature
 module Engine = Extract_search.Engine
 module Result_tree = Extract_search.Result_tree
 module Document = Extract_store.Document
+module Check = Extract_check.Check
+
+(* Opt-in stage-boundary invariant assertions: EXTRACT_CHECK=1 makes every
+   verb verify its artifacts as they are built and queried. *)
+let () = Check.install_from_env ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -215,7 +220,7 @@ let snippet_cmd =
          & info [ "order" ] ~docv:"ORDER"
              ~doc:"Feature ranking: dominance (paper), frequency (strawman) or biased (query-biased).")
   in
-  let run file query semantics bound limit compare differentiate order =
+  let run file query semantics bound limit compare_baselines differentiate order =
     let db = load_db file in
     let config = { Extract_snippet.Config.default with Extract_snippet.Config.feature_order = order } in
     let results =
@@ -232,7 +237,7 @@ let snippet_cmd =
           (Selector.covered_count r.selection)
           (Ilist.length r.ilist)
           (Snippet_tree.edge_count r.selection.snippet);
-        if compare then begin
+        if compare_baselines then begin
           let text =
             Extract_snippet.Text_baseline.generate
               ~window_tokens:(Extract_snippet.Text_baseline.window_for_bound bound)
@@ -348,6 +353,47 @@ let view_cmd =
     Term.(const run $ file_arg $ path_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let queries =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:
+            "Also validate search results and snippets for $(docv) (repeatable). Without it, \
+             a deterministic probe workload derived from the index vocabulary is used.")
+  in
+  let run file queries =
+    let db = load_db file in
+    let queries =
+      match queries with
+      | [] -> Check.probe_queries db
+      | qs -> qs
+    in
+    Printf.printf "checking %s: %d nodes, %d tokens, %d paths, %d probe quer%s\n" file
+      (Document.node_count (Pipeline.document db))
+      (Extract_store.Inverted_index.token_count (Pipeline.index db))
+      (Extract_store.Dataguide.path_count (Pipeline.dataguide db))
+      (List.length queries)
+      (if List.length queries = 1 then "y" else "ies");
+    match Check.all ~queries db with
+    | [] -> print_endline "ok: all invariants hold"
+    | issues ->
+      List.iter (fun i -> print_endline (Check.issue_to_string i)) issues;
+      Printf.printf "FAILED: %d invariant violation(s)\n" (List.length issues);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify structural invariants (fsck) of a dataset, arena or bundle: document order, \
+          interval nesting, posting-list sortedness and agreement, dataguide consistency, \
+          snippet well-formedness.")
+    Term.(const run $ file_arg $ queries)
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
 let serve_cmd =
@@ -377,6 +423,6 @@ let main_cmd =
   let doc = "snippet generation for XML keyword search (eXtract, VLDB'08)" in
   Cmd.group (Cmd.info "extract" ~version:"1.0.0" ~doc)
     [ gen_cmd; stats_cmd; search_cmd; snippet_cmd; explain_cmd; save_cmd; demo_cmd; view_cmd;
-      serve_cmd ]
+      check_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -36,7 +36,7 @@ let () =
     List.map
       (fun (r : Pipeline.snippet_result) -> Ranker.score ranker q r.Pipeline.result, r)
       snippets
-    |> List.stable_sort (fun (a, _) (b, _) -> compare b a)
+    |> List.stable_sort (fun (a, _) (b, _) -> Float.compare b a)
   in
 
   Printf.printf "Query %S — %d results, ranked:\n\n" query (List.length ranked);

@@ -1,0 +1,407 @@
+module Document = Extract_store.Document
+module Dewey = Extract_store.Dewey
+module Inverted_index = Extract_store.Inverted_index
+module Dataguide = Extract_store.Dataguide
+module Tokenizer = Extract_store.Tokenizer
+module Result_tree = Extract_search.Result_tree
+module Pipeline = Extract_snippet.Pipeline
+module Selector = Extract_snippet.Selector
+module Snippet_tree = Extract_snippet.Snippet_tree
+module Ilist = Extract_snippet.Ilist
+
+type issue = {
+  area : string;
+  what : string;
+}
+
+exception Violation of issue list
+
+let issue_to_string i = Printf.sprintf "[%s] %s" i.area i.what
+
+let pp_issue ppf i = Format.pp_print_string ppf (issue_to_string i)
+
+let assert_ok = function
+  | [] -> ()
+  | issues -> raise (Violation issues)
+
+(* Per-checker issue collector, capped so a systematically corrupt
+   artifact yields a digest rather than one line per node. *)
+
+let cap = 20
+
+type collector = {
+  area : string;
+  mutable items : issue list; (* newest first *)
+  mutable count : int;
+}
+
+let collector area = { area; items = []; count = 0 }
+
+let report c fmt =
+  Printf.ksprintf
+    (fun what ->
+      c.count <- c.count + 1;
+      if c.count <= cap then c.items <- { area = c.area; what } :: c.items)
+    fmt
+
+let close c =
+  let items = List.rev c.items in
+  if c.count > cap then
+    items
+    @ [ { area = c.area; what = Printf.sprintf "... and %d more issue(s)" (c.count - cap) } ]
+  else items
+
+(* ------------------------------------------------------------------ *)
+(* Document arena + Dewey order                                        *)
+
+let check_arena doc =
+  let c = collector "document" in
+  let n = Document.node_count doc in
+  if n = 0 then report c "empty arena"
+  else begin
+    if not (Document.is_element doc 0) then report c "root node 0 is not an element";
+    (match Document.parent doc 0 with
+    | None -> ()
+    | Some p -> report c "root node 0 has parent %d" p);
+    if Document.depth doc 0 <> 0 then report c "root depth is %d, want 0" (Document.depth doc 0);
+    if Document.subtree_size doc 0 <> n then
+      report c "root subtree size %d does not cover the %d-node arena"
+        (Document.subtree_size doc 0) n
+  end;
+  for node = 0 to n - 1 do
+    let size = Document.subtree_size doc node in
+    if size < 1 then report c "node %d has subtree size %d < 1" node size
+    else if node + size > n then
+      report c "node %d subtree interval [%d,%d) overruns the arena (%d nodes)" node node
+        (node + size) n;
+    if node > 0 then begin
+      match Document.parent doc node with
+      | None -> report c "non-root node %d has no parent" node
+      | Some p ->
+        if p < 0 || p >= node then report c "node %d has parent %d, want a smaller id" node p
+        else begin
+          if Document.depth doc node <> Document.depth doc p + 1 then
+            report c "node %d depth %d disagrees with parent %d depth %d" node
+              (Document.depth doc node) p (Document.depth doc p);
+          if node + size - 1 > Document.subtree_last doc p then
+            report c "node %d subtree [%d,%d] escapes parent %d subtree [%d,%d]" node node
+              (node + size - 1) p p (Document.subtree_last doc p)
+        end
+    end;
+    if not (Document.is_element doc node) && size <> 1 then
+      report c "text node %d has subtree size %d, want 1 (texts are leaves)" node size
+  done;
+  (* Children partition the parent's interval, in order. *)
+  for node = 0 to n - 1 do
+    if Document.is_element doc node then begin
+      let expected = ref (node + 1) in
+      List.iter
+        (fun child ->
+          if child <> !expected then
+            report c "node %d: child %d starts at an unexpected id (want %d)" node child
+              !expected
+          else expected := child + Document.subtree_size doc child)
+        (Document.children doc node);
+      if !expected <> node + Document.subtree_size doc node then
+        report c "node %d: children cover [%d,%d), subtree interval is [%d,%d)" node (node + 1)
+          !expected node
+          (node + Document.subtree_size doc node)
+    end
+  done;
+  close c
+
+let check_dewey doc =
+  let c = collector "dewey" in
+  let d = Dewey.of_document doc in
+  let n = Document.node_count doc in
+  for node = 0 to n - 1 do
+    let len = Array.length (Dewey.label d node) in
+    if len <> Document.depth doc node then
+      report c "node %d label has %d components, depth is %d" node len
+        (Document.depth doc node)
+  done;
+  for node = 0 to n - 2 do
+    if Dewey.compare_nodes d node (node + 1) >= 0 then
+      report c "labels of consecutive nodes %d and %d are not strictly increasing" node
+        (node + 1);
+    let via_labels = Dewey.lca d node (node + 1) in
+    let via_parents = Document.lca doc node (node + 1) in
+    if via_labels <> via_parents then
+      report c "label LCA of %d and %d is %d, parent-walk LCA is %d" node (node + 1) via_labels
+        via_parents
+  done;
+  close c
+
+let check_document doc =
+  match check_arena doc with
+  (* Dewey construction walks the arena's intervals; only attempt it on a
+     structurally sound arena (a corrupt size array could loop). *)
+  | [] -> check_dewey doc
+  | issues -> issues
+
+(* ------------------------------------------------------------------ *)
+(* Inverted index                                                      *)
+
+let check_index idx =
+  let c = collector "index" in
+  let doc = Inverted_index.document idx in
+  let n = Document.node_count doc in
+  let repr = Inverted_index.Internal.to_repr idx in
+  let tokens = repr.Inverted_index.Internal.tokens in
+  let postings = repr.Inverted_index.Internal.postings in
+  if Array.length tokens <> Array.length postings then
+    report c "%d tokens but %d posting lists" (Array.length tokens) (Array.length postings);
+  let lists = min (Array.length tokens) (Array.length postings) in
+  for i = 0 to lists - 1 do
+    let token = tokens.(i) in
+    if token = "" then report c "token %d is empty" i;
+    if Tokenizer.normalize token <> token then report c "token %S is not normalized" token;
+    let arr = postings.(i) in
+    if Array.length arr = 0 then report c "token %S has an empty posting list" token;
+    Array.iteri
+      (fun j node ->
+        if j > 0 && node <= arr.(j - 1) then
+          report c "postings of %S not strictly ascending at offset %d (%d after %d)" token j
+            node
+            arr.(j - 1);
+        if node < 0 || node >= n then
+          report c "posting %d of %S outside the arena [0,%d)" node token n
+        else if not (Document.is_element doc node) then
+          report c "posting %d of %S is a text node" node token
+        else if Inverted_index.match_kind idx ~keyword:token ~node = None then
+          report c "posting %d of %S does not match the token (tag or direct text)" node token)
+      arr
+  done;
+  (* Postings <-> document agreement in both directions: rebuild from the
+     document and diff token by token. *)
+  if c.count = 0 then begin
+    let fresh = Inverted_index.build doc in
+    let fresh_repr = Inverted_index.Internal.to_repr fresh in
+    let fresh_tokens = fresh_repr.Inverted_index.Internal.tokens in
+    let have = Hashtbl.create (Array.length tokens) in
+    Array.iter (fun t -> Hashtbl.replace have t ()) tokens;
+    Array.iter
+      (fun t ->
+        if not (Hashtbl.mem have t) then
+          report c "document token %S is missing from the index" t)
+      fresh_tokens;
+    Array.iteri
+      (fun i token ->
+        let want = Inverted_index.lookup fresh token in
+        let got = postings.(i) in
+        if want <> got then
+          report c "postings of %S disagree with the document (%d stored, %d expected)" token
+            (Array.length got) (Array.length want))
+      tokens
+  end;
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Dataguide                                                           *)
+
+let check_dataguide guide =
+  let c = collector "dataguide" in
+  let doc = Dataguide.document guide in
+  let paths = Dataguide.paths guide in
+  if List.length paths <> Dataguide.path_count guide then
+    report c "paths list has %d entries, path_count is %d" (List.length paths)
+      (Dataguide.path_count guide);
+  let total = List.fold_left (fun acc p -> acc + Dataguide.instance_count guide p) 0 paths in
+  if total <> Document.element_count doc then
+    report c "instance counts sum to %d, document has %d elements" total
+      (Document.element_count doc);
+  for node = 0 to Document.node_count doc - 1 do
+    if Document.is_element doc node then begin
+      let p = Dataguide.path_of_node guide node in
+      if Dataguide.path_tag guide p <> Document.tag_id doc node then
+        report c "node %d tag %S disagrees with its path tag %S" node
+          (Document.tag_name doc node)
+          (Dataguide.path_tag_name guide p);
+      if Dataguide.path_depth guide p <> Document.depth doc node then
+        report c "node %d depth %d disagrees with path depth %d" node
+          (Document.depth doc node)
+          (Dataguide.path_depth guide p);
+      match Document.parent doc node with
+      | None ->
+        if Dataguide.parent_path guide p <> None then
+          report c "root node %d has a path with a parent path" node
+      | Some parent ->
+        let want = Some (Dataguide.path_of_node guide parent) in
+        if Dataguide.parent_path guide p <> want then
+          report c "node %d: parent path disagrees with the parent node's path" node
+    end
+  done;
+  List.iter
+    (fun p ->
+      let s = Dataguide.path_string guide p in
+      let segments = List.filter (fun x -> x <> "") (String.split_on_char '/' s) in
+      match Dataguide.find_path guide segments with
+      | Some q when q = p -> ()
+      | Some q -> report c "path %S resolves to a different path id (%d, not %d)" s q p
+      | None -> report c "path %S does not resolve via find_path" s)
+    paths;
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Result trees and snippets                                           *)
+
+let check_result r =
+  let c = collector "result" in
+  let doc = Result_tree.document r in
+  let root = Result_tree.root r in
+  let members = Result_tree.members r in
+  if Array.length members = 0 then report c "result has no members"
+  else begin
+    if members.(0) <> root then
+      report c "first member %d is not the root %d" members.(0) root;
+    let last = Document.subtree_last doc root in
+    Array.iteri
+      (fun i m ->
+        if i > 0 && m <= members.(i - 1) then
+          report c "members not strictly ascending at offset %d" i;
+        if m < root || m > last then
+          report c "member %d outside the root's subtree [%d,%d]" m root last;
+        if m <> root then begin
+          match Document.parent doc m with
+          | Some p when Result_tree.mem r p -> ()
+          | Some p -> report c "member %d's parent %d is not a member (not ancestor-closed)" m p
+          | None -> report c "member %d has no parent yet is not the root" m
+        end)
+      members
+  end;
+  close c
+
+let check_selection (sel : Selector.selection) =
+  let c = collector "snippet" in
+  let snippet = sel.Selector.snippet in
+  let result = Snippet_tree.result snippet in
+  let doc = Result_tree.document result in
+  let root = Result_tree.root result in
+  if sel.Selector.bound < 0 then report c "negative bound %d" sel.Selector.bound;
+  if not (Snippet_tree.mem snippet root) then
+    report c "snippet does not contain the result root %d" root;
+  let nodes = Snippet_tree.nodes snippet in
+  List.iter
+    (fun node ->
+      if not (Result_tree.mem result node) then
+        report c "snippet node %d is not a member of the result" node
+      else if not (Document.is_element doc node) then
+        report c "snippet node %d is not an element" node;
+      if node <> root then begin
+        match Document.parent doc node with
+        | Some p when Snippet_tree.mem snippet p -> ()
+        | Some p -> report c "snippet node %d is disconnected (parent %d absent)" node p
+        | None -> report c "snippet node %d has no parent yet is not the root" node
+      end)
+    nodes;
+  let edges = Snippet_tree.edge_count snippet in
+  if edges <> Snippet_tree.element_count snippet - 1 then
+    report c "edge count %d disagrees with element count %d" edges
+      (Snippet_tree.element_count snippet);
+  if edges > sel.Selector.bound then
+    report c "snippet has %d edges, over the bound of %d" edges sel.Selector.bound;
+  let cost_sum =
+    List.fold_left (fun acc (cv : Selector.covered) -> acc + cv.Selector.cost) 0
+      sel.Selector.covered
+  in
+  if cost_sum <> edges then
+    report c "covered item costs sum to %d, snippet has %d edges" cost_sum edges;
+  List.iter
+    (fun (cv : Selector.covered) ->
+      if cv.Selector.cost < 0 then report c "covered item has negative cost %d" cv.Selector.cost;
+      if not (Snippet_tree.mem snippet cv.Selector.instance) then
+        report c "covered item instance %d is missing from the snippet" cv.Selector.instance)
+    sel.Selector.covered;
+  List.iter
+    (fun (e : Ilist.entry) ->
+      if Array.length e.Ilist.instances = 0 then
+        report c "skipped item %S has no instances (belongs in uncoverable)"
+          (Ilist.display e.Ilist.item))
+    sel.Selector.skipped;
+  List.iter
+    (fun (e : Ilist.entry) ->
+      if Array.length e.Ilist.instances > 0 then
+        report c "uncoverable item %S has %d instance(s)" (Ilist.display e.Ilist.item)
+          (Array.length e.Ilist.instances))
+    sel.Selector.uncoverable;
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Whole database + query probes                                       *)
+
+let check_db db =
+  check_document (Pipeline.document db)
+  @ check_index (Pipeline.index db)
+  @ check_dataguide (Pipeline.dataguide db)
+
+let check_ilist db (s : Pipeline.snippet_result) =
+  let c = collector "snippet" in
+  ignore db;
+  List.iter
+    (fun (e : Ilist.entry) ->
+      Array.iter
+        (fun inst ->
+          if not (Result_tree.mem s.Pipeline.result inst) then
+            report c "IList item %S instance %d is not a member of its result"
+              (Ilist.display e.Ilist.item) inst)
+        e.Ilist.instances)
+    (Ilist.entries s.Pipeline.ilist);
+  close c
+
+let check_query ?semantics ?(bound = Pipeline.default_bound) db query =
+  let results = Pipeline.run ?semantics ~bound db query in
+  List.concat_map
+    (fun (s : Pipeline.snippet_result) ->
+      check_result s.Pipeline.result @ check_ilist db s @ check_selection s.Pipeline.selection)
+    results
+
+let probe_queries db =
+  let index = Pipeline.index db in
+  let scored =
+    List.map (fun t -> t, Array.length (Inverted_index.lookup index t))
+      (Inverted_index.vocabulary index)
+  in
+  let top =
+    List.stable_sort
+      (fun (ta, ca) (tb, cb) ->
+        if ca <> cb then Int.compare cb ca else String.compare ta tb)
+      scored
+  in
+  match top with
+  | (a, _) :: (b, _) :: _ -> [ a; b; a ^ " " ^ b ]
+  | [ (a, _) ] -> [ a ]
+  | [] -> []
+
+let all ?queries db =
+  let queries =
+    match queries with
+    | Some qs -> qs
+    | None -> probe_queries db
+  in
+  check_db db @ List.concat_map (fun q -> check_query db q) queries
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stage assertions                                           *)
+
+let install_pipeline_observer () =
+  Pipeline.set_observer
+    (Some
+       {
+         Pipeline.on_built = (fun db -> assert_ok (check_db db));
+         Pipeline.on_results =
+           (fun _db results -> assert_ok (List.concat_map check_result results));
+         Pipeline.on_snippets =
+           (fun db snips ->
+             assert_ok
+               (List.concat_map
+                  (fun (s : Pipeline.snippet_result) ->
+                    check_ilist db s @ check_selection s.Pipeline.selection)
+                  snips));
+       })
+
+let env_var = "EXTRACT_CHECK"
+
+let install_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> install_pipeline_observer ()

@@ -1,0 +1,110 @@
+(** Invariant verifier ("fsck") for built artifacts.
+
+    The pipeline's hot paths (interval binary search, SLCA merges, greedy
+    instance selection) silently assume deep structural invariants:
+    pre-order arenas whose subtree intervals nest, Dewey labels in strict
+    document order, sorted and deduplicated posting lists that agree with
+    the document, a dataguide consistent with every node's root path, and
+    snippets that stay connected rooted trees within the edge bound. This
+    module checks all of them explicitly.
+
+    Three consumers:
+
+    - the [extract check] CLI verb, over any persisted index/dataset;
+    - the test suite, which runs {!all} against every bundled generator;
+    - opt-in debug assertions at pipeline stage boundaries, enabled by
+      setting the [EXTRACT_CHECK] environment variable
+      ({!install_from_env}). *)
+
+module Document = Extract_store.Document
+module Pipeline = Extract_snippet.Pipeline
+
+type issue = {
+  area : string;  (** "document", "dewey", "index", "dataguide", "result", "snippet" *)
+  what : string;  (** human-readable description of the violated invariant *)
+}
+
+exception Violation of issue list
+(** Raised by {!assert_ok} (and hence by the [EXTRACT_CHECK] stage
+    assertions) when issues were found. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val issue_to_string : issue -> string
+
+val assert_ok : issue list -> unit
+(** No-op on [[]]; raises {!Violation} otherwise. *)
+
+(** {1 Artifact checkers}
+
+    Each checker returns the violations found (empty = clean). Issue lists
+    are truncated per area after a fixed cap so a systematically corrupt
+    artifact reports a digest, not millions of lines. *)
+
+val check_document : Document.t -> issue list
+(** Arena structure: root/parent/depth agreement, subtree intervals that
+    nest and partition, text nodes as leaves — plus Dewey labels: strict
+    document order of consecutive labels, label length = node depth, and
+    label-based LCA agreeing with the parent-walk LCA. *)
+
+val check_index : Extract_store.Inverted_index.t -> issue list
+(** Posting lists sorted strictly ascending (hence deduplicated), every
+    posting a live element node that actually matches its token, and
+    postings↔document agreement: the index is rebuilt from the document
+    and compared token by token, so both missing and phantom postings are
+    reported. *)
+
+val check_dataguide : Extract_store.Dataguide.t -> issue list
+(** Per-node path agreement (tag, depth, parent path), instance counts
+    that sum to the element count, and [path_string]/[find_path]
+    round-tripping for every path. *)
+
+val check_result : Extract_search.Result_tree.t -> issue list
+(** Result-tree shape: members sorted strictly ascending, inside the
+    root's subtree interval, and ancestor-closed up to the root. *)
+
+val check_selection : Extract_snippet.Selector.selection -> issue list
+(** Snippet output: connected (every node's parent present, up to the
+    result root), rooted at the result root, within the edge bound
+    ([edge_count = element_count - 1 <= bound]), covered costs summing to
+    the edge count, and every covered item's instance present in the
+    snippet ("all features present"). *)
+
+(** {1 Whole-database checks} *)
+
+val check_db : Pipeline.t -> issue list
+(** {!check_document} + {!check_index} + {!check_dataguide}. *)
+
+val check_query :
+  ?semantics:Extract_search.Engine.semantics ->
+  ?bound:int ->
+  Pipeline.t ->
+  string ->
+  issue list
+(** Run the full snippet pipeline for one query and validate every result
+    tree and every selection. *)
+
+val probe_queries : Pipeline.t -> string list
+(** Deterministic default workload for {!all}: the two most frequent
+    indexed tokens as single-keyword queries plus their conjunction. *)
+
+val all : ?queries:string list -> Pipeline.t -> issue list
+(** {!check_db} plus {!check_query} over [queries] (default
+    {!probe_queries}). The test suite runs this against every bundled
+    generator; [extract check] runs it over any loaded database. *)
+
+(** {1 Pipeline stage assertions} *)
+
+val install_pipeline_observer : unit -> unit
+(** Install a {!Pipeline.set_observer} hook that runs {!check_db} after
+    every build/load, {!check_result} on every search result and
+    {!check_selection} on every produced snippet, raising {!Violation} on
+    the first corrupt stage. *)
+
+val env_var : string
+(** ["EXTRACT_CHECK"]. *)
+
+val install_from_env : unit -> unit
+(** {!install_pipeline_observer} when [EXTRACT_CHECK] is set to anything
+    but [""] or ["0"]; no-op otherwise. Entry points (CLI, demo server,
+    test runner) call this at startup. *)

@@ -42,12 +42,12 @@ let generate spec kinds =
       | [] -> None
       | _ ->
         let n_keywords = Prng.int_in_range rng ~min:spec.min_keywords ~max:spec.max_keywords in
-        let pool = Array.of_list value_token_lists in
+        let pool = Array.of_list (List.map Array.of_list value_token_lists) in
         let rec draw acc remaining =
           if remaining = 0 then acc
           else begin
             let toks = Prng.choose rng pool in
-            let tok = List.nth toks (Prng.int rng (List.length toks)) in
+            let tok = Prng.choose rng toks in
             if List.mem tok acc then draw acc (remaining - 1)
             else draw (tok :: acc) (remaining - 1)
           end

@@ -42,4 +42,4 @@ let score t query result =
 
 let rank t query results =
   List.map (fun r -> r, score t query r) results
-  |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
+  |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)

@@ -38,7 +38,7 @@ let close_upward doc root nodes =
     nodes;
   add root;
   let members = Hashtbl.fold (fun n () acc -> n :: acc) set [] in
-  Array.of_list (List.sort compare members)
+  Array.of_list (List.sort Int.compare members)
 
 let of_members doc ~root nodes =
   of_sorted_members doc root (close_upward doc root nodes)

@@ -35,7 +35,7 @@ let compute doc lists =
   | [] -> []
   | _ when List.exists (fun l -> Array.length l = 0) lists -> []
   | _ ->
-    let sorted = List.sort (fun a b -> compare (Array.length a) (Array.length b)) lists in
+    let sorted = List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists in
     (match sorted with
     | [] -> []
     | smallest :: others ->
@@ -43,7 +43,7 @@ let compute doc lists =
         Array.to_list smallest
         |> List.map (fun v -> List.fold_left (fun u arr -> extend doc arr u) v others)
       in
-      let arr = List.sort_uniq compare candidates |> Array.of_list in
+      let arr = List.sort_uniq Int.compare candidates |> Array.of_list in
       (* Keep candidates with no candidate proper descendant: in document
          order, u has a covering descendant among candidates iff the next
          distinct candidate lies inside u's interval. *)

@@ -25,7 +25,7 @@ let dedupe_outermost doc nodes =
       | _ -> loop (n :: acc) rest
     end
   in
-  loop [] (List.sort_uniq compare nodes)
+  loop [] (List.sort_uniq Int.compare nodes)
 
 let roots kinds lists =
   let doc = Node_kind.document kinds in

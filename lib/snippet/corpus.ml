@@ -14,7 +14,7 @@ let empty = { dbs = [] }
 
 let add t ~name db =
   let without = List.remove_assoc name t.dbs in
-  { dbs = List.sort (fun (a, _) (b, _) -> compare a b) ((name, db) :: without) }
+  { dbs = List.sort (fun (a, _) (b, _) -> String.compare a b) ((name, db) :: without) }
 
 let of_list entries = List.fold_left (fun t (name, db) -> add t ~name db) empty entries
 
@@ -38,7 +38,8 @@ let run ?semantics ?config ?bound ?limit t query_string =
   let sorted =
     List.stable_sort
       (fun a b ->
-        if a.score <> b.score then compare b.score a.score else compare a.source b.source)
+        if a.score <> b.score then Float.compare b.score a.score
+        else String.compare a.source b.source)
       hits
   in
   match limit with

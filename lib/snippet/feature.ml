@@ -79,10 +79,15 @@ let stats_of analysis f =
   match Hashtbl.find_opt analysis.features f with
   | None -> None
   | Some data ->
-    let td = Hashtbl.find analysis.types (f.entity, f.attribute) in
-    let domain_size = Hashtbl.length td.values in
-    let score = float_of_int data.count /. (float_of_int td.total /. float_of_int domain_size) in
-    Some { occurrences = data.count; type_total = td.total; domain_size; score }
+    (* every recorded feature has its (entity, attribute) type entry *)
+    (match Hashtbl.find_opt analysis.types (f.entity, f.attribute) with
+    | None -> None
+    | Some td ->
+      let domain_size = Hashtbl.length td.values in
+      let score =
+        float_of_int data.count /. (float_of_int td.total /. float_of_int domain_size)
+      in
+      Some { occurrences = data.count; type_total = td.total; domain_size; score })
 
 let all analysis =
   Array.to_list analysis.order
@@ -102,7 +107,7 @@ let dominant analysis =
   (* [all] is first-occurrence ordered, so the index is the tiebreak. *)
   List.sort
     (fun (i, (_, sa)) (j, (_, sb)) ->
-      if sa.score <> sb.score then compare sb.score sa.score else compare i j)
+      if sa.score <> sb.score then Float.compare sb.score sa.score else Int.compare i j)
     indexed
   |> List.map snd
 

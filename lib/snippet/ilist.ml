@@ -43,7 +43,7 @@ let entity_names kinds result =
   Hashtbl.fold (fun tag l acc -> (tag, List.rev !l) :: acc) by_tag []
   |> List.sort (fun (ta, la) (tb, lb) ->
          let ca = List.length la and cb = List.length lb in
-         if ca <> cb then compare cb ca else compare ta tb)
+         if ca <> cb then Int.compare cb ca else String.compare ta tb)
 
 let keyword_instances ?ctx index result keyword =
   let postings =
@@ -63,13 +63,13 @@ let ordered_features ?ctx config kinds index result query analysis =
   | Config.By_frequency ->
     List.stable_sort
       (fun (_, (a : Feature.stats)) (_, (b : Feature.stats)) ->
-        compare b.Feature.occurrences a.Feature.occurrences)
+        Int.compare b.Feature.occurrences a.Feature.occurrences)
       dominant
   | Config.Query_biased ->
     let bias = Query_bias.make ?ctx kinds index result query in
     List.stable_sort
       (fun (fa, sa) (fb, sb) ->
-        compare
+        Float.compare
           (Query_bias.biased_score bias analysis fb sb)
           (Query_bias.biased_score bias analysis fa sa))
       dominant
@@ -151,7 +151,7 @@ let reorder_features ~score t =
       (fun a b ->
         match a.item, b.item with
         | Dominant_feature (fa, sa), Dominant_feature (fb, sb) ->
-          compare (score fb sb) (score fa sa)
+          Float.compare (score fb sb) (score fa sa)
         | _ -> 0)
       features
   in

@@ -41,7 +41,8 @@ let solve ?(max_steps = 2_000_000) ~bound result ilist =
       let costed =
         Array.to_list entry.instances
         |> List.map (fun inst -> Snippet_tree.cost_of snippet inst, inst)
-        |> List.sort compare
+        |> List.sort (fun (ca, ia) (cb, ib) ->
+               if ca <> cb then Int.compare ca cb else Int.compare ia ib)
       in
       List.iter
         (fun (cost, inst) ->

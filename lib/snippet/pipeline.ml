@@ -19,12 +19,43 @@ type t = {
 
 let next_id = Atomic.make 0
 
+(* Stage observer: a seam for opt-in invariant assertions (Extract_check
+   installs one when EXTRACT_CHECK is set). No observer, no cost. *)
+
+type observer = {
+  on_built : t -> unit;
+  on_results : t -> Result_tree.t list -> unit;
+  on_snippets : t -> snippet_result list -> unit;
+}
+
+and snippet_result = {
+  result : Result_tree.t;
+  ilist : Ilist.t;
+  selection : Selector.selection;
+}
+
+let observer : observer option ref = ref None
+
+let set_observer o = observer := o
+
+let notify_built t =
+  (match !observer with Some o -> o.on_built t | None -> ());
+  t
+
+let notify_results t results =
+  (match !observer with Some o -> o.on_results t results | None -> ());
+  results
+
+let notify_snippets t snips =
+  (match !observer with Some o -> o.on_snippets t snips | None -> ());
+  snips
+
 let build doc =
   let guide = Dataguide.build doc in
   let kinds = Node_kind.classify guide in
   let keys = Key_miner.mine kinds in
   let index = Inverted_index.build doc in
-  { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
+  notify_built { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
 
 let of_xml_string s = build (Document.load_string s)
 
@@ -36,7 +67,7 @@ let of_parts doc index =
   let guide = Dataguide.build doc in
   let kinds = Node_kind.classify guide in
   let keys = Key_miner.mine kinds in
-  { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
+  notify_built { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
 
 let save path t = Extract_store.Persist.save_bundle path t.doc t.index
 
@@ -56,12 +87,6 @@ let index t = t.index
 
 let dataguide t = t.guide
 
-type snippet_result = {
-  result : Result_tree.t;
-  ilist : Ilist.t;
-  selection : Selector.selection;
-}
-
 let default_bound = 10
 
 let ilist_of ?config t result query =
@@ -79,41 +104,47 @@ let snippet_of ?config ?(bound = default_bound) t result query =
 let context_of t query_string = Eval_ctx.make t.index (Query.of_string query_string)
 
 let search ?semantics ?limit t query_string =
-  Engine.run_ctx ?semantics ?limit (context_of t query_string) t.kinds
+  notify_results t (Engine.run_ctx ?semantics ?limit (context_of t query_string) t.kinds)
 
 let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit t query_string =
   let ctx = context_of t query_string in
-  let results = Engine.run_ctx ?semantics ?limit ctx t.kinds in
+  let results = notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds) in
   (* one analysis per result, shared between the differentiator and each
      result's IList construction *)
   let analyses = List.map (fun r -> r, Feature.analyze t.kinds r) results in
   let differ = Differentiator.make (List.map snd analyses) in
-  List.map
-    (fun (result, analysis) ->
-      let ilist =
-        Differentiator.apply differ
-          (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
-             (Eval_ctx.query ctx))
-      in
-      let selection = Selector.greedy ~bound result ilist in
-      { result; ilist; selection })
-    analyses
+  notify_snippets t
+    (List.map
+       (fun (result, analysis) ->
+         let ilist =
+           Differentiator.apply differ
+             (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
+                (Eval_ctx.query ctx))
+         in
+         let selection = Selector.greedy ~bound result ilist in
+         { result; ilist; selection })
+       analyses)
 
 let run_ranked ?semantics ?config ?(bound = default_bound) ?limit t query_string =
   let ctx = context_of t query_string in
   let ranker = Extract_search.Ranker.make t.index in
-  Engine.run_ctx ?semantics ctx t.kinds
-  |> Extract_search.Ranker.rank ranker (Eval_ctx.query ctx)
-  |> (fun scored ->
-       match limit with
-       | None -> scored
-       | Some k -> List.filteri (fun i _ -> i < k) scored)
-  |> List.map (fun (result, score) -> score, snippet_with ?config ~bound ~ctx t result)
+  let scored =
+    notify_results t (Engine.run_ctx ?semantics ctx t.kinds)
+    |> Extract_search.Ranker.rank ranker (Eval_ctx.query ctx)
+    |> (fun scored ->
+         match limit with
+         | None -> scored
+         | Some k -> List.filteri (fun i _ -> i < k) scored)
+    |> List.map (fun (result, score) -> score, snippet_with ?config ~bound ~ctx t result)
+  in
+  ignore (notify_snippets t (List.map snd scored));
+  scored
 
 let run ?semantics ?config ?(bound = default_bound) ?limit t query_string =
   let ctx = context_of t query_string in
-  Engine.run_ctx ?semantics ?limit ctx t.kinds
+  notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds)
   |> List.map (fun result -> snippet_with ?config ~bound ~ctx t result)
+  |> notify_snippets t
 
 (* Per-result snippet generation is embarrassingly parallel: the arena,
    index, classification and evaluation context are immutable after
@@ -123,11 +154,14 @@ let run ?semantics ?config ?(bound = default_bound) ?limit t query_string =
 let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4) t
     query_string =
   let ctx = context_of t query_string in
-  let results = Array.of_list (Engine.run_ctx ?semantics ?limit ctx t.kinds) in
+  let results =
+    Array.of_list (notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds))
+  in
   let n = Array.length results in
   let domains = max 1 (min domains n) in
   if domains <= 1 || n <= 1 then
-    Array.to_list (Array.map (fun r -> snippet_with ?config ~bound ~ctx t r) results)
+    notify_snippets t
+      (Array.to_list (Array.map (fun r -> snippet_with ?config ~bound ~ctx t r) results))
   else begin
     let out = Array.make n None in
     let worker d () =
@@ -140,5 +174,5 @@ let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 
     let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
     worker 0 ();
     List.iter Domain.join spawned;
-    Array.to_list out |> List.filter_map Fun.id
+    notify_snippets t (Array.to_list out |> List.filter_map Fun.id)
   end

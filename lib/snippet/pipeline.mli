@@ -48,6 +48,25 @@ type snippet_result = {
   selection : Selector.selection;
 }
 
+(** {1 Stage observation}
+
+    A seam for opt-in invariant assertions at pipeline stage boundaries:
+    {!Extract_check.Check.install_from_env} installs an observer when the
+    [EXTRACT_CHECK] environment variable is set. With no observer
+    installed (the default) the hooks cost one reference read. *)
+
+type observer = {
+  on_built : t -> unit;
+      (** After {!build}/{!load}: the analyzed database is complete. *)
+  on_results : t -> Extract_search.Result_tree.t list -> unit;
+      (** After the search engine, before snippet generation. *)
+  on_snippets : t -> snippet_result list -> unit;
+      (** After snippet generation, before results are returned. *)
+}
+
+val set_observer : observer option -> unit
+(** Install (or with [None] remove) the process-wide stage observer. *)
+
 val default_bound : int
 (** 10 edges, the demo's default ballpark. *)
 

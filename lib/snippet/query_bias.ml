@@ -42,7 +42,7 @@ let make ?ctx kinds index result query =
   { kinds; result; hot }
 
 let hot_entities t =
-  Hashtbl.fold (fun n () acc -> n :: acc) t.hot [] |> List.sort compare
+  Hashtbl.fold (fun n () acc -> n :: acc) t.hot [] |> List.sort Int.compare
 
 let affinity t analysis f =
   match Feature.instances analysis f with

@@ -13,7 +13,7 @@ let key_of_result keys kinds result query =
     Return_entity.return_entities kinds result query
     |> List.sort (fun a b ->
            let da = Document.depth doc a and db = Document.depth doc b in
-           if da <> db then compare da db else compare a b)
+           if da <> db then Int.compare da db else Int.compare a b)
   in
   List.find_map
     (fun entity ->

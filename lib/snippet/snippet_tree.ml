@@ -64,7 +64,7 @@ let remove t path =
     path
 
 let nodes t =
-  Hashtbl.fold (fun n () acc -> n :: acc) t.set [] |> List.sort compare
+  Hashtbl.fold (fun n () acc -> n :: acc) t.set [] |> List.sort Int.compare
 
 let contains_any t instances = Array.exists (fun n -> Hashtbl.mem t.set n) instances
 

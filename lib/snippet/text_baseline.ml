@@ -31,9 +31,12 @@ let generate ~window_tokens result query =
     in
     let leave tok =
       if List.mem tok keywords then begin
-        let c = Hashtbl.find counts tok in
-        if c = 1 then decr distinct;
-        Hashtbl.replace counts tok (c - 1)
+        (* only tokens previously entered ever leave the window *)
+        match Hashtbl.find_opt counts tok with
+        | None -> ()
+        | Some c ->
+          if c = 1 then decr distinct;
+          Hashtbl.replace counts tok (c - 1)
       end
     in
     let best_start = ref 0 and best_hits = ref (-1) in

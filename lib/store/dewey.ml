@@ -25,7 +25,7 @@ let compare_arrays a b =
     else if i >= la then -1
     else if i >= lb then 1
     else begin
-      let c = compare a.(i) b.(i) in
+      let c = Int.compare a.(i) b.(i) in
       if c <> 0 then c else loop (i + 1)
     end
   in

@@ -104,7 +104,11 @@ let sorted_tokens t =
   | None ->
     let arr = Array.make (Interner.count t.tokens) ("", 0) in
     Interner.iter (fun id tok -> arr.(id) <- (tok, id)) t.tokens;
-    Array.sort compare arr;
+    Array.sort
+      (fun (ta, ia) (tb, ib) ->
+        let c = String.compare ta tb in
+        if c <> 0 then c else Int.compare ia ib)
+      arr;
     t.sorted_tokens <- Some arr;
     arr
 
@@ -136,7 +140,7 @@ let complete t ?(limit = 10) prefix =
       incr i
     done;
     List.sort
-      (fun (ta, ca) (tb, cb) -> if ca <> cb then compare cb ca else compare ta tb)
+      (fun (ta, ca) (tb, cb) -> if ca <> cb then Int.compare cb ca else String.compare ta tb)
       !out
     |> List.filteri (fun i _ -> i < limit)
   end
@@ -153,7 +157,9 @@ module Internal = struct
     Interner.iter (fun id s -> tokens.(id) <- s) idx.tokens;
     let tag_tokens =
       Hashtbl.fold (fun pair () acc -> pair :: acc) idx.tag_tokens []
-      |> List.sort compare |> Array.of_list
+      |> List.sort (fun (a1, a2) (b1, b2) ->
+             if a1 <> b1 then Int.compare a1 b1 else Int.compare a2 b2)
+      |> Array.of_list
     in
     { tokens; postings = idx.postings; tag_tokens }
 

@@ -172,8 +172,8 @@ let select doc t =
       List.fold_left
         (fun contexts step ->
           List.concat_map (fun ctx -> step_from doc ctx step) contexts
-          |> List.sort_uniq compare)
-        (List.sort_uniq compare start) rest
+          |> List.sort_uniq Int.compare)
+        (List.sort_uniq Int.compare start) rest
     in
     contexts
 

@@ -28,7 +28,7 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
 
@@ -36,7 +36,7 @@ let summarize xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.summarize: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   {
     count = n;
     mean = mean xs;

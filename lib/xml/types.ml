@@ -69,7 +69,27 @@ let rec equal a b =
     && List.for_all2 equal x.children y.children
   | Text _, Element _ | Element _, Text _ -> false
 
-let compare = Stdlib.compare
+(* Dedicated structural order for XML trees: Element before Text, then
+   tag, attributes (name, value) and children lexicographically.
+   Consistent with {!equal}. *)
+let compare_attribute (a : attribute) (b : attribute) =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else String.compare a.value b.value
+
+let rec compare_tree x y =
+  match x, y with
+  | Element a, Element b ->
+    let c = String.compare a.tag b.tag in
+    if c <> 0 then c
+    else begin
+      let c = List.compare compare_attribute a.attrs b.attrs in
+      if c <> 0 then c else List.compare compare_tree a.children b.children
+    end
+  | Text a, Text b -> String.compare a b
+  | Element _, Text _ -> -1
+  | Text _, Element _ -> 1
+
+let compare = compare_tree
 
 let rec pp ppf = function
   | Text s -> Format.fprintf ppf "%S" s

@@ -137,3 +137,22 @@ Relaxed search drops unmatched keywords instead of returning nothing:
   (relaxed: dropped zzzz)
   10 result(s)
    1. <store> (729 nodes)
+
+The invariant checker (fsck) validates the dataset, the index, the
+dataguide and a probe-query snippet run:
+
+  $ extract check paper.xml
+  checking paper.xml: 7350 nodes, 65 tokens, 13 paths, 3 probe queries
+  ok: all invariants hold
+
+It also accepts a saved arena and explicit queries:
+
+  $ extract check paper.arena -q "Texas apparel retailer"
+  checking paper.arena: 7350 nodes, 65 tokens, 13 paths, 1 probe query
+  ok: all invariants hold
+
+EXTRACT_CHECK=1 runs the same invariants at every pipeline stage:
+
+  $ EXTRACT_CHECK=1 extract search paper.xml "Texas apparel retailer"
+  1 result(s)
+   1. <retailer> (7295 nodes)

@@ -1,0 +1,77 @@
+The extract-lint self-test: a deliberately bad library module must be
+caught by every rule, suppressions must silence single sites, and a
+clean tree must produce no output.
+
+  $ mkdir -p proj/lib/core
+
+A module violating all four rules (and no .mli next to it):
+
+  $ cat > proj/lib/core/bad.ml <<'EOF'
+  > exception Undeclared of string
+  > let smallest l = List.hd (List.sort compare l)
+  > let risky tbl k = Hashtbl.find tbl k
+  > let boom () = failwith "nope"
+  > let kaboom () = raise (Undeclared "kaboom")
+  > EOF
+
+  $ extract-lint proj
+  proj/lib/core/bad.ml:1: [missing-mli] library module has no .mli interface
+  proj/lib/core/bad.ml:2: [partial-fn] List.hd raises on []; match the list or use a non-empty invariant
+  proj/lib/core/bad.ml:2: [poly-compare] polymorphic compare; use Int.compare / String.compare / a dedicated comparator
+  proj/lib/core/bad.ml:3: [partial-fn] Hashtbl.find raises Not_found; use Hashtbl.find_opt with explicit handling
+  proj/lib/core/bad.ml:4: [raise-discipline] failwith raises the anonymous Failure; use invalid_arg or a declared error type
+  proj/lib/core/bad.ml:5: [raise-discipline] raise of undeclared exception Undeclared; declare it in a library .mli or use a sanctioned error type
+  6 violation(s) in 1 file(s) scanned
+  [1]
+
+Suppression comments silence exactly the named rule on their line (or
+the line below); other rules still fire:
+
+  $ cat > proj/lib/core/bad.ml <<'EOF'
+  > let smallest l = List.hd l (* lint: allow partial-fn *)
+  > (* lint: allow poly-compare *)
+  > let order = List.sort compare
+  > let boom () = failwith "nope"
+  > EOF
+  $ cat > proj/lib/core/bad.mli <<'EOF'
+  > val smallest : 'a list -> 'a
+  > val order : 'a list -> 'a list
+  > val boom : unit -> 'b
+  > EOF
+
+  $ extract-lint proj
+  proj/lib/core/bad.ml:4: [raise-discipline] failwith raises the anonymous Failure; use invalid_arg or a declared error type
+  1 violation(s) in 2 file(s) scanned
+  [1]
+
+Definition sites of a dedicated comparator named [compare] are exempt
+from poly-compare; exceptions declared in a library .mli may be raised;
+a clean tree is silent (exit 0):
+
+  $ cat > proj/lib/core/bad.ml <<'EOF'
+  > exception Declared of string
+  > let compare = Int.compare
+  > let smallest = function x :: _ -> Some x | [] -> None
+  > let boom () = raise (Declared "fine")
+  > EOF
+  $ cat > proj/lib/core/bad.mli <<'EOF'
+  > exception Declared of string
+  > val compare : int -> int -> int
+  > val smallest : 'a list -> 'a option
+  > val boom : unit -> 'b
+  > EOF
+
+  $ extract-lint proj
+
+Executable directories are exempt from missing-mli but not from the
+other rules:
+
+  $ mkdir -p proj/bin
+  $ cat > proj/bin/main.ml <<'EOF'
+  > let () = print_endline (List.hd [ "hello" ])
+  > EOF
+
+  $ extract-lint proj
+  proj/bin/main.ml:1: [partial-fn] List.hd raises on []; match the list or use a non-empty invariant
+  1 violation(s) in 3 file(s) scanned
+  [1]
