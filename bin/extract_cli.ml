@@ -19,6 +19,16 @@ module Check = Extract_check.Check
    verb verify its artifacts as they are built and queried. *)
 let () = Check.install_from_env ()
 
+(* Opt-in deterministic fault injection: EXTRACT_FAULTS=point:spec arms
+   the named failure points (see extract_util.Faults). A typo in the spec
+   is a usage error, not a crash. *)
+let () =
+  match Extract_util.Faults.install_from_env () with
+  | () -> ()
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    exit 2
+
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
@@ -55,20 +65,25 @@ let semantics_arg =
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Search engine: slca, elca, xseek or xsearch.")
 
 (* Accept an XML file, a binary arena, or a bundle written by [extract
-   save]: dispatch on the leading magic. *)
+   save]: Corpus.load_file dispatches on the leading magic and, when a
+   persisted artifact is corrupt but its XML source is still next to it,
+   rebuilds from the source with a warning. *)
+let load_db_raw file =
+  Extract_snippet.Corpus.load_file
+    ~on_warning:(fun msg -> Printf.eprintf "warning: %s\n%!" msg)
+    file
+
+(* a broken input file is a user error, not an internal one: report it
+   cleanly and exit 1 instead of letting cmdliner print a backtrace *)
 let load_db file =
-  let head =
-    let ic = open_in_bin file in
-    let n = in_channel_length ic in
-    let head = really_input_string ic (min n 16) in
-    close_in ic;
-    head
-  in
-  match Extract_store.Persist.sniff_magic head with
-  | Some magic when magic = Extract_store.Persist.bundle_magic -> Pipeline.load file
-  | Some magic when magic = Extract_store.Persist.magic ->
-    Pipeline.build (Extract_store.Persist.load file)
-  | Some _ | None -> Pipeline.of_file file
+  match load_db_raw file with
+  | db -> db
+  | exception Extract_xml.Error.Parse_error (pos, msg) ->
+    Printf.eprintf "error: %s: %s\n%!" file (Extract_xml.Error.to_string pos msg);
+    exit 1
+  | exception Extract_store.Codec.Corrupt msg ->
+    Printf.eprintf "error: %s: %s\n%!" file msg;
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -296,17 +311,31 @@ let save_cmd =
   let out =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output arena file.")
   in
-  let run file out =
+  let index_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"FILE"
+          ~doc:
+            "Write the inverted index separately to $(docv); OUT then holds the bare \
+             arena. The pair can be validated with $(b,extract check --index).")
+  in
+  let run file out index_out =
     let db = load_db file in
-    Pipeline.save out db;
+    (match index_out with
+    | None -> Pipeline.save out db
+    | Some ipath ->
+      Extract_store.Persist.save out (Pipeline.document db);
+      Extract_store.Persist.save_index ipath (Pipeline.index db));
     Printf.printf "wrote %s (%d nodes, %d tokens)\n" out
       (Extract_store.Document.node_count (Pipeline.document db))
-      (Extract_store.Inverted_index.token_count (Pipeline.index db))
+      (Extract_store.Inverted_index.token_count (Pipeline.index db));
+    Option.iter (fun ipath -> Printf.printf "wrote %s (index)\n" ipath) index_out
   in
   Cmd.v
     (Cmd.info "save"
        ~doc:"Persist a parsed, indexed database as one binary bundle (fast reload).")
-    Term.(const run $ file_arg $ out)
+    Term.(const run $ file_arg $ out $ index_out)
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)
@@ -365,33 +394,58 @@ let check_cmd =
             "Also validate search results and snippets for $(docv) (repeatable). Without it, \
              a deterministic probe workload derived from the index vocabulary is used.")
   in
-  let run file queries =
-    let db = load_db file in
-    let queries =
-      match queries with
-      | [] -> Check.probe_queries db
-      | qs -> qs
-    in
-    Printf.printf "checking %s: %d nodes, %d tokens, %d paths, %d probe quer%s\n" file
-      (Document.node_count (Pipeline.document db))
-      (Extract_store.Inverted_index.token_count (Pipeline.index db))
-      (Extract_store.Dataguide.path_count (Pipeline.dataguide db))
-      (List.length queries)
-      (if List.length queries = 1 then "y" else "ies");
-    match Check.all ~queries db with
-    | [] -> print_endline "ok: all invariants hold"
-    | issues ->
-      List.iter (fun i -> print_endline (Check.issue_to_string i)) issues;
-      Printf.printf "FAILED: %d invariant violation(s)\n" (List.length issues);
-      exit 1
+  let index_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "index" ] ~docv:"FILE"
+          ~doc:
+            "Validate $(docv) as the index persisted for the positional arena/XML file: \
+             seals (magic, version, checksum) and the recorded arena fingerprint, catching \
+             a mismatched arena/index pair.")
+  in
+  let fail issues =
+    List.iter (fun i -> print_endline (Check.issue_to_string i)) issues;
+    Printf.printf "FAILED: %d invariant violation(s)\n" (List.length issues);
+    exit 1
+  in
+  let run file index queries =
+    (match index with
+    | None -> ()
+    | Some index -> (
+      match Check.check_pair ~arena:file ~index with
+      | [] -> Printf.printf "ok: %s and %s are a sealed, matching pair\n" file index
+      | issues -> fail issues));
+    match load_db_raw file with
+    | exception Extract_store.Codec.Corrupt msg ->
+      fail [ { Check.area = "persist"; what = Printf.sprintf "%s: %s" file msg } ]
+    | exception Extract_xml.Error.Parse_error (pos, msg) ->
+      fail
+        [ { Check.area = "xml"; what = Printf.sprintf "%s: %s" file (Extract_xml.Error.to_string pos msg) } ]
+    | db -> (
+      let queries =
+        match queries with
+        | [] -> Check.probe_queries db
+        | qs -> qs
+      in
+      Printf.printf "checking %s: %d nodes, %d tokens, %d paths, %d probe quer%s\n" file
+        (Document.node_count (Pipeline.document db))
+        (Extract_store.Inverted_index.token_count (Pipeline.index db))
+        (Extract_store.Dataguide.path_count (Pipeline.dataguide db))
+        (List.length queries)
+        (if List.length queries = 1 then "y" else "ies");
+      match Check.all ~queries db with
+      | [] -> print_endline "ok: all invariants hold"
+      | issues -> fail issues)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Verify structural invariants (fsck) of a dataset, arena or bundle: document order, \
           interval nesting, posting-list sortedness and agreement, dataguide consistency, \
-          snippet well-formedness.")
-    Term.(const run $ file_arg $ queries)
+          snippet well-formedness; with $(b,--index), also the seal and arena fingerprint \
+          of a persisted arena/index pair.")
+    Term.(const run $ file_arg $ index_file $ queries)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -403,7 +457,26 @@ let serve_cmd =
   let port =
     Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = pick one).")
   in
-  let run files port =
+  let timeout_ms =
+    Arg.(
+      value
+      & opt int Extract_server.Demo_server.default_config.Extract_server.Demo_server.timeout_ms
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-connection socket read/write timeout in milliseconds (slowloris \
+             protection); 0 disables.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request snippet budget in milliseconds: results reached after expiry get \
+             baseline snippets tagged degraded; a request whose budget is spent before \
+             search starts is shed with 503.")
+  in
+  let run files port timeout_ms deadline_ms =
     let corpus =
       List.fold_left
         (fun corpus file ->
@@ -411,11 +484,18 @@ let serve_cmd =
           Extract_snippet.Corpus.add corpus ~name (load_db file))
         Extract_snippet.Corpus.empty files
     in
-    Extract_server.Demo_server.serve (Extract_server.Demo_server.create corpus) ~port
+    let config =
+      {
+        Extract_server.Demo_server.default_config with
+        Extract_server.Demo_server.timeout_ms;
+        deadline_ms;
+      }
+    in
+    Extract_server.Demo_server.serve ~config (Extract_server.Demo_server.create corpus) ~port
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the demo web service (the paper's Fig. 5 site) over XML files.")
-    Term.(const run $ files $ port)
+    Term.(const run $ files $ port $ timeout_ms $ deadline_ms)
 
 (* ------------------------------------------------------------------ *)
 

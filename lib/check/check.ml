@@ -271,7 +271,7 @@ let check_result r =
   end;
   close c
 
-let check_selection (sel : Selector.selection) =
+let check_selection ?(degraded = false) (sel : Selector.selection) =
   let c = collector "snippet" in
   let snippet = sel.Selector.snippet in
   let result = Snippet_tree.result snippet in
@@ -300,12 +300,17 @@ let check_selection (sel : Selector.selection) =
       (Snippet_tree.element_count snippet);
   if edges > sel.Selector.bound then
     report c "snippet has %d edges, over the bound of %d" edges sel.Selector.bound;
-  let cost_sum =
-    List.fold_left (fun acc (cv : Selector.covered) -> acc + cv.Selector.cost) 0
-      sel.Selector.covered
-  in
-  if cost_sum <> edges then
-    report c "covered item costs sum to %d, snippet has %d edges" cost_sum edges;
+  (* a degraded (deadline-expired) selection is a baseline snippet with no
+     coverage accounting: its edges are bought by no covered item, so the
+     cost-sum identity deliberately does not apply *)
+  if not degraded then begin
+    let cost_sum =
+      List.fold_left (fun acc (cv : Selector.covered) -> acc + cv.Selector.cost) 0
+        sel.Selector.covered
+    in
+    if cost_sum <> edges then
+      report c "covered item costs sum to %d, snippet has %d edges" cost_sum edges
+  end;
   List.iter
     (fun (cv : Selector.covered) ->
       if cv.Selector.cost < 0 then report c "covered item has negative cost %d" cv.Selector.cost;
@@ -324,6 +329,54 @@ let check_selection (sel : Selector.selection) =
         report c "uncoverable item %S has %d instance(s)" (Ilist.display e.Ilist.item)
           (Array.length e.Ilist.instances))
     sel.Selector.uncoverable;
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Persisted artifacts on disk                                         *)
+
+module Persist = Extract_store.Persist
+module Codec = Extract_store.Codec
+
+let sniff_file path =
+  let ic = open_in_bin path in
+  let head =
+    try really_input_string ic (min (in_channel_length ic) 16)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  Persist.sniff_magic head
+
+(* Deliberately reports rather than masks: [Corpus.load_file] rebuilds
+   from XML on corruption, but fsck's job is to say the artifact is bad —
+   including the quiet failure mode where both files are individually
+   intact yet the index was built from some other arena (fingerprint
+   mismatch). *)
+let check_pair ~arena ~index =
+  let c = collector "persist" in
+  let doc =
+    try
+      match sniff_file arena with
+      | Some m when m = Persist.magic -> Some (Persist.load arena)
+      | Some m when m = Persist.bundle_magic ->
+        report c "%s is a bundle, not a bare arena (its index travels inside it)" arena;
+        None
+      | Some _ | None -> Some (Document.load_file arena)
+    with
+    | Codec.Corrupt msg ->
+      report c "arena %s: %s" arena msg;
+      None
+    | Extract_xml.Error.Parse_error (pos, msg) ->
+      report c "arena %s: %s" arena (Extract_xml.Error.to_string pos msg);
+      None
+  in
+  (match doc with
+  | None -> ()
+  | Some doc -> (
+    match Persist.load_index index ~doc with
+    | _ -> ()
+    | exception Codec.Corrupt msg -> report c "index %s: %s" index msg));
   close c
 
 (* ------------------------------------------------------------------ *)
@@ -352,7 +405,8 @@ let check_query ?semantics ?(bound = Pipeline.default_bound) db query =
   let results = Pipeline.run ?semantics ~bound db query in
   List.concat_map
     (fun (s : Pipeline.snippet_result) ->
-      check_result s.Pipeline.result @ check_ilist db s @ check_selection s.Pipeline.selection)
+      check_result s.Pipeline.result @ check_ilist db s
+      @ check_selection ~degraded:s.Pipeline.degraded s.Pipeline.selection)
     results
 
 let probe_queries db =
@@ -395,7 +449,8 @@ let install_pipeline_observer () =
              assert_ok
                (List.concat_map
                   (fun (s : Pipeline.snippet_result) ->
-                    check_ilist db s @ check_selection s.Pipeline.selection)
+                    check_ilist db s
+                    @ check_selection ~degraded:s.Pipeline.degraded s.Pipeline.selection)
                   snips));
        })
 

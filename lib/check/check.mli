@@ -63,12 +63,24 @@ val check_result : Extract_search.Result_tree.t -> issue list
 (** Result-tree shape: members sorted strictly ascending, inside the
     root's subtree interval, and ancestor-closed up to the root. *)
 
-val check_selection : Extract_snippet.Selector.selection -> issue list
+val check_selection : ?degraded:bool -> Extract_snippet.Selector.selection -> issue list
 (** Snippet output: connected (every node's parent present, up to the
     result root), rooted at the result root, within the edge bound
     ([edge_count = element_count - 1 <= bound]), covered costs summing to
     the edge count, and every covered item's instance present in the
-    snippet ("all features present"). *)
+    snippet ("all features present"). With [~degraded:true] (a
+    deadline-expired {!Pipeline.snippet_result}) the cost-sum identity is
+    skipped: a baseline snippet's edges are bought by no covered item. *)
+
+val check_pair : arena:string -> index:string -> issue list
+(** Validate a persisted arena/index pair on disk (area ["persist"]):
+    each file's seal (magic, version, checksum) and the index's recorded
+    arena fingerprint against the arena actually given — the quiet
+    failure mode where both files are individually intact but the index
+    was built from a different arena. [arena] may also be an XML source
+    file or (reported as an issue) a bundle. Unlike
+    {!Extract_snippet.Corpus.load_file} this reports corruption instead
+    of rebuilding around it — fsck's job is to say the artifact is bad. *)
 
 (** {1 Whole-database checks} *)
 

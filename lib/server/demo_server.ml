@@ -3,11 +3,14 @@ module Pipeline = Extract_snippet.Pipeline
 module Html_view = Extract_snippet.Html_view
 module Snippet_cache = Extract_snippet.Snippet_cache
 module Lru = Extract_util.Lru
+module Deadline = Extract_util.Deadline
+module Faults = Extract_util.Faults
 
 type t = {
   corpus : Corpus.t;
   pages : (string, string) Lru.t; (* request target -> rendered body *)
   snippets : Snippet_cache.t; (* (db, query, bound, …) -> snippet results *)
+  mutable degraded_served : int; (* deadline-degraded snippets sent so far *)
 }
 
 let create ?(cache_size = 64) corpus =
@@ -15,12 +18,14 @@ let create ?(cache_size = 64) corpus =
     corpus;
     pages = Lru.create ~capacity:cache_size;
     snippets = Snippet_cache.create ~capacity:(4 * cache_size) ();
+    degraded_served = 0;
   }
 
 type response = {
   status : int;
   reason : string;
   content_type : string;
+  headers : (string * string) list;
   body : string;
 }
 
@@ -84,17 +89,23 @@ let parse_target target =
 (* Pages *)
 
 let ok ?(content_type = "text/html; charset=utf-8") body =
-  { status = 200; reason = "OK"; content_type; body }
+  { status = 200; reason = "OK"; content_type; headers = []; body }
 
 let text_ok body = ok ~content_type:"text/plain; charset=utf-8" body
 
-let error status reason detail =
+let error ?(headers = []) status reason detail =
   {
     status;
     reason;
     content_type = "text/plain; charset=utf-8";
+    headers;
     body = Printf.sprintf "%d %s\n%s\n" status reason detail;
   }
+
+(* load shedding: the budget is already gone, so decline the expensive
+   work up front instead of producing an all-degraded page *)
+let overloaded detail =
+  error ~headers:[ "Retry-After", "1" ] 503 "Service Unavailable" detail
 
 let home_page t =
   let buf = Buffer.create 1024 in
@@ -124,27 +135,41 @@ let with_db t params f =
     | Some db -> f name db
   end
 
-let search_page t target params =
+let search_page t ~deadline target params =
   with_db t params (fun name db ->
       match List.assoc_opt "q" params with
       | None | Some "" -> error 400 "Bad Request" "missing ?q= parameter"
       | Some q ->
-        let bound =
-          match Option.bind (List.assoc_opt "bound" params) int_of_string_opt with
-          | Some b when b >= 0 -> b
-          | Some _ | None -> Pipeline.default_bound
-        in
-        let body =
+        if Deadline.expired deadline then
+          overloaded "per-request budget exhausted before search started"
+        else begin
+          let bound =
+            match Option.bind (List.assoc_opt "bound" params) int_of_string_opt with
+            | Some b when b >= 0 -> b
+            | Some _ | None -> Pipeline.default_bound
+          in
           (* two cache levels: rendered pages by raw target, and
              search+snippet results by normalized query — a page miss with
-             a differently-encoded target still skips the pipeline *)
-          Lru.find_or_add t.pages target (fun () ->
-              let results = Snippet_cache.run ~bound ~limit:25 t.snippets db q in
+             a differently-encoded target still skips the pipeline. A page
+             with degraded snippets is served but cached at neither level:
+             the degradation reflects this request's budget, not the
+             query's answer. *)
+          match Lru.find t.pages target with
+          | Some body -> ok body
+          | None ->
+            let results = Snippet_cache.run ~bound ~limit:25 ~deadline t.snippets db q in
+            let degraded =
+              List.length (List.filter (fun r -> r.Pipeline.degraded) results)
+            in
+            t.degraded_served <- t.degraded_served + degraded;
+            let body =
               Html_view.result_page
                 ~title:(Printf.sprintf "eXtract — %s" name)
-                ~query:q ~bound results)
-        in
-        ok body)
+                ~query:q ~bound results
+            in
+            if degraded = 0 then Lru.put t.pages target body;
+            ok body
+        end)
 
 let complete_page t params =
   with_db t params (fun _ db ->
@@ -161,12 +186,14 @@ let cache_report t =
   let snip_hits, snip_misses = Snippet_cache.stats t.snippets in
   Printf.sprintf
     "page cache: %d hits, %d misses, %d/%d entries\n\
-     snippet cache: %d hits, %d misses, %d/%d entries, hit rate %.2f\n"
+     snippet cache: %d hits, %d misses, %d/%d entries, hit rate %.2f\n\
+     degraded snippets served: %d\n"
     page_hits page_misses (Lru.length t.pages) (Lru.capacity t.pages) snip_hits
     snip_misses
     (Snippet_cache.length t.snippets)
     (Snippet_cache.capacity t.snippets)
     (Snippet_cache.hit_rate t.snippets)
+    t.degraded_served
 
 let stats_page t params =
   with_db t params (fun name db ->
@@ -175,26 +202,63 @@ let stats_page t params =
         (Format.asprintf "data set: %s@.%a@.%s" name Extract_store.Doc_stats.pp stats
            (cache_report t)))
 
-let handle t target =
+let handle ?(deadline = Deadline.never) t target =
   match parse_target target with
   | exception _ -> error 400 "Bad Request" "unparsable target"
   | path, params -> begin
     try
       match path with
       | "/" | "/index.html" -> ok (home_page t)
-      | "/search" -> search_page t target params
+      | "/search" -> search_page t ~deadline target params
       | "/complete" -> complete_page t params
       | "/stats" -> stats_page t params
       | _ -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
-    with e -> error 500 "Internal Server Error" (Printexc.to_string e)
+    with
+    | Faults.Injected (point, _) ->
+      overloaded (Printf.sprintf "transient fault at %s" point)
+    | e -> error 500 "Internal Server Error" (Printexc.to_string e)
   end
 
 let cache_stats t = Lru.stats t.pages
 
 let snippet_cache_stats t = Snippet_cache.stats t.snippets
 
+let degraded_served t = t.degraded_served
+
 (* ------------------------------------------------------------------ *)
 (* Transport *)
+
+type config = {
+  timeout_ms : int;
+  deadline_ms : int option;
+  max_header_bytes : int;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    timeout_ms = 5_000;
+    deadline_ms = None;
+    max_header_bytes = 32_768;
+    log = (fun msg -> Printf.eprintf "extract-serve: %s\n%!" msg);
+  }
+
+(* A dying client must cost us one connection, not the process: without
+   this, the kernel answers a write to a closed peer with SIGPIPE and the
+   default disposition kills the server. Ignored, the write fails with
+   EPIPE, which the per-connection handler logs and drops. *)
+let ensure_sigpipe_ignored =
+  let installed = lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore) in
+  fun () -> (try Lazy.force installed with Invalid_argument _ | Sys_error _ -> ())
+
+let set_socket_timeouts fd timeout_ms =
+  if timeout_ms > 0 then begin
+    let seconds = float_of_int timeout_ms /. 1000. in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds
+    with Unix.Unix_error _ | Invalid_argument _ -> ()
+  end
 
 let listen ~port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -208,29 +272,69 @@ let bound_port sock =
   | Unix.ADDR_INET (_, port) -> port
   | Unix.ADDR_UNIX _ -> invalid_arg "Demo_server.bound_port: not an inet socket"
 
+let max_request_line = 8192
+
+type read_outcome =
+  | Line of string
+  | Eof
+  | Timed_out
+  | Too_long
+  | Bad_cr
+
 let read_request_line fd =
-  (* read byte-wise up to the first newline; ample for a request line *)
+  (* byte-wise up to the first line terminator; ample for a request line *)
   let buf = Buffer.create 128 in
   let byte = Bytes.create 1 in
   let rec loop n =
-    if n > 8192 then None
-    else if Unix.read fd byte 0 1 <> 1 then None
+    if n >= max_request_line then Too_long
+    else if Unix.read fd byte 0 1 <> 1 then Eof
     else begin
-      let c = Bytes.get byte 0 in
-      if c = '\n' then Some (Buffer.contents buf)
-      else begin
-        if c <> '\r' then Buffer.add_char buf c;
+      match Bytes.get byte 0 with
+      | '\n' -> Line (Buffer.contents buf)
+      | '\r' ->
+        (* CR is only valid as the first half of the CRLF terminator *)
+        if Unix.read fd byte 0 1 <> 1 then Eof
+        else if Bytes.get byte 0 = '\n' then Line (Buffer.contents buf)
+        else Bad_cr
+      | c ->
+        Buffer.add_char buf c;
         loop (n + 1)
-      end
     end
   in
-  loop 0
+  try loop 0 with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> Timed_out
+  | Unix.Unix_error (Unix.ECONNRESET, _, _) -> Eof
+
+(* Consume the header block up to the blank line, bounded: we answer every
+   request with [Connection: close], so the headers only need discarding —
+   but discarding without a bound would hand a hostile client an
+   unmetered sink. *)
+let drain_headers ~max_bytes fd =
+  let byte = Bytes.create 1 in
+  (* at_line_start starts true: the request line's terminator was already
+     consumed, so an immediately blank line ends an empty header block *)
+  let rec loop consumed at_line_start =
+    if consumed >= max_bytes then `Overflow
+    else if Unix.read fd byte 0 1 <> 1 then `Eof
+    else
+      match Bytes.get byte 0 with
+      | '\n' -> if at_line_start then `Done else loop (consumed + 1) true
+      | '\r' -> loop (consumed + 1) at_line_start
+      | _ -> loop (consumed + 1) false
+  in
+  try loop 0 true with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> `Timeout
+  | Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
 
 let write_response fd r =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
+  in
   let head =
     Printf.sprintf
-      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-      r.status r.reason r.content_type (String.length r.body)
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n"
+      r.status r.reason r.content_type (String.length r.body) extra
   in
   let payload = head ^ r.body in
   let bytes = Bytes.of_string payload in
@@ -242,28 +346,55 @@ let write_response fd r =
   in
   write_all 0
 
-let serve_once t listening =
+let serve_once ?(config = default_config) t listening =
+  ensure_sigpipe_ignored ();
   let fd, _ = Unix.accept listening in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
+      set_socket_timeouts fd config.timeout_ms;
       let response =
         match read_request_line fd with
-        | None -> error 400 "Bad Request" "empty request"
-        | Some line -> begin
+        | Eof -> error 400 "Bad Request" "empty request"
+        | Timed_out -> error 408 "Request Timeout" "no request line within the read timeout"
+        | Too_long ->
+          error 400 "Bad Request"
+            (Printf.sprintf "request line longer than %d bytes" max_request_line)
+        | Bad_cr -> error 400 "Bad Request" "bare CR in request line"
+        | Line line -> begin
           match String.split_on_char ' ' line with
-          | [ "GET"; target; _version ] -> handle t target
-          | "GET" :: target :: _ -> handle t target
+          | "GET" :: target :: _ -> begin
+            match drain_headers ~max_bytes:config.max_header_bytes fd with
+            | `Overflow ->
+              error 431 "Request Header Fields Too Large"
+                (Printf.sprintf "headers longer than %d bytes" config.max_header_bytes)
+            | `Timeout ->
+              error 408 "Request Timeout" "headers not finished within the read timeout"
+            | `Done | `Eof ->
+              (* the budget clock starts once the request is fully read *)
+              handle ~deadline:(Deadline.of_ms_opt config.deadline_ms) t target
+          end
           | _ -> error 400 "Bad Request" (Printf.sprintf "unsupported request %S" line)
         end
       in
-      write_response fd response)
+      try write_response fd response with
+      | Unix.Unix_error (Unix.EPIPE, _, _) ->
+        config.log "client went away before the response was written (EPIPE); dropped"
+      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPROTOTYPE), _, _) ->
+        config.log "connection reset by peer while writing response; dropped"
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+        config.log "response write timed out (slow reader); dropped")
 
-let serve t ~port =
+let serve ?(config = default_config) t ~port =
+  ensure_sigpipe_ignored ();
   let sock = listen ~port in
   Printf.printf "eXtract demo server on http://127.0.0.1:%d/\n%!" (bound_port sock);
   while true do
-    match serve_once t sock with
+    (* nothing a single connection does may stop the accept loop *)
+    match serve_once ~config t sock with
     | () -> ()
-    | exception Unix.Unix_error _ -> ()
+    | exception Unix.Unix_error (e, fn, _) ->
+      config.log (Printf.sprintf "connection dropped: %s in %s" (Unix.error_message e) fn)
+    | exception e ->
+      config.log (Printf.sprintf "connection handler failed: %s" (Printexc.to_string e))
   done

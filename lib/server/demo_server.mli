@@ -18,7 +18,20 @@
     - anything else — 404.
 
     [handle] is the pure request → response core (unit-testable without
-    sockets); [serve] and [serve_once] add the transport. *)
+    sockets); [serve] and [serve_once] add the transport.
+
+    {2 Resilience (DESIGN.md §9)}
+
+    The transport assumes hostile or broken clients: SIGPIPE is ignored
+    (a dying client costs one connection, not the process), reads and
+    writes carry [SO_RCVTIMEO]/[SO_SNDTIMEO] timeouts so a slowloris
+    client cannot wedge the loop, the request line and header drain are
+    byte-bounded, and every per-connection failure is logged and dropped
+    while the accept loop keeps serving. Each request may run under a
+    deadline ({!config.deadline_ms}): snippets that would start after
+    expiry degrade to the baseline (tagged in the HTML and counted on
+    [/stats]), and a request whose budget is gone before search starts is
+    shed with [503] + [Retry-After]. *)
 
 type t
 
@@ -31,13 +44,18 @@ type response = {
   status : int;
   reason : string;
   content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Retry-After] on 503 *)
   body : string;
 }
 
-val handle : t -> string -> response
+val handle : ?deadline:Extract_util.Deadline.t -> t -> string -> response
 (** [handle t target] serves a request target (path + optional query
     string, e.g. ["/search?data=retail&q=store+texas&bound=6"]). Never
-    raises: errors become 4xx/5xx responses. *)
+    raises: errors become 4xx/5xx responses — an injected transient fault
+    ({!Extract_util.Faults.Injected}) maps to 503 + [Retry-After], any
+    other escape to 500. An already-expired [deadline] sheds the search
+    route with 503 before any pipeline work; one that expires mid-request
+    degrades the remaining snippets instead (a 200, never a timeout). *)
 
 val cache_stats : t -> int * int
 (** (hits, misses) of the page cache. *)
@@ -47,20 +65,46 @@ val snippet_cache_stats : t -> int * int
     ({!Extract_snippet.Snippet_cache}) sitting under the page cache. Both
     counters also appear on the [/stats] page. *)
 
+val degraded_served : t -> int
+(** Deadline-degraded snippets served since startup (also on [/stats]).
+    Pages containing any are cached at neither cache level. *)
+
 (** {1 Transport} *)
+
+type config = {
+  timeout_ms : int;
+      (** per-connection socket read/write timeout ([SO_RCVTIMEO] /
+          [SO_SNDTIMEO]); [0] disables. Default 5000. *)
+  deadline_ms : int option;
+      (** per-request snippet budget, started after the request is fully
+          read; [None] (default) = no deadline. *)
+  max_header_bytes : int;
+      (** bound on the post-request-line header drain (default 32 KiB);
+          beyond it the request is answered 431. *)
+  log : string -> unit;
+      (** dropped-connection and handler-failure reports (default:
+          stderr). *)
+}
+
+val default_config : config
 
 val listen : port:int -> Unix.file_descr
 (** Bind and listen on 127.0.0.1:[port] ([port] 0 picks a free one). *)
 
 val bound_port : Unix.file_descr -> int
 
-val serve_once : t -> Unix.file_descr -> unit
+val serve_once : ?config:config -> t -> Unix.file_descr -> unit
 (** Accept one connection on a listening socket, answer one request,
-    close. Malformed requests get a 400. *)
+    close. Malformed requests get a 400, an overlong request line 400, an
+    overlong header block 431, a read timeout 408; a client that
+    disappears mid-response (EPIPE/reset) or reads too slowly is logged
+    via [config.log] and dropped. Never raises for any of these
+    per-connection conditions. *)
 
-val serve : t -> port:int -> unit
-(** [listen] + [serve_once] forever. Never returns; intended for the CLI's
-    [serve] command. *)
+val serve : ?config:config -> t -> port:int -> unit
+(** [listen] + [serve_once] forever, with SIGPIPE ignored and a catch-all
+    around each connection: no single client can stop the accept loop.
+    Never returns; intended for the CLI's [serve] command. *)
 
 (** {1 Parsing helpers (exposed for tests)} *)
 
@@ -70,3 +114,19 @@ val url_decode : string -> string
 
 val parse_target : string -> string * (string * string) list
 (** Split a request target into path and decoded query parameters. *)
+
+val max_request_line : int
+(** 8192 — the byte bound on the request line, terminator excluded;
+    {!read_request_line} reads not one byte past it. *)
+
+type read_outcome =
+  | Line of string  (** a complete request line, terminator stripped *)
+  | Eof  (** peer closed before a full line *)
+  | Timed_out  (** [SO_RCVTIMEO] expired mid-line *)
+  | Too_long  (** no terminator within {!max_request_line} bytes *)
+  | Bad_cr  (** a CR not immediately followed by LF *)
+
+val read_request_line : Unix.file_descr -> read_outcome
+(** Read one LF- or CRLF-terminated line, byte-bounded. A bare CR inside
+    the line is rejected as {!Bad_cr} (answered 400), not silently
+    dropped. *)

@@ -24,13 +24,58 @@ let find t name = List.assoc_opt name t.dbs
 
 let size t = List.length t.dbs
 
-let run ?semantics ?config ?bound ?limit t query_string =
+(* ------------------------------------------------------------------ *)
+(* Loading: accept an XML file, a binary arena, or a bundle written by
+   [extract save], dispatching on the leading magic. A corrupt persisted
+   artifact is not fatal when its XML source is still around: warn and
+   rebuild from the source instead — the artifact is only ever a cache of
+   the XML. *)
+
+let sniff path =
+  let ic = open_in_bin path in
+  let head =
+    try really_input_string ic (min (in_channel_length ic) 16)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  Extract_store.Persist.sniff_magic head
+
+let load_artifact path magic =
+  if magic = Extract_store.Persist.bundle_magic then Some (Pipeline.load path)
+  else if magic = Extract_store.Persist.magic then
+    Some (Pipeline.build (Extract_store.Persist.load path))
+  else None
+
+(* candidate XML sources for a corrupt artifact: `foo.bundle` → `foo.xml`,
+   then bare `foo` *)
+let xml_siblings path =
+  let base = Filename.remove_extension path in
+  List.filter (fun p -> p <> path && Sys.file_exists p) [ base ^ ".xml"; base ]
+
+let load_file ?(on_warning = fun _ -> ()) path =
+  match sniff path with
+  | None -> Pipeline.of_file path
+  | Some magic -> (
+    match load_artifact path magic with
+    | None -> Pipeline.of_file path
+    | Some db -> db
+    | exception Extract_store.Codec.Corrupt reason -> (
+      match xml_siblings path with
+      | source :: _ ->
+        on_warning
+          (Printf.sprintf "corrupt artifact %s (%s); rebuilding from %s" path reason source);
+        Pipeline.of_file source
+      | [] -> raise (Extract_store.Codec.Corrupt reason)))
+
+let run ?semantics ?config ?bound ?limit ?deadline t query_string =
   let hits =
     List.concat_map
       (fun (source, db) ->
         let ranker = Ranker.make (Pipeline.index db) in
         let query = Query.of_string query_string in
-        Pipeline.run ?semantics ?config ?bound db query_string
+        Pipeline.run ?semantics ?config ?bound ?deadline db query_string
         |> List.map (fun (s : Pipeline.snippet_result) ->
                { source; score = Ranker.score ranker query s.Pipeline.result; snippet = s }))
       t.dbs

@@ -30,14 +30,28 @@ val find : t -> string -> Pipeline.t option
 
 val size : t -> int
 
+val load_file : ?on_warning:(string -> unit) -> string -> Pipeline.t
+(** Load one database from [path], whatever it holds: a bundle written by
+    [extract save], a bare binary arena, or XML (dispatch on the leading
+    magic; anything unrecognized is parsed as XML). A persisted artifact
+    is only a cache of its XML source, so a corrupt one
+    ({!Extract_store.Codec.Corrupt}: bad checksum, truncation, injected
+    fault) is not fatal when a sibling XML source ([foo.xml] or [foo] next
+    to [foo.bundle]) still exists — [on_warning] is told and the database
+    is rebuilt from the source. With no sibling to rebuild from, the
+    original [Corrupt] is re-raised. *)
+
 val run :
   ?semantics:Extract_search.Engine.semantics ->
   ?config:Config.t ->
   ?bound:int ->
   ?limit:int ->
+  ?deadline:Extract_util.Deadline.t ->
   t ->
   string ->
   hit list
 (** Search every database, snippet every result, merge and sort by
     decreasing score (ties: source name, then document order). [limit]
-    caps the {e merged} list. *)
+    caps the {e merged} list. [deadline] is shared across the member
+    databases: once it expires, remaining snippets degrade
+    ({!Pipeline.run}). *)

@@ -66,6 +66,8 @@ let css =
   .tag { color: #14548c; font-weight: 600; }
   .value { color: #222; }
   .ilist { font-size: 0.85rem; color: #666; margin-top: 0.5rem; }
+  .degraded { color: #a05a00; background: #fff3e0; border-radius: 4px;
+    padding: 0 0.4rem; font-size: 0.8rem; margin-left: 0.5rem; }
   details { margin-top: 0.6rem; }
   summary { cursor: pointer; color: #14548c; }
 |}
@@ -75,13 +77,22 @@ let result_page ?(title = "eXtract") ~query ~bound results =
   Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
   Buffer.add_string buf (Printf.sprintf "<title>%s</title>" (escape title));
   Buffer.add_string buf (Printf.sprintf "<style>%s</style></head><body>" css);
+  let degraded_count =
+    List.length (List.filter (fun r -> r.Pipeline.degraded) results)
+  in
   Buffer.add_string buf
-    (Printf.sprintf "<h1>%s</h1><p class=\"meta\">query: <b>%s</b> &middot; %d result(s) &middot; snippet bound: %d edges</p>"
-       (escape title) (escape query) (List.length results) bound);
+    (Printf.sprintf "<h1>%s</h1><p class=\"meta\">query: <b>%s</b> &middot; %d result(s) &middot; snippet bound: %d edges%s</p>"
+       (escape title) (escape query) (List.length results) bound
+       (if degraded_count = 0 then ""
+        else Printf.sprintf " &middot; %d degraded snippet(s)" degraded_count));
   List.iteri
     (fun i (r : Pipeline.snippet_result) ->
       Buffer.add_string buf "<div class=\"hit\">";
-      Buffer.add_string buf (Printf.sprintf "<div class=\"rank\">result %d</div>" (i + 1));
+      Buffer.add_string buf
+        (Printf.sprintf "<div class=\"rank\">result %d%s</div>" (i + 1)
+           (if r.Pipeline.degraded then
+              "<span class=\"degraded\" title=\"deadline expired: baseline snippet\">degraded</span>"
+            else ""));
       Buffer.add_string buf (snippet_to_html r.Pipeline.selection.Selector.snippet);
       Buffer.add_string buf
         (Printf.sprintf "<div class=\"ilist\">IList: %s</div>"

@@ -121,6 +121,8 @@ let build ?(config = Config.default) ?ctx ?analysis kinds keys index result quer
   end;
   { entries = Array.of_list (List.rev !out) }
 
+let empty = { entries = [||] }
+
 let entries t = Array.to_list t.entries
 
 let length t = Array.length t.entries

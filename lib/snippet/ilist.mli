@@ -49,6 +49,10 @@ val build :
     running the analysis again (the differentiated pipeline computes it
     once per result for cross-result scoring). *)
 
+val empty : t
+(** No entries — the IList of a degraded (deadline-expired) snippet,
+    which never ran the analysis that would have produced one. *)
+
 val entries : t -> entry list
 
 val length : t -> int

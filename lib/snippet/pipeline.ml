@@ -7,6 +7,8 @@ module Engine = Extract_search.Engine
 module Query = Extract_search.Query
 module Result_tree = Extract_search.Result_tree
 module Eval_ctx = Extract_search.Eval_ctx
+module Deadline = Extract_util.Deadline
+module Faults = Extract_util.Faults
 
 type t = {
   id : int; (* unique per analyzed database; cache keys embed it *)
@@ -32,6 +34,7 @@ and snippet_result = {
   result : Result_tree.t;
   ilist : Ilist.t;
   selection : Selector.selection;
+  degraded : bool;
 }
 
 let observer : observer option ref = ref None
@@ -51,6 +54,7 @@ let notify_snippets t snips =
   snips
 
 let build doc =
+  Faults.hit "pipeline.build";
   let guide = Dataguide.build doc in
   let kinds = Node_kind.classify guide in
   let keys = Key_miner.mine kinds in
@@ -64,6 +68,7 @@ let of_file path = build (Document.load_file path)
 (* Rebuild everything derivable cheaply (classification, keys) and reuse
    the persisted index. *)
 let of_parts doc index =
+  Faults.hit "pipeline.build";
   let guide = Dataguide.build doc in
   let kinds = Node_kind.classify guide in
   let keys = Key_miner.mine kinds in
@@ -96,36 +101,65 @@ let snippet_with ?config ~bound ~ctx t result =
   let query = Eval_ctx.query ctx in
   let ilist = Ilist.build ?config ~ctx t.kinds t.keys t.index result query in
   let selection = Selector.greedy ~bound result ilist in
-  { result; ilist; selection }
+  { result; ilist; selection; degraded = false }
+
+(* The degradation ladder's bottom rung: when the per-request budget is
+   gone (or a fault is injected at [pipeline.snippet]), the result still
+   gets a snippet — the O(bound) breadth-first {!Naive_baseline}
+   truncation, with no IList and no selection bookkeeping. Cheap enough
+   to be safe under any deadline that admitted the search itself. *)
+let degraded_snippet ~bound result =
+  let snippet = Naive_baseline.generate ~bound result in
+  {
+    result;
+    ilist = Ilist.empty;
+    selection = { Selector.snippet; covered = []; skipped = []; uncoverable = []; bound };
+    degraded = true;
+  }
+
+let want_degraded deadline = Deadline.expired deadline || Faults.should_fail "pipeline.snippet"
 
 let snippet_of ?config ?(bound = default_bound) t result query =
   snippet_with ?config ~bound ~ctx:(Eval_ctx.make t.index query) t result
 
-let context_of t query_string = Eval_ctx.make t.index (Query.of_string query_string)
+let context_of t query_string =
+  Faults.hit "pipeline.search";
+  Eval_ctx.make t.index (Query.of_string query_string)
 
 let search ?semantics ?limit t query_string =
   notify_results t (Engine.run_ctx ?semantics ?limit (context_of t query_string) t.kinds)
 
-let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit t query_string =
+let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
+    ?(deadline = Deadline.never) t query_string =
   let ctx = context_of t query_string in
   let results = notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds) in
   (* one analysis per result, shared between the differentiator and each
-     result's IList construction *)
-  let analyses = List.map (fun r -> r, Feature.analyze t.kinds r) results in
-  let differ = Differentiator.make (List.map snd analyses) in
+     result's IList construction; a result whose analysis would start
+     after the deadline degrades instead and takes no part in
+     cross-result scoring *)
+  let analyses =
+    List.map
+      (fun r -> if want_degraded deadline then r, None else r, Some (Feature.analyze t.kinds r))
+      results
+  in
+  let differ = Differentiator.make (List.filter_map snd analyses) in
   notify_snippets t
     (List.map
        (fun (result, analysis) ->
-         let ilist =
-           Differentiator.apply differ
-             (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
-                (Eval_ctx.query ctx))
-         in
-         let selection = Selector.greedy ~bound result ilist in
-         { result; ilist; selection })
+         match analysis with
+         | None -> degraded_snippet ~bound result
+         | Some analysis ->
+           let ilist =
+             Differentiator.apply differ
+               (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
+                  (Eval_ctx.query ctx))
+           in
+           let selection = Selector.greedy ~bound result ilist in
+           { result; ilist; selection; degraded = false })
        analyses)
 
-let run_ranked ?semantics ?config ?(bound = default_bound) ?limit t query_string =
+let run_ranked ?semantics ?config ?(bound = default_bound) ?limit
+    ?(deadline = Deadline.never) t query_string =
   let ctx = context_of t query_string in
   let ranker = Extract_search.Ranker.make t.index in
   let scored =
@@ -135,15 +169,21 @@ let run_ranked ?semantics ?config ?(bound = default_bound) ?limit t query_string
          match limit with
          | None -> scored
          | Some k -> List.filteri (fun i _ -> i < k) scored)
-    |> List.map (fun (result, score) -> score, snippet_with ?config ~bound ~ctx t result)
+    |> List.map (fun (result, score) ->
+           ( score,
+             if want_degraded deadline then degraded_snippet ~bound result
+             else snippet_with ?config ~bound ~ctx t result ))
   in
   ignore (notify_snippets t (List.map snd scored));
   scored
 
-let run ?semantics ?config ?(bound = default_bound) ?limit t query_string =
+let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline.never) t
+    query_string =
   let ctx = context_of t query_string in
   notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds)
-  |> List.map (fun result -> snippet_with ?config ~bound ~ctx t result)
+  |> List.map (fun result ->
+         if want_degraded deadline then degraded_snippet ~bound result
+         else snippet_with ?config ~bound ~ctx t result)
   |> notify_snippets t
 
 (* Per-result snippet generation is embarrassingly parallel: the arena,
@@ -151,23 +191,26 @@ let run ?semantics ?config ?(bound = default_bound) ?limit t query_string =
    construction, and each result's analysis/selection state is local.
    Results are dealt round-robin across domains and reassembled in
    order. *)
-let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4) t
-    query_string =
+let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4)
+    ?(deadline = Deadline.never) t query_string =
   let ctx = context_of t query_string in
   let results =
     Array.of_list (notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds))
   in
+  let snippet result =
+    if want_degraded deadline then degraded_snippet ~bound result
+    else snippet_with ?config ~bound ~ctx t result
+  in
   let n = Array.length results in
   let domains = max 1 (min domains n) in
   if domains <= 1 || n <= 1 then
-    notify_snippets t
-      (Array.to_list (Array.map (fun r -> snippet_with ?config ~bound ~ctx t r) results))
+    notify_snippets t (Array.to_list (Array.map snippet results))
   else begin
     let out = Array.make n None in
     let worker d () =
       let i = ref d in
       while !i < n do
-        out.(!i) <- Some (snippet_with ?config ~bound ~ctx t results.(!i));
+        out.(!i) <- Some (snippet results.(!i));
         i := !i + domains
       done
     in

@@ -46,6 +46,12 @@ type snippet_result = {
   result : Extract_search.Result_tree.t;
   ilist : Ilist.t;
   selection : Selector.selection;
+  degraded : bool;
+      (** [true] when the per-request deadline expired (or a
+          ["pipeline.snippet"] fault fired) before this result's turn: the
+          snippet is the cheap {!Naive_baseline} truncation, [ilist] is
+          {!Ilist.empty} and [selection] carries no coverage accounting.
+          Callers surface this rather than failing the whole request. *)
 }
 
 (** {1 Stage observation}
@@ -70,16 +76,28 @@ val set_observer : observer option -> unit
 val default_bound : int
 (** 10 edges, the demo's default ballpark. *)
 
+(** {1 Deadlines}
+
+    Every run variant takes an optional [?deadline]
+    ({!Extract_util.Deadline.t}, default {!Extract_util.Deadline.never}).
+    The deadline is checked once per result, before that result's snippet
+    work starts: results reached after expiry degrade to the
+    {!Naive_baseline} snippet (tagged [degraded = true]) instead of
+    aborting the request. A request therefore always returns one snippet
+    per search result — the tail of the list just gets cheaper snippets
+    when the budget runs out. *)
+
 val run :
   ?semantics:Extract_search.Engine.semantics ->
   ?config:Config.t ->
   ?bound:int ->
   ?limit:int ->
+  ?deadline:Extract_util.Deadline.t ->
   t ->
   string ->
   snippet_result list
 (** [run t query_string] — the full demo interaction of Fig. 5. Defaults:
-    XSeek semantics, [default_bound], no result limit. One
+    XSeek semantics, [default_bound], no result limit, no deadline. One
     {!Extract_search.Eval_ctx} is built per call: every keyword's posting
     list is resolved exactly once and shared by the engine, IList
     construction and query-biased scoring. *)
@@ -90,6 +108,7 @@ val run_parallel :
   ?bound:int ->
   ?limit:int ->
   ?domains:int ->
+  ?deadline:Extract_util.Deadline.t ->
   t ->
   string ->
   snippet_result list
@@ -104,6 +123,7 @@ val run_ranked :
   ?config:Config.t ->
   ?bound:int ->
   ?limit:int ->
+  ?deadline:Extract_util.Deadline.t ->
   t ->
   string ->
   (float * snippet_result) list
@@ -116,6 +136,7 @@ val run_differentiated :
   ?config:Config.t ->
   ?bound:int ->
   ?limit:int ->
+  ?deadline:Extract_util.Deadline.t ->
   t ->
   string ->
   snippet_result list
@@ -124,7 +145,7 @@ val run_differentiated :
     distinctiveness, so the snippets of a multi-result answer emphasize
     what sets each result apart. {!Feature.analyze} runs exactly once per
     result: the same analysis feeds the differentiator and that result's
-    IList. *)
+    IList. Degraded results take no part in cross-result scoring. *)
 
 val search :
   ?semantics:Extract_search.Engine.semantics ->

@@ -26,10 +26,16 @@ let key_of ?semantics ?config ?bound ?limit db query_string =
     config;
   }
 
-let run ?semantics ?config ?bound ?limit t db query_string =
+let run ?semantics ?config ?bound ?limit ?deadline t db query_string =
   let key = key_of ?semantics ?config ?bound ?limit db query_string in
-  Lru.find_or_add t key (fun () ->
-      Pipeline.run ?semantics ?config ?bound ?limit db query_string)
+  match Lru.find t key with
+  | Some v -> v
+  | None ->
+    let v = Pipeline.run ?semantics ?config ?bound ?limit ?deadline db query_string in
+    (* a deadline-starved answer is not the answer — caching it would
+       serve degraded snippets long after the pressure has passed *)
+    if not (List.exists (fun r -> r.Pipeline.degraded) v) then Lru.put t key v;
+    v
 
 let stats = Lru.stats
 

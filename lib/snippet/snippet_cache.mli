@@ -23,13 +23,17 @@ val run :
   ?config:Config.t ->
   ?bound:int ->
   ?limit:int ->
+  ?deadline:Extract_util.Deadline.t ->
   t ->
   Pipeline.t ->
   string ->
   Pipeline.snippet_result list
 (** Cached {!Pipeline.run}: on a miss, runs the pipeline and stores the
     outcome. The query string is normalized ({!Extract_search.Query}), so
-    ["Texas, APPAREL"] and ["texas apparel"] share an entry. *)
+    ["Texas, APPAREL"] and ["texas apparel"] share an entry. An outcome
+    containing any [degraded] result is returned but {e not} cached — the
+    degradation reflects transient pressure, not the query's answer
+    (the deadline is deliberately absent from the key). *)
 
 val stats : t -> int * int
 (** (hits, misses) since creation or {!clear}. *)

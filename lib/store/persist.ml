@@ -1,6 +1,38 @@
+module Faults = Extract_util.Faults
+
 let magic = "XTRARENA"
 
-let version = 1
+let version = 2
+
+(* ------------------------------------------------------------------ *)
+(* Sealed envelopes: every Persist artifact is  magic · version ·
+   MD5(payload) · payload,  so corruption anywhere in the payload is
+   detected up front instead of surfacing later as nonsense postings. *)
+
+let seal ~magic payload =
+  let w = Codec.writer () in
+  Codec.write_string w magic;
+  Codec.write_varint w version;
+  Codec.write_string w (Digest.string payload);
+  Codec.write_string w payload;
+  Codec.contents w
+
+let unseal ~magic:expected ~kind data =
+  let r = Codec.reader data in
+  let m = Codec.read_string r in
+  if m <> expected then raise (Codec.Corrupt (Printf.sprintf "bad %s magic %S" kind m));
+  let v = Codec.read_varint r in
+  if v <> version then
+    raise (Codec.Corrupt (Printf.sprintf "unsupported %s version %d (want %d)" kind v version));
+  let sum = Codec.read_string r in
+  let payload = Codec.read_string r in
+  if not (Codec.at_end r) then
+    raise (Codec.Corrupt (Printf.sprintf "trailing bytes after %s" kind));
+  if Digest.string payload <> sum then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf "%s checksum mismatch (file corrupt or truncated)" kind));
+  payload
 
 let write_int_array w arr =
   Codec.write_varint w (Array.length arr);
@@ -18,11 +50,9 @@ let read_string_array r =
   let n = Codec.read_varint r in
   Array.init n (fun _ -> Codec.read_string r)
 
-let encode doc =
+let doc_payload doc =
   let repr = Document.Internal.to_repr doc in
   let w = Codec.writer () in
-  Codec.write_string w magic;
-  Codec.write_varint w version;
   (match repr.Document.Internal.dtd_source with
   | None -> Codec.write_varint w 0
   | Some s ->
@@ -38,12 +68,12 @@ let encode doc =
   Codec.write_varint w repr.Document.Internal.element_count;
   Codec.contents w
 
-let decode data =
-  let r = Codec.reader data in
-  let m = Codec.read_string r in
-  if m <> magic then raise (Codec.Corrupt (Printf.sprintf "bad magic %S" m));
-  let v = Codec.read_varint r in
-  if v <> version then raise (Codec.Corrupt (Printf.sprintf "unsupported version %d" v));
+let encode doc = seal ~magic (doc_payload doc)
+
+let fingerprint doc = Digest.to_hex (Digest.string (doc_payload doc))
+
+let decode_payload payload =
+  let r = Codec.reader payload in
   let dtd_source =
     match Codec.read_varint r with
     | 0 -> None
@@ -79,15 +109,17 @@ let decode data =
       element_count;
     }
 
-let save path doc =
-  let oc = open_out_bin path in
-  (try output_string oc (encode doc)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+let decode data = decode_payload (unseal ~magic ~kind:"arena" data)
 
-let load path =
+(* ------------------------------------------------------------------ *)
+(* File IO, shared by all artifact kinds. The fault points stand in for
+   the disk failures and torn writes a long-running service eventually
+   sees; they fail as [Codec.Corrupt] so injected faults exercise exactly
+   the recovery paths real corruption takes. *)
+
+let read_file ~what path =
+  if Faults.should_fail "persist.read" then
+    raise (Codec.Corrupt (Printf.sprintf "injected fault: persist.read (%s)" what));
   let ic = open_in_bin path in
   let data =
     try really_input_string ic (in_channel_length ic)
@@ -96,20 +128,36 @@ let load path =
       raise e
   in
   close_in ic;
-  decode data
+  data
+
+let write_file ~what path data =
+  if Faults.should_fail "persist.write" then
+    raise (Codec.Corrupt (Printf.sprintf "injected fault: persist.write (%s)" what));
+  let oc = open_out_bin path in
+  (try output_string oc data
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let save path doc = write_file ~what:"arena" path (encode doc)
+
+let load path = decode (read_file ~what:"arena" path)
 
 (* ------------------------------------------------------------------ *)
 (* Index persistence: posting lists are sorted and ascending, so they are
    stored gap-encoded (first id, then deltas), each as a varint — the
-   classic inverted-file compression. *)
+   classic inverted-file compression. The payload opens with the
+   fingerprint of the arena the index was built from: an index file only
+   makes sense next to that arena, and decoding against any other
+   document is rejected instead of yielding nonsense postings. *)
 
 let index_magic = "XTRINDEX"
 
-let encode_index index =
+let index_payload ~arena_fingerprint index =
   let repr = Inverted_index.Internal.to_repr index in
   let w = Codec.writer () in
-  Codec.write_string w index_magic;
-  Codec.write_varint w version;
+  Codec.write_string w arena_fingerprint;
   write_string_array w repr.Inverted_index.Internal.tokens;
   Codec.write_varint w (Array.length repr.Inverted_index.Internal.postings);
   Array.iter
@@ -131,12 +179,22 @@ let encode_index index =
     repr.Inverted_index.Internal.tag_tokens;
   Codec.contents w
 
-let decode_index ~doc data =
-  let r = Codec.reader data in
-  let m = Codec.read_string r in
-  if m <> index_magic then raise (Codec.Corrupt (Printf.sprintf "bad index magic %S" m));
-  let v = Codec.read_varint r in
-  if v <> version then raise (Codec.Corrupt (Printf.sprintf "unsupported index version %d" v));
+let encode_index index =
+  let arena_fingerprint = fingerprint (Inverted_index.document index) in
+  seal ~magic:index_magic (index_payload ~arena_fingerprint index)
+
+let decode_index_payload ~doc ~arena_fingerprint payload =
+  if Faults.should_fail "index.load" then
+    raise (Codec.Corrupt "injected fault: index.load");
+  let r = Codec.reader payload in
+  let stored_fingerprint = Codec.read_string r in
+  if stored_fingerprint <> arena_fingerprint then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf
+            "index/arena fingerprint mismatch (index built from arena %s, loaded against \
+             %s)"
+            stored_fingerprint arena_fingerprint));
   let tokens = read_string_array r in
   let n_lists = Codec.read_varint r in
   let postings =
@@ -164,68 +222,45 @@ let decode_index ~doc data =
   if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes after index");
   Inverted_index.Internal.of_repr ~doc { Inverted_index.Internal.tokens; postings; tag_tokens }
 
-let save_index path index =
-  let oc = open_out_bin path in
-  (try output_string oc (encode_index index)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+let decode_index ~doc data =
+  decode_index_payload ~doc ~arena_fingerprint:(fingerprint doc)
+    (unseal ~magic:index_magic ~kind:"index" data)
 
-let load_index path ~doc =
-  let ic = open_in_bin path in
-  let data =
-    try really_input_string ic (in_channel_length ic)
-    with e ->
-      close_in_noerr ic;
-      raise e
-  in
-  close_in ic;
-  decode_index ~doc data
+let save_index path index = write_file ~what:"index" path (encode_index index)
+
+let load_index path ~doc = decode_index ~doc (read_file ~what:"index" path)
 
 (* ------------------------------------------------------------------ *)
-(* Bundles: arena + index in one file, each as a length-prefixed section
-   so either part can evolve independently. *)
+(* Bundles: arena + index in one file, each as a length-prefixed sealed
+   section so either part can evolve independently. The arena section's
+   checksum doubles as the fingerprint the index section must match. *)
 
 let bundle_magic = "XTRBUNDL"
 
 let encode_bundle doc index =
   let w = Codec.writer () in
-  Codec.write_string w bundle_magic;
-  Codec.write_varint w version;
   Codec.write_string w (encode doc);
   Codec.write_string w (encode_index index);
-  Codec.contents w
+  seal ~magic:bundle_magic (Codec.contents w)
 
 let decode_bundle data =
-  let r = Codec.reader data in
-  let m = Codec.read_string r in
-  if m <> bundle_magic then raise (Codec.Corrupt (Printf.sprintf "bad bundle magic %S" m));
-  let v = Codec.read_varint r in
-  if v <> version then raise (Codec.Corrupt (Printf.sprintf "unsupported bundle version %d" v));
-  let doc = decode (Codec.read_string r) in
-  let index = decode_index ~doc (Codec.read_string r) in
+  let payload = unseal ~magic:bundle_magic ~kind:"bundle" data in
+  let r = Codec.reader payload in
+  let arena_section = Codec.read_string r in
+  let index_section = Codec.read_string r in
   if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes after bundle");
+  let arena_payload = unseal ~magic ~kind:"arena" arena_section in
+  let doc = decode_payload arena_payload in
+  let index =
+    decode_index_payload ~doc
+      ~arena_fingerprint:(Digest.to_hex (Digest.string arena_payload))
+      (unseal ~magic:index_magic ~kind:"index" index_section)
+  in
   doc, index
 
-let save_bundle path doc index =
-  let oc = open_out_bin path in
-  (try output_string oc (encode_bundle doc index)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+let save_bundle path doc index = write_file ~what:"bundle" path (encode_bundle doc index)
 
-let load_bundle path =
-  let ic = open_in_bin path in
-  let data =
-    try really_input_string ic (in_channel_length ic)
-    with e ->
-      close_in_noerr ic;
-      raise e
-  in
-  close_in ic;
-  decode_bundle data
+let load_bundle path = decode_bundle (read_file ~what:"bundle" path)
 
 (* first bytes of any Persist file: a Codec string length then the magic;
    used by the CLI to sniff file kinds *)

@@ -3,13 +3,20 @@
     The demo runs as a server: documents are analyzed and indexed once,
     then queried many times. Persisting the flattened arena lets a process
     restart skip XML parsing entirely (the benchmark's E7 companion
-    measures the speedup). The format is versioned and self-describing
-    (magic ["XTRARENA"], format version, then {!Codec} sections); the
-    inverted index and classification are cheap to rebuild and are not
-    stored.
+    measures the speedup). The format is versioned and self-describing:
+    every artifact is a sealed envelope — magic, format version, an MD5
+    checksum of the payload, then the {!Codec} payload — so a corrupt or
+    truncated file is rejected up front with {!Codec.Corrupt} instead of
+    surfacing later as nonsense data.
 
     Files are not portable across architectures with different [int]
-    widths (varints cap at 63 bits — every platform OCaml 5 supports). *)
+    widths (varints cap at 63 bits — every platform OCaml 5 supports).
+
+    Fault points (see {!Extract_util.Faults}): ["persist.read"] fires in
+    {!load}/{!load_index}/{!load_bundle}, ["persist.write"] in the [save]
+    functions, ["index.load"] while decoding an index — each raising
+    {!Codec.Corrupt}, so injected faults exercise exactly the
+    corrupt-artifact recovery paths. *)
 
 val magic : string
 
@@ -19,8 +26,8 @@ val encode : Document.t -> string
 (** Serialize the arena to a byte string. *)
 
 val decode : string -> Document.t
-(** @raise Codec.Corrupt on malformed input, wrong magic or unsupported
-    version. *)
+(** @raise Codec.Corrupt on malformed input, wrong magic, unsupported
+    version or checksum mismatch. *)
 
 val save : string -> Document.t -> unit
 (** Write to a file. @raise Sys_error on IO failure. *)
@@ -29,22 +36,29 @@ val load : string -> Document.t
 (** Read from a file.
     @raise Codec.Corrupt or [Sys_error] as appropriate. *)
 
+val fingerprint : Document.t -> string
+(** Hex digest of the arena's serialized payload — the identity an index
+    file records so {!load_index} can prove it is being paired with the
+    arena it was built from. *)
+
 (** {1 Index persistence}
 
     Posting lists are ascending node ids; they are stored gap-encoded
     (first id, then deltas) as varints — the classic inverted-file
     compression. An index file only makes sense next to the arena it was
-    built from: [load_index] takes that document and the caller is
-    responsible for pairing the right files (a mismatched pair yields
-    nonsense postings, though never a crash — lookups are bounds-checked
-    by the arena). *)
+    built from, so the index payload opens with that arena's
+    {!fingerprint}: [load_index] recomputes the fingerprint of the
+    document it is given and rejects a mismatched pair with
+    {!Codec.Corrupt} (historically this yielded silent nonsense
+    postings). *)
 
 val index_magic : string
 
 val encode_index : Inverted_index.t -> string
 
 val decode_index : doc:Document.t -> string -> Inverted_index.t
-(** @raise Codec.Corrupt on malformed input. *)
+(** @raise Codec.Corrupt on malformed input, checksum failure or an
+    arena/index fingerprint mismatch. *)
 
 val save_index : string -> Inverted_index.t -> unit
 
@@ -53,7 +67,8 @@ val load_index : string -> doc:Document.t -> Inverted_index.t
 (** {1 Bundles}
 
     An arena and its index in one file — what the demo server persists per
-    data set. *)
+    data set. Both sections carry their own seal, and the index section's
+    fingerprint is verified against the arena section on load. *)
 
 val bundle_magic : string
 

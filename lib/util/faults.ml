@@ -1,0 +1,147 @@
+exception Injected of string * string
+
+let () =
+  Printexc.register_printer (function
+    | Injected (point, detail) ->
+      Some (Printf.sprintf "injected fault at %s (%s)" point detail)
+    | _ -> None)
+
+type mode =
+  | Always
+  | Once
+  | Nth of int
+  | Prob of float * Prng.t
+
+type state = {
+  mode : mode;
+  spec : string; (* the spec as configured, for reporting *)
+  mutable hits : int;
+  mutable fired : int;
+}
+
+let table : (string, state) Hashtbl.t = Hashtbl.create 8
+
+(* The pipeline consults fault points per result; with nothing configured
+   the whole feature must cost one load. *)
+let armed = ref false
+
+let clear () =
+  Hashtbl.reset table;
+  armed := false
+
+let parse_mode spec =
+  let parts = String.split_on_char ';' spec in
+  let assoc =
+    List.map
+      (fun p ->
+        match String.index_opt p '=' with
+        | None -> p, ""
+        | Some i -> String.sub p 0 i, String.sub p (i + 1) (String.length p - i - 1))
+      parts
+  in
+  match assoc with
+  | [ ("fail", "") ] -> Ok Always
+  | [ ("once", "") ] -> Ok Once
+  | [ ("nth", k) ] -> begin
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Nth k)
+    | _ -> Error (Printf.sprintf "bad occurrence %S (want nth=K, K >= 1)" k)
+  end
+  | ("p", p) :: rest -> begin
+    let seed =
+      match rest with
+      | [] -> Ok 0
+      | [ ("seed", s) ] -> begin
+        match int_of_string_opt s with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "bad seed %S" s)
+      end
+      | _ -> Error "bad probability spec (want p=F or p=F;seed=N)"
+    in
+    match float_of_string_opt p, seed with
+    | Some p, Ok seed when p >= 0. && p <= 1. -> Ok (Prob (p, Prng.create seed))
+    | _, Error e -> Error e
+    | _, Ok _ -> Error (Printf.sprintf "bad probability %S (want 0 <= p <= 1)" p)
+  end
+  | _ -> Error (Printf.sprintf "unknown fault spec %S (fail|once|nth=K|p=F;seed=N)" spec)
+
+let configure config =
+  clear ();
+  let entries =
+    String.split_on_char ',' config |> List.filter (fun s -> String.trim s <> "")
+  in
+  let rec install = function
+    | [] -> Ok ()
+    | entry :: rest -> begin
+      let entry = String.trim entry in
+      match String.index_opt entry ':' with
+      | None -> Error (Printf.sprintf "missing ':' in fault %S (want point:spec)" entry)
+      | Some i -> begin
+        let point = String.sub entry 0 i in
+        let spec = String.sub entry (i + 1) (String.length entry - i - 1) in
+        match parse_mode spec with
+        | Error e -> Error (Printf.sprintf "%s: %s" point e)
+        | Ok mode ->
+          Hashtbl.replace table point { mode; spec; hits = 0; fired = 0 };
+          install rest
+      end
+    end
+  in
+  match install entries with
+  | Ok () ->
+    armed := Hashtbl.length table > 0;
+    Ok ()
+  | Error _ as e ->
+    clear ();
+    e
+
+let env_var = "EXTRACT_FAULTS"
+
+let install_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some config -> begin
+    match configure config with
+    | Ok () -> ()
+    | Error msg -> invalid_arg (Printf.sprintf "%s: %s" env_var msg)
+  end
+
+let active () = !armed
+
+let should_fail point =
+  !armed
+  &&
+  match Hashtbl.find_opt table point with
+  | None -> false
+  | Some st ->
+    st.hits <- st.hits + 1;
+    let fire =
+      match st.mode with
+      | Always -> true
+      | Once -> st.hits = 1
+      | Nth k -> st.hits = k
+      | Prob (p, prng) -> Prng.float prng 1.0 < p
+    in
+    if fire then st.fired <- st.fired + 1;
+    fire
+
+let spec_of point =
+  match Hashtbl.find_opt table point with
+  | Some st -> st.spec
+  | None -> "?"
+
+let hit point = if should_fail point then raise (Injected (point, "spec " ^ spec_of point))
+
+let hits point =
+  match Hashtbl.find_opt table point with
+  | Some st -> st.hits
+  | None -> 0
+
+let fired point =
+  match Hashtbl.find_opt table point with
+  | Some st -> st.fired
+  | None -> 0
+
+let configured () =
+  Hashtbl.fold (fun point st acc -> (point, st.spec) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -11,14 +11,34 @@
     Whitespace-only text between elements is dropped by default, matching
     how data-centric XML databases load documents; pass
     [~keep_whitespace:true] to retain it. Adjacent text/CDATA runs are
-    merged into one {!Types.Text} node. *)
+    merged into one {!Types.Text} node.
 
-val parse_document : ?keep_whitespace:bool -> string -> Types.document
+    Adversarial inputs are bounded: nesting depth (which would otherwise
+    overflow the parser's stack), total node count and the length of any
+    single token are limited, and exceeding a limit raises a clean,
+    positioned {!Error.Parse_error} — never [Stack_overflow] or an
+    unbounded allocation. *)
+
+type limits = {
+  max_depth : int;      (** deepest allowed element nesting (root = 1) *)
+  max_nodes : int;      (** elements + retained text nodes per document *)
+  max_token_len : int;  (** bytes per name, attribute value or text run *)
+}
+
+val default_limits : limits
+(** depth 512, 50M nodes, 1MB tokens — far above any legitimate
+    data-centric document, low enough to stop hostile ones. *)
+
+val unlimited : limits
+(** [max_int] everywhere — the pre-limits behaviour ([Stack_overflow]
+    and all); for trusted generated input only. *)
+
+val parse_document : ?keep_whitespace:bool -> ?limits:limits -> string -> Types.document
 (** Parse a complete document. @raise Error.Parse_error on malformed
-    input. *)
+    input or when a limit (default {!default_limits}) is exceeded. *)
 
-val parse : ?keep_whitespace:bool -> string -> Types.t
+val parse : ?keep_whitespace:bool -> ?limits:limits -> string -> Types.t
 (** Parse and return just the root element (as a {!Types.Element}). *)
 
-val parse_file : ?keep_whitespace:bool -> string -> Types.document
+val parse_file : ?keep_whitespace:bool -> ?limits:limits -> string -> Types.document
 (** Read a file and parse it. @raise Sys_error on IO failure. *)

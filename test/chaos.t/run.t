@@ -1,0 +1,93 @@
+Chaos smoke: adversarial inputs and injected faults must surface as
+clean, actionable errors — never a crash, a hang or a stack overflow.
+
+An unclosed 100k-deep element chain trips the parser's depth limit long
+before it can exhaust the stack:
+
+  $ awk 'BEGIN { for (i = 0; i < 100000; i++) printf "<a>" }' > deep.xml
+  $ extract stats deep.xml
+  error: deep.xml: line 1, column 1538: element nesting exceeds max_depth (512)
+  [1]
+
+A malformed EXTRACT_FAULTS spec is rejected up front, not at the first
+fault point:
+
+  $ EXTRACT_FAULTS="persist.read:nonsense" extract gen paper -o paper.xml
+  EXTRACT_FAULTS: persist.read: unknown fault spec "nonsense" (fail|once|nth=K|p=F;seed=N)
+  [2]
+
+Build the running example and persist it:
+
+  $ extract gen paper -o paper.xml
+  wrote paper.xml
+  $ extract save paper.xml paper.bundle
+  wrote paper.bundle (7350 nodes, 65 tokens)
+
+An injected read fault makes persistence fail loudly:
+
+  $ EXTRACT_FAULTS="persist.read:fail" extract search paper.bundle "Texas apparel retailer"
+  warning: corrupt artifact paper.bundle (injected fault: persist.read (bundle)); rebuilding from paper.xml
+  1 result(s)
+   1. <retailer> (7295 nodes)
+
+Without the fault the same artifact works:
+
+  $ extract search paper.bundle "Texas apparel retailer"
+  1 result(s)
+   1. <retailer> (7295 nodes)
+
+A corrupt artifact with its XML source next to it is rebuilt, with a
+warning, instead of failing the query:
+
+  $ cp paper.bundle corrupt.bundle && cp paper.xml corrupt.xml
+  $ dd if=/dev/zero of=corrupt.bundle bs=1 seek=60 count=8 conv=notrunc status=none
+  $ extract search corrupt.bundle "Texas apparel retailer"
+  warning: corrupt artifact corrupt.bundle (bundle checksum mismatch (file corrupt or truncated)); rebuilding from corrupt.xml
+  1 result(s)
+   1. <retailer> (7295 nodes)
+
+With no source to rebuild from, the corruption is fatal but clean:
+
+  $ rm corrupt.xml
+  $ extract search corrupt.bundle "Texas apparel retailer"
+  error: corrupt.bundle: bundle checksum mismatch (file corrupt or truncated)
+  [1]
+
+Arena + index pairs are fingerprinted; extract check validates a pair:
+
+  $ extract save paper.xml paper.arena --index paper.idx
+  wrote paper.arena (7350 nodes, 65 tokens)
+  wrote paper.idx (index)
+  $ extract check paper.arena --index paper.idx
+  ok: paper.arena and paper.idx are a sealed, matching pair
+  checking paper.arena: 7350 nodes, 65 tokens, 13 paths, 3 probe queries
+  ok: all invariants hold
+
+A foreign index is rejected, both by the checker and on load:
+
+  $ extract gen courses -o courses.xml
+  wrote courses.xml
+  $ extract save courses.xml courses.arena --index courses.idx
+  wrote courses.arena (2913 nodes, 410 tokens)
+  wrote courses.idx (index)
+  $ extract check paper.arena --index courses.idx
+  [persist] index courses.idx: index/arena fingerprint mismatch (index built from arena e0b79d1865d417b0e39279338f33fa5c, loaded against ac71746aa1f64fb20217337b209a29dd)
+  FAILED: 1 invariant violation(s)
+  [1]
+
+Deadline-degraded serving still answers (the snippet falls back to the
+naive baseline under pipeline.snippet faults):
+
+  $ EXTRACT_FAULTS="pipeline.snippet:fail" extract snippet paper.xml "store texas" -b 6 -n 1
+  1 result(s) for "store texas", bound 6 edges
+  
+  --- result 1 -------------------------------------
+  store
+  ├── name "Galleria"
+  ├── state "Texas"
+  ├── city "Houston"
+  └── merchandises
+      ├── clothes
+      └── clothes
+  (0/0 IList items, 6 edges)
+  

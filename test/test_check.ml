@@ -229,6 +229,93 @@ let test_check_query_clean () =
   let db = retail_db () in
   check_clean "check_query" (Check.check_query db "apparel retailer")
 
+let test_degraded_selection_skips_cost_check () =
+  let db = retail_db () in
+  let result = first_result db "apparel retailer" in
+  let s = Pipeline.snippet_of ~bound:10 db result (Query.of_string "apparel retailer") in
+  (* a degraded selection carries no coverage accounting; the cost-sum
+     invariant would misfire, the structural checks must still run *)
+  let degraded_sel = { s.Pipeline.selection with Selector.covered = [] } in
+  check_flagged "strict check flags missing accounting"
+    (Check.check_selection degraded_sel);
+  check_clean "degraded check accepts it"
+    (Check.check_selection ~degraded:true degraded_sel);
+  (* but a degraded selection over the bound is still an issue *)
+  let over = { degraded_sel with Selector.bound = 0 } in
+  check_flagged "degraded over-budget still flagged"
+    (Check.check_selection ~degraded:true over)
+
+let test_degraded_pipeline_run_passes_observer () =
+  Check.install_pipeline_observer ();
+  Fun.protect
+    ~finally:(fun () -> Pipeline.set_observer None)
+    (fun () ->
+      let db = retail_db () in
+      let deadline = Extract_util.Deadline.of_ms_opt (Some 0) in
+      let results = Pipeline.run ~bound:10 ~deadline db "apparel retailer" in
+      check bool "degraded run survives observer" true
+        (results <> [] && List.for_all (fun r -> r.Pipeline.degraded) results))
+
+(* ------------------------------------------------------------------ *)
+(* Persisted pair validation (check --index) *)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let in_temp_pair f =
+  let arena = Filename.temp_file "extract_arena" ".bin" in
+  let index = Filename.temp_file "extract_index" ".idx" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove arena;
+      Sys.remove index)
+    (fun () -> f arena index)
+
+let test_check_pair_matching () =
+  let db = retail_db () in
+  in_temp_pair (fun arena index ->
+      Extract_store.Persist.save arena (Pipeline.document db);
+      Extract_store.Persist.save_index index (Pipeline.index db);
+      check_clean "matching pair" (Check.check_pair ~arena ~index))
+
+let test_check_pair_mismatched () =
+  let db_a = retail_db () in
+  let db_b =
+    Pipeline.build (Document.of_document (Datagen.Movies.generate Datagen.Movies.default))
+  in
+  in_temp_pair (fun arena index ->
+      Extract_store.Persist.save arena (Pipeline.document db_a);
+      Extract_store.Persist.save_index index (Pipeline.index db_b);
+      let issues = Check.check_pair ~arena ~index in
+      check_flagged "mismatched pair flagged" issues;
+      check bool "mentions fingerprint" true (has_issue_about "fingerprint" issues))
+
+let test_check_pair_corrupt_index () =
+  let db = retail_db () in
+  in_temp_pair (fun arena index ->
+      Extract_store.Persist.save arena (Pipeline.document db);
+      Extract_store.Persist.save_index index (Pipeline.index db);
+      let ic = open_in_bin index in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let bytes = Bytes.of_string data in
+      let pos = Bytes.length bytes - 2 in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xff));
+      write_file index (Bytes.to_string bytes);
+      check_flagged "corrupt index flagged" (Check.check_pair ~arena ~index))
+
+let test_check_pair_xml_arena () =
+  (* the arena side may be plain XML: it is parsed, fingerprinted, and
+     still compared against the index *)
+  let db = retail_db () in
+  in_temp_pair (fun arena index ->
+      write_file arena "<a><b>one two</b></a>";
+      Extract_store.Persist.save_index index (Pipeline.index db);
+      let issues = Check.check_pair ~arena ~index in
+      check_flagged "xml arena vs foreign index flagged" issues)
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline observer (the EXTRACT_CHECK seam) *)
 
@@ -280,6 +367,15 @@ let suites =
         Alcotest.test_case "clean selection passes" `Quick test_clean_selection_passes;
         Alcotest.test_case "over-budget snippet detected" `Quick test_over_budget_snippet_detected;
         Alcotest.test_case "check_query clean" `Quick test_check_query_clean;
+        Alcotest.test_case "degraded skips cost check" `Quick test_degraded_selection_skips_cost_check;
+        Alcotest.test_case "degraded run under observer" `Quick test_degraded_pipeline_run_passes_observer;
+      ] );
+    ( "check.persist",
+      [
+        Alcotest.test_case "matching pair" `Quick test_check_pair_matching;
+        Alcotest.test_case "mismatched pair" `Quick test_check_pair_mismatched;
+        Alcotest.test_case "corrupt index" `Quick test_check_pair_corrupt_index;
+        Alcotest.test_case "xml arena" `Quick test_check_pair_xml_arena;
       ] );
     ( "check.all",
       [

@@ -477,6 +477,116 @@ let test_persist_pipeline_equivalent () =
   check bool "identical output" true (out doc = out loaded)
 
 (* ------------------------------------------------------------------ *)
+(* Persist: seals, fingerprints, fault injection *)
+
+let with_faults spec f =
+  match Extract_util.Faults.configure spec with
+  | Error e -> Alcotest.failf "configure %S: %s" spec e
+  | Ok () -> Fun.protect ~finally:Extract_util.Faults.clear f
+
+let test_persist_checksum_detects_bitflip () =
+  let doc = Document.load_string league in
+  let data = Persist.encode doc in
+  (* flip a payload byte: the seal head (magic/version/digest) is at the
+     front, so bytes near the end are payload content *)
+  let b = Bytes.of_string data in
+  let pos = Bytes.length b - 2 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  match Persist.decode (Bytes.to_string b) with
+  | exception Codec.Corrupt msg ->
+    check bool
+      (Printf.sprintf "checksum named in %S" msg)
+      true
+      (contains_substring msg "checksum")
+  | _ -> Alcotest.fail "expected Corrupt on a flipped payload byte"
+
+let test_persist_bundle_checksum_detects_bitflip () =
+  let doc = Document.load_string league in
+  let index = Inverted_index.build doc in
+  let data = Persist.encode_bundle doc index in
+  let b = Bytes.of_string data in
+  let pos = Bytes.length b - 2 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  match Persist.decode_bundle (Bytes.to_string b) with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt on a flipped bundle byte"
+
+let test_persist_fingerprint_mismatch () =
+  (* both files individually intact, but the index belongs to another
+     arena: historically silent nonsense postings, now a clean rejection *)
+  let doc_a = Document.of_document (Extract_datagen.Paper_example.document ()) in
+  let doc_b = Document.load_string league in
+  let encoded = Persist.encode_index (Inverted_index.build doc_a) in
+  (match Persist.decode_index ~doc:doc_a encoded with
+  | _ -> ()
+  | exception Codec.Corrupt msg -> Alcotest.failf "matching pair rejected: %s" msg);
+  match Persist.decode_index ~doc:doc_b encoded with
+  | exception Codec.Corrupt msg ->
+    check bool
+      (Printf.sprintf "fingerprint named in %S" msg)
+      true
+      (contains_substring msg "fingerprint")
+  | _ -> Alcotest.fail "mismatched arena/index pair accepted"
+
+let test_persist_load_index_rejects_mismatched_files () =
+  let doc_a = Document.of_document (Extract_datagen.Paper_example.document ()) in
+  let doc_b = Document.load_string league in
+  let path = Filename.temp_file "extract_fpr" ".idx" in
+  Persist.save_index path (Inverted_index.build doc_a);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Persist.load_index path ~doc:doc_a with
+      | _ -> ()
+      | exception Codec.Corrupt msg -> Alcotest.failf "matching pair rejected: %s" msg);
+      match Persist.load_index path ~doc:doc_b with
+      | exception Codec.Corrupt _ -> ()
+      | _ -> Alcotest.fail "load_index accepted an index built from another arena")
+
+let test_persist_read_fault_point () =
+  let doc = Document.load_string league in
+  let path = Filename.temp_file "extract_fault" ".arena" in
+  Persist.save path doc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      with_faults "persist.read:fail" (fun () ->
+          (match Persist.load path with
+          | exception Codec.Corrupt msg ->
+            check bool "names the injection" true (contains_substring msg "injected")
+          | _ -> Alcotest.fail "persist.read fault did not fire");
+          check bool "fired counted" true (Extract_util.Faults.fired "persist.read" >= 1));
+      (* disarmed again: the same file loads *)
+      match Persist.load path with
+      | _ -> ()
+      | exception Codec.Corrupt msg -> Alcotest.failf "clean load failed: %s" msg)
+
+let test_persist_write_fault_point () =
+  let doc = Document.load_string league in
+  let path = Filename.temp_file "extract_fault" ".arena" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      with_faults "persist.write:once" (fun () ->
+          (match Persist.save path doc with
+          | exception Codec.Corrupt _ -> ()
+          | _ -> Alcotest.fail "persist.write fault did not fire");
+          (* [once]: the retry goes through *)
+          Persist.save path doc;
+          match Persist.load path with
+          | _ -> ()
+          | exception Codec.Corrupt msg -> Alcotest.failf "retried write unreadable: %s" msg))
+
+let test_index_load_fault_point () =
+  let doc = Document.load_string league in
+  let encoded = Persist.encode_index (Inverted_index.build doc) in
+  with_faults "index.load:fail" (fun () ->
+      match Persist.decode_index ~doc encoded with
+      | exception Codec.Corrupt msg ->
+        check bool "names the injection" true (contains_substring msg "index.load")
+      | _ -> Alcotest.fail "index.load fault did not fire")
+
+(* ------------------------------------------------------------------ *)
 (* Path_query *)
 
 let paper_doc = lazy (Document.of_document (Extract_datagen.Paper_example.document ()))
@@ -622,6 +732,14 @@ let suites =
         Alcotest.test_case "index file + search" `Quick test_persist_index_file_and_search;
         Alcotest.test_case "index rejects garbage" `Quick test_persist_index_rejects_garbage;
         Alcotest.test_case "index compression" `Quick test_persist_index_compression_wins;
+        Alcotest.test_case "checksum bitflip" `Quick test_persist_checksum_detects_bitflip;
+        Alcotest.test_case "bundle bitflip" `Quick test_persist_bundle_checksum_detects_bitflip;
+        Alcotest.test_case "fingerprint mismatch" `Quick test_persist_fingerprint_mismatch;
+        Alcotest.test_case "mismatched files" `Quick
+          test_persist_load_index_rejects_mismatched_files;
+        Alcotest.test_case "read fault" `Quick test_persist_read_fault_point;
+        Alcotest.test_case "write fault" `Quick test_persist_write_fault_point;
+        Alcotest.test_case "index.load fault" `Quick test_index_load_fault_point;
       ] );
     ( "ext.path_query",
       [

@@ -224,6 +224,171 @@ let test_socket_404 () =
   check bool "404" true (contains_substring response "HTTP/1.0 404")
 
 (* ------------------------------------------------------------------ *)
+(* Server: resilience (DESIGN.md §9) *)
+
+module Deadline = Extract_util.Deadline
+module Faults = Extract_util.Faults
+
+let with_faults spec f =
+  match Faults.configure spec with
+  | Error e -> Alcotest.failf "configure %S: %s" spec e
+  | Ok () -> Fun.protect ~finally:Faults.clear f
+
+let quiet_config = { Demo_server.default_config with Demo_server.log = ignore }
+
+let logging_config () =
+  let logs = ref [] in
+  ( { Demo_server.default_config with Demo_server.log = (fun m -> logs := m :: !logs) },
+    logs )
+
+let write_all fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let request_line data =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      write_all a data;
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      Demo_server.read_request_line b)
+
+let test_read_request_line_forms () =
+  (match request_line "GET / HTTP/1.0\r\n" with
+  | Demo_server.Line l -> check string "crlf" "GET / HTTP/1.0" l
+  | _ -> Alcotest.fail "crlf line not read");
+  (match request_line "GET / HTTP/1.0\n" with
+  | Demo_server.Line l -> check string "bare lf" "GET / HTTP/1.0" l
+  | _ -> Alcotest.fail "lf line not read");
+  check bool "bare CR rejected" true (request_line "GET /\rHTTP/1.0\n" = Demo_server.Bad_cr);
+  check bool "eof mid-line" true (request_line "GET /incompl" = Demo_server.Eof);
+  check bool "empty" true (request_line "" = Demo_server.Eof)
+
+let test_read_request_line_bound_exact () =
+  let max = Demo_server.max_request_line in
+  (* max - 1 content bytes + terminator: the longest accepted line *)
+  (match request_line (String.make (max - 1) 'a' ^ "\n") with
+  | Demo_server.Line l -> check int "longest line kept whole" (max - 1) (String.length l)
+  | _ -> Alcotest.fail "line at the bound rejected");
+  (* max content bytes: over, even with a terminator right behind *)
+  check bool "one more byte is too long" true
+    (request_line (String.make max 'a' ^ "\n") = Demo_server.Too_long)
+
+let with_server_socket f =
+  let s = server () in
+  let listening = Demo_server.listen ~port:0 in
+  let port = Demo_server.bound_port listening in
+  Fun.protect ~finally:(fun () -> Unix.close listening) (fun () -> f s listening port)
+
+let roundtrip ?(config = quiet_config) s listening port target =
+  let client = http_get port target in
+  Demo_server.serve_once ~config s listening;
+  let response = read_all client in
+  Unix.close client;
+  response
+
+let test_slowloris_times_out () =
+  with_server_socket (fun s listening port ->
+      let config = { quiet_config with Demo_server.timeout_ms = 50 } in
+      (* the client connects and then says nothing *)
+      let mute = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect mute (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Demo_server.serve_once ~config s listening;
+      let answer = read_all mute in
+      Unix.close mute;
+      check bool "408 answered" true (contains_substring answer "HTTP/1.0 408");
+      (* the loop is still alive: a polite client is served next *)
+      let response = roundtrip ~config s listening port "/stats?data=paper" in
+      check bool "still serving" true (contains_substring response "HTTP/1.0 200 OK"))
+
+let test_reset_client_is_dropped_not_fatal () =
+  with_server_socket (fun s listening port ->
+      let config, logs = logging_config () in
+      let client = http_get port "/stats?data=paper" in
+      (* SO_LINGER 0: closing sends RST instead of FIN, so the server's
+         next read or write on this connection fails hard *)
+      Unix.setsockopt_optint client Unix.SO_LINGER (Some 0);
+      Unix.close client;
+      Demo_server.serve_once ~config s listening;
+      check bool "drop was logged" true (!logs <> []);
+      let response = roundtrip ~config s listening port "/stats?data=paper" in
+      check bool "still serving" true (contains_substring response "HTTP/1.0 200 OK"))
+
+let test_junk_request_rejected () =
+  with_server_socket (fun s listening port ->
+      let client = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect client (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      write_all client "BREW /pot-1 HTCPCP/1.0\r\n\r\n";
+      Demo_server.serve_once ~config:quiet_config s listening;
+      let answer = read_all client in
+      Unix.close client;
+      check bool "400 answered" true (contains_substring answer "HTTP/1.0 400");
+      check bool "names the request" true (contains_substring answer "unsupported");
+      (* pipelined trailing junk after a good request is simply ignored *)
+      let client2 = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect client2 (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      write_all client2 "GET /stats?data=paper HTTP/1.0\r\n\r\n\000\000garbage after the request";
+      Demo_server.serve_once ~config:quiet_config s listening;
+      let answer2 = read_all client2 in
+      Unix.close client2;
+      check bool "served despite trailing junk" true
+        (contains_substring answer2 "HTTP/1.0 200 OK"))
+
+let test_header_overflow_431 () =
+  with_server_socket (fun s listening port ->
+      let config = { quiet_config with Demo_server.max_header_bytes = 128 } in
+      let client = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect client (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      write_all client "GET /stats?data=paper HTTP/1.0\r\n";
+      write_all client ("X-Filler: " ^ String.make 256 'x' ^ "\r\n\r\n");
+      Demo_server.serve_once ~config s listening;
+      let answer = read_all client in
+      Unix.close client;
+      check bool "431 answered" true (contains_substring answer "HTTP/1.0 431"))
+
+let test_expired_deadline_sheds_search () =
+  let s = server () in
+  let gone = Deadline.of_ms_opt (Some 0) in
+  let r = Demo_server.handle ~deadline:gone s "/search?data=paper&q=store+texas&bound=6" in
+  check int "503" 503 r.Demo_server.status;
+  check bool "retry-after advertised" true
+    (List.mem_assoc "Retry-After" r.Demo_server.headers);
+  (* cheap routes are still served under the same dead budget *)
+  check int "home still 200" 200 (Demo_server.handle ~deadline:gone s "/").Demo_server.status;
+  check int "stats still 200" 200
+    (Demo_server.handle ~deadline:gone s "/stats?data=paper").Demo_server.status
+
+let test_degraded_page_served_not_cached () =
+  let s = server () in
+  let target = "/search?data=paper&q=store+texas&bound=6" in
+  with_faults "pipeline.snippet:fail" (fun () ->
+      let r = Demo_server.handle s target in
+      check int "still 200 under pressure" 200 r.Demo_server.status;
+      check bool "snippets tagged degraded" true
+        (contains_substring r.Demo_server.body "class=\"degraded\"");
+      check bool "degraded counter moved" true (Demo_server.degraded_served s > 0));
+  let stats = Demo_server.handle s "/stats?data=paper" in
+  check bool "stats reports degradation" true
+    (contains_substring stats.Demo_server.body "degraded snippets served");
+  (* once the pressure is gone the same target is recomputed in full:
+     neither cache kept the degraded page *)
+  let clean = Demo_server.handle s target in
+  check int "clean 200" 200 clean.Demo_server.status;
+  check bool "full snippets again" false
+    (contains_substring clean.Demo_server.body "class=\"degraded\"")
+
+let test_injected_fault_maps_to_503 () =
+  let s = server () in
+  with_faults "pipeline.search:fail" (fun () ->
+      let r = Demo_server.handle s "/search?data=paper&q=store+texas" in
+      check int "503" 503 r.Demo_server.status;
+      check bool "retry-after advertised" true
+        (List.mem_assoc "Retry-After" r.Demo_server.headers));
+  let r = Demo_server.handle s "/search?data=paper&q=store+texas" in
+  check int "recovers once the fault clears" 200 r.Demo_server.status
+
+(* ------------------------------------------------------------------ *)
 (* Courses dataset *)
 
 let test_courses_shape () =
@@ -295,6 +460,18 @@ let suites =
       [
         Alcotest.test_case "roundtrip" `Quick test_socket_roundtrip;
         Alcotest.test_case "404" `Quick test_socket_404;
+      ] );
+    ( "server.resilience",
+      [
+        Alcotest.test_case "request line forms" `Quick test_read_request_line_forms;
+        Alcotest.test_case "request line bound" `Quick test_read_request_line_bound_exact;
+        Alcotest.test_case "slowloris" `Quick test_slowloris_times_out;
+        Alcotest.test_case "reset client dropped" `Quick test_reset_client_is_dropped_not_fatal;
+        Alcotest.test_case "junk request" `Quick test_junk_request_rejected;
+        Alcotest.test_case "header overflow" `Quick test_header_overflow_431;
+        Alcotest.test_case "expired deadline sheds" `Quick test_expired_deadline_sheds_search;
+        Alcotest.test_case "degraded page" `Quick test_degraded_page_served_not_cached;
+        Alcotest.test_case "injected fault 503" `Quick test_injected_fault_maps_to_503;
       ] );
     ( "datagen.courses",
       [

@@ -690,6 +690,176 @@ let test_metrics_monotone_in_bound () =
   in
   check bool "more budget >= less" true (score r8 >= score r4)
 
+(* ------------------------------------------------------------------ *)
+(* Deadlines and graceful degradation *)
+
+module Deadline = Extract_util.Deadline
+module Faults = Extract_util.Faults
+
+let with_faults spec f =
+  match Faults.configure spec with
+  | Error e -> Alcotest.failf "configure %S: %s" spec e
+  | Ok () -> Fun.protect ~finally:Faults.clear f
+
+let expired_deadline () = Deadline.of_ms_opt (Some 0)
+
+let test_degraded_on_expired_deadline () =
+  let db = Pipeline.of_xml_string league in
+  let full = Pipeline.run ~bound:4 db "guard" in
+  let degraded = Pipeline.run ~bound:4 ~deadline:(expired_deadline ()) db "guard" in
+  check int "same result count" (List.length full) (List.length degraded);
+  check bool "has results" true (degraded <> []);
+  List.iter2
+    (fun (f : Pipeline.snippet_result) (d : Pipeline.snippet_result) ->
+      check bool "tagged degraded" true d.Pipeline.degraded;
+      check bool "full run not degraded" false f.Pipeline.degraded;
+      check bool "same result tree" true
+        (Result_tree.root f.Pipeline.result = Result_tree.root d.Pipeline.result);
+      (* the fallback is still a valid snippet: rooted, within bound *)
+      let snip = d.Pipeline.selection.Selector.snippet in
+      check bool "bound respected" true (Snippet_tree.edge_count snip <= 4);
+      check bool "root present" true
+        (Snippet_tree.mem snip (Result_tree.root d.Pipeline.result));
+      check int "ilist empty" 0 (Ilist.length d.Pipeline.ilist);
+      check bool "no coverage accounting" true (d.Pipeline.selection.Selector.covered = []))
+    full degraded
+
+let test_degraded_matches_naive_baseline () =
+  let db = Pipeline.of_xml_string league in
+  let degraded = Pipeline.run ~bound:3 ~deadline:(expired_deadline ()) db "guard" in
+  List.iter
+    (fun (d : Pipeline.snippet_result) ->
+      let naive = Naive_baseline.generate ~bound:3 d.Pipeline.result in
+      check bool "degraded snippet = naive baseline" true
+        (Snippet_tree.nodes d.Pipeline.selection.Selector.snippet = Snippet_tree.nodes naive))
+    degraded
+
+let test_degraded_all_run_variants () =
+  let db = Pipeline.of_xml_string league in
+  let d = expired_deadline () in
+  let all_degraded rs = rs <> [] && List.for_all (fun r -> r.Pipeline.degraded) rs in
+  check bool "run" true (all_degraded (Pipeline.run ~deadline:d db "guard"));
+  check bool "run_parallel" true
+    (all_degraded (Pipeline.run_parallel ~domains:2 ~deadline:d db "guard"));
+  check bool "run_ranked" true
+    (all_degraded (List.map snd (Pipeline.run_ranked ~deadline:d db "guard")));
+  check bool "run_differentiated" true
+    (all_degraded (Pipeline.run_differentiated ~deadline:d db "guard"))
+
+let test_no_deadline_never_degrades () =
+  let db = Pipeline.of_xml_string league in
+  let rs = Pipeline.run db "guard" in
+  check bool "has results" true (rs <> []);
+  check bool "none degraded" true
+    (List.for_all (fun r -> not r.Pipeline.degraded) rs)
+
+let test_snippet_fault_degrades_one_result () =
+  let db = Pipeline.of_xml_string league in
+  with_faults "pipeline.snippet:once" (fun () ->
+      match Pipeline.run ~bound:4 db "guard" with
+      | [] -> Alcotest.fail "no results"
+      | first :: rest ->
+        check bool "first degraded" true first.Pipeline.degraded;
+        check bool "rest intact" true
+          (List.for_all (fun r -> not r.Pipeline.degraded) rest);
+        check int "fault fired once" 1 (Faults.fired "pipeline.snippet"))
+
+let test_search_fault_raises () =
+  let db = Pipeline.of_xml_string league in
+  with_faults "pipeline.search:fail" (fun () ->
+      match Pipeline.run db "guard" with
+      | _ -> Alcotest.fail "pipeline.search fault did not fire"
+      | exception Faults.Injected (point, _) -> check string "point" "pipeline.search" point)
+
+let test_build_fault_raises () =
+  with_faults "pipeline.build:fail" (fun () ->
+      match Pipeline.of_xml_string league with
+      | _ -> Alcotest.fail "pipeline.build fault did not fire"
+      | exception Faults.Injected (point, _) -> check string "point" "pipeline.build" point)
+
+let test_cache_not_polluted_by_degraded () =
+  let db = Pipeline.of_xml_string league in
+  let cache = Snippet_cache.create ~capacity:8 () in
+  let degraded = Snippet_cache.run ~deadline:(expired_deadline ()) cache db "guard" in
+  check bool "degraded served" true
+    (List.exists (fun r -> r.Pipeline.degraded) degraded);
+  check int "but not cached" 0 (Snippet_cache.length cache);
+  (* the same query under no pressure is computed fresh and cached *)
+  let full = Snippet_cache.run cache db "guard" in
+  check bool "fresh run clean" true
+    (List.for_all (fun r -> not r.Pipeline.degraded) full);
+  check int "now cached" 1 (Snippet_cache.length cache);
+  let again = Snippet_cache.run ~deadline:(expired_deadline ()) cache db "guard" in
+  (* a hit is served from cache even under an expired deadline: no work *)
+  check bool "hit beats deadline" true
+    (List.for_all (fun r -> not r.Pipeline.degraded) again)
+
+let test_corpus_deadline_passthrough () =
+  let corpus =
+    Corpus.of_list [ "league", Pipeline.of_xml_string league ]
+  in
+  let hits = Corpus.run ~deadline:(expired_deadline ()) corpus "guard" in
+  check bool "has hits" true (hits <> []);
+  check bool "all degraded" true
+    (List.for_all (fun h -> h.Corpus.snippet.Pipeline.degraded) hits)
+
+let test_corpus_rebuilds_corrupt_artifact () =
+  let dir = Filename.temp_file "extract_corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let xml = Filename.concat dir "league.xml" in
+  let bundle = Filename.concat dir "league.bundle" in
+  let oc = open_out xml in
+  output_string oc league;
+  close_out oc;
+  let db = Pipeline.of_file xml in
+  Pipeline.save bundle db;
+  (* flip one payload byte: the magic still sniffs but the seal no longer
+     verifies *)
+  let ic = open_in_bin bundle in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let bytes = Bytes.of_string data in
+  let pos = Bytes.length bytes - 2 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xff));
+  let corrupt = Bytes.to_string bytes in
+  let oc = open_out_bin bundle in
+  output_string oc corrupt;
+  close_out oc;
+  let warnings = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove xml;
+      Sys.remove bundle;
+      Unix.rmdir dir)
+    (fun () ->
+      let rebuilt =
+        Corpus.load_file ~on_warning:(fun w -> warnings := w :: !warnings) bundle
+      in
+      check int "one warning" 1 (List.length !warnings);
+      check bool "warning names the source" true
+        (match !warnings with
+        | [ w ] ->
+          let contains hay needle =
+            let lh = String.length hay and ln = String.length needle in
+            let rec loop i = i + ln <= lh && (String.sub hay i ln = needle || loop (i + 1)) in
+            ln = 0 || loop 0
+          in
+          contains w "league.xml"
+        | _ -> false);
+      check bool "rebuilt database answers" true (Pipeline.run rebuilt "guard" <> []));
+  (* with no sibling XML the corruption is fatal *)
+  let lone = Filename.temp_file "extract_lone" ".bundle" in
+  let oc = open_out_bin lone in
+  output_string oc corrupt;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove lone)
+    (fun () ->
+      match Corpus.load_file lone with
+      | _ -> Alcotest.fail "corrupt artifact without a source should raise"
+      | exception Extract_store.Codec.Corrupt _ -> ())
+
 let suites =
   [
     ( "snippet.metrics",
@@ -787,5 +957,18 @@ let suites =
         Alcotest.test_case "external result" `Quick test_pipeline_external_result;
         Alcotest.test_case "no results" `Quick test_pipeline_no_results;
         Alcotest.test_case "limit" `Quick test_pipeline_limit;
+      ] );
+    ( "snippet.degraded",
+      [
+        Alcotest.test_case "expired deadline" `Quick test_degraded_on_expired_deadline;
+        Alcotest.test_case "naive fallback" `Quick test_degraded_matches_naive_baseline;
+        Alcotest.test_case "all run variants" `Quick test_degraded_all_run_variants;
+        Alcotest.test_case "no deadline" `Quick test_no_deadline_never_degrades;
+        Alcotest.test_case "snippet fault" `Quick test_snippet_fault_degrades_one_result;
+        Alcotest.test_case "search fault" `Quick test_search_fault_raises;
+        Alcotest.test_case "build fault" `Quick test_build_fault_raises;
+        Alcotest.test_case "cache unpolluted" `Quick test_cache_not_polluted_by_degraded;
+        Alcotest.test_case "corpus deadline" `Quick test_corpus_deadline_passthrough;
+        Alcotest.test_case "corpus rebuild" `Quick test_corpus_rebuilds_corrupt_artifact;
       ] );
   ]

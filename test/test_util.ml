@@ -329,6 +329,116 @@ let test_pretty_render_unicode_lines () =
   let s = Pretty.render tree in
   check int "line count" 4 (List.length (String.split_on_char '\n' s))
 
+(* ------------------------------------------------------------------ *)
+(* Deadline *)
+
+(* drive the clock by hand so deadline arithmetic is tested exactly *)
+let with_clock t f =
+  Deadline.set_clock (Some (fun () -> !t));
+  Fun.protect ~finally:(fun () -> Deadline.set_clock None) f
+
+let test_deadline_never () =
+  check bool "never is never" true (Deadline.is_never Deadline.never);
+  check bool "never not expired" false (Deadline.expired Deadline.never);
+  check bool "remaining infinite" true (Deadline.remaining Deadline.never = infinity);
+  check int "remaining_ms caps" max_int (Deadline.remaining_ms Deadline.never);
+  check bool "of_ms_opt None" true (Deadline.is_never (Deadline.of_ms_opt None))
+
+let test_deadline_expiry () =
+  let t = ref 100.0 in
+  with_clock t (fun () ->
+      let d = Deadline.after_ms 250 in
+      check bool "fresh" false (Deadline.expired d);
+      check int "250ms left" 250 (Deadline.remaining_ms d);
+      t := 100.2;
+      check bool "not yet" false (Deadline.expired d);
+      check int "50ms left" 50 (Deadline.remaining_ms d);
+      t := 100.25;
+      check bool "on the dot" true (Deadline.expired d);
+      t := 200.0;
+      check bool "long past" true (Deadline.expired d);
+      check bool "no negative remaining" true (Deadline.remaining d = 0.0))
+
+let test_deadline_zero_budget () =
+  let t = ref 7.0 in
+  with_clock t (fun () ->
+      check bool "0ms budget expires immediately" true
+        (Deadline.expired (Deadline.of_ms_opt (Some 0))))
+
+let test_deadline_monotonic_floor () =
+  (* the wall clock stepping backwards must not resurrect a deadline *)
+  let a = Deadline.now () in
+  let b = Deadline.now () in
+  check bool "now never decreases" true (b >= a)
+
+(* ------------------------------------------------------------------ *)
+(* Faults *)
+
+let with_faults spec f =
+  match Faults.configure spec with
+  | Error e -> Alcotest.failf "configure %S: %s" spec e
+  | Ok () -> Fun.protect ~finally:Faults.clear f
+
+let test_faults_unarmed () =
+  Faults.clear ();
+  check bool "inactive" false (Faults.active ());
+  check bool "never fails" false (Faults.should_fail "persist.read");
+  Faults.hit "persist.read";
+  check int "no hits recorded unarmed" 0 (Faults.hits "persist.read")
+
+let test_faults_fail_spec () =
+  with_faults "persist.read:fail" (fun () ->
+      check bool "active" true (Faults.active ());
+      check bool "fires" true (Faults.should_fail "persist.read");
+      check bool "fires again" true (Faults.should_fail "persist.read");
+      check bool "other points untouched" false (Faults.should_fail "persist.write");
+      check int "hits" 2 (Faults.hits "persist.read");
+      check int "fired" 2 (Faults.fired "persist.read"))
+
+let test_faults_once_spec () =
+  with_faults "p:once" (fun () ->
+      check bool "first fires" true (Faults.should_fail "p");
+      check bool "second clean" false (Faults.should_fail "p");
+      check bool "third clean" false (Faults.should_fail "p");
+      check int "hits" 3 (Faults.hits "p");
+      check int "fired once" 1 (Faults.fired "p"))
+
+let test_faults_nth_spec () =
+  with_faults "p:nth=3" (fun () ->
+      check bool "1st clean" false (Faults.should_fail "p");
+      check bool "2nd clean" false (Faults.should_fail "p");
+      check bool "3rd fires" true (Faults.should_fail "p");
+      check bool "4th clean" false (Faults.should_fail "p"))
+
+let test_faults_prob_deterministic () =
+  let run () =
+    with_faults "p:p=0.5;seed=11" (fun () ->
+        List.init 64 (fun _ -> Faults.should_fail "p"))
+  in
+  let a = run () and b = run () in
+  check bool "same seed, same decisions" true (a = b);
+  check bool "some fired" true (List.mem true a);
+  check bool "some passed" true (List.mem false a)
+
+let test_faults_hit_raises () =
+  with_faults "p:fail" (fun () ->
+      match Faults.hit "p" with
+      | () -> Alcotest.fail "hit should raise"
+      | exception Faults.Injected (point, _) -> check string "point" "p" point)
+
+let test_faults_multi_and_configured () =
+  with_faults "a:fail,b:nth=2" (fun () ->
+      check bool "listed" true (Faults.configured () = [ "a", "fail"; "b", "nth=2" ]))
+
+let test_faults_bad_spec () =
+  (match Faults.configure "nonsense" with
+  | Ok () -> Alcotest.fail "bad spec accepted"
+  | Error _ -> ());
+  check bool "bad spec disarms" false (Faults.active ());
+  match Faults.configure "p:p=1.5" with
+  | Ok () -> Alcotest.fail "out-of-range probability accepted"
+  | Error _ -> ()
+
 let suites =
   [
     ( "util.arraylist",
@@ -394,5 +504,23 @@ let suites =
         Alcotest.test_case "counts" `Quick test_pretty_counts;
         Alcotest.test_case "ascii" `Quick test_pretty_render_ascii;
         Alcotest.test_case "unicode lines" `Quick test_pretty_render_unicode_lines;
+      ] );
+    ( "util.deadline",
+      [
+        Alcotest.test_case "never" `Quick test_deadline_never;
+        Alcotest.test_case "expiry" `Quick test_deadline_expiry;
+        Alcotest.test_case "zero budget" `Quick test_deadline_zero_budget;
+        Alcotest.test_case "monotonic" `Quick test_deadline_monotonic_floor;
+      ] );
+    ( "util.faults",
+      [
+        Alcotest.test_case "unarmed" `Quick test_faults_unarmed;
+        Alcotest.test_case "fail" `Quick test_faults_fail_spec;
+        Alcotest.test_case "once" `Quick test_faults_once_spec;
+        Alcotest.test_case "nth" `Quick test_faults_nth_spec;
+        Alcotest.test_case "probabilistic" `Quick test_faults_prob_deterministic;
+        Alcotest.test_case "hit raises" `Quick test_faults_hit_raises;
+        Alcotest.test_case "configured" `Quick test_faults_multi_and_configured;
+        Alcotest.test_case "bad spec" `Quick test_faults_bad_spec;
       ] );
   ]

@@ -109,6 +109,69 @@ let test_parse_deep_nesting () =
   check string "deep root" "n0" e.Types.tag
 
 (* ------------------------------------------------------------------ *)
+(* Parser: resource limits *)
+
+let nested_doc depth =
+  let buf = Buffer.create (8 * depth) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<a>"
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string buf "</a>"
+  done;
+  Buffer.contents buf
+
+let expect_limit_error what input limits =
+  match Parser.parse ~limits input with
+  | _ -> Alcotest.failf "%s: expected Parse_error" what
+  | exception Error.Parse_error (_, msg) ->
+    check bool
+      (Printf.sprintf "%s: message names the limit (%S)" what msg)
+      true
+      (String.length msg > 0)
+
+let test_limits_max_depth () =
+  let limits = { Parser.default_limits with Parser.max_depth = 10 } in
+  (* at the limit: fine *)
+  (match Parser.parse ~limits (nested_doc 10) with
+  | _ -> ()
+  | exception Error.Parse_error (_, msg) -> Alcotest.failf "depth 10 rejected: %s" msg);
+  expect_limit_error "depth 11" (nested_doc 11) limits
+
+let test_limits_adversarial_depth_no_overflow () =
+  (* a 100k-deep document must yield a clean positioned error, not a
+     stack overflow: the default limit cuts it off at depth 512 *)
+  match Parser.parse (nested_doc 100_000) with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Error.Parse_error (_, msg) ->
+    check bool "names max_depth" true
+      (String.length msg > 0
+      && String.split_on_char ' ' msg |> List.exists (fun w -> w = "max_depth"))
+
+let test_limits_max_nodes () =
+  let limits = { Parser.default_limits with Parser.max_nodes = 3 } in
+  (* root + two children = 3 nodes: fine *)
+  (match Parser.parse ~limits "<a><b/><c/></a>" with
+  | _ -> ()
+  | exception Error.Parse_error (_, msg) -> Alcotest.failf "3 nodes rejected: %s" msg);
+  expect_limit_error "4 nodes" "<a><b/><c/><d/></a>" limits
+
+let test_limits_max_token_len () =
+  let limits = { Parser.default_limits with Parser.max_token_len = 8 } in
+  (match Parser.parse ~limits "<a>12345678</a>" with
+  | _ -> ()
+  | exception Error.Parse_error (_, msg) -> Alcotest.failf "8-byte text rejected: %s" msg);
+  expect_limit_error "long text" "<a>123456789</a>" limits;
+  expect_limit_error "long tag name" "<abcdefghij/>" limits;
+  expect_limit_error "long attribute value" "<a b=\"123456789\"/>" limits
+
+let test_limits_unlimited () =
+  match Parser.parse ~limits:Parser.unlimited (nested_doc 600) with
+  | _ -> ()
+  | exception Error.Parse_error (_, msg) ->
+    Alcotest.failf "unlimited rejected depth 600: %s" msg
+
+(* ------------------------------------------------------------------ *)
 (* Parser: malformed input *)
 
 let fails input =
@@ -334,6 +397,14 @@ let suites =
         Alcotest.test_case "deep nesting" `Quick test_parse_deep_nesting;
         Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
         Alcotest.test_case "error position" `Quick test_parse_error_position;
+      ] );
+    ( "xml.limits",
+      [
+        Alcotest.test_case "max_depth" `Quick test_limits_max_depth;
+        Alcotest.test_case "adversarial depth" `Quick test_limits_adversarial_depth_no_overflow;
+        Alcotest.test_case "max_nodes" `Quick test_limits_max_nodes;
+        Alcotest.test_case "max_token_len" `Quick test_limits_max_token_len;
+        Alcotest.test_case "unlimited" `Quick test_limits_unlimited;
       ] );
     ( "xml.printer",
       [
