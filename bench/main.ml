@@ -30,6 +30,7 @@ module Snippet_tree = Extract_snippet.Snippet_tree
 module Text_baseline = Extract_snippet.Text_baseline
 module Naive_baseline = Extract_snippet.Naive_baseline
 module Datagen = Extract_datagen
+module Registry = Extract_obs.Registry
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 
@@ -37,6 +38,19 @@ let quick = Array.exists (fun a -> a = "quick") Sys.argv
    BENCH_hotpath.json — machine-readable, so successive PRs can track the
    perf trajectory; validated by test/bench_json.t. *)
 let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+
+(* --floor=PATH: compare the measured end-to-end mean against a checked-in
+   floor file (bench/hotpath_floor.json) and exit 1 on a >3x regression.
+   CI runs the quick --json workload under this gate. *)
+let floor_path =
+  Array.fold_left
+    (fun acc a ->
+      let prefix = "--floor=" in
+      let plen = String.length prefix in
+      if String.length a > plen && String.sub a 0 plen = prefix then
+        Some (String.sub a plen (String.length a - plen))
+      else acc)
+    None Sys.argv
 
 let quota_seconds = if quick then 0.05 else 0.25
 
@@ -1321,6 +1335,11 @@ type hotpath_measurements = {
   hp_warm_ns : float;
   hp_hits : int;
   hp_misses : int;
+  hp_e2e_samples : int;
+  hp_e2e_mean_ns : float;
+  hp_e2e_p50_ns : float;
+  hp_e2e_p95_ns : float;
+  hp_e2e_p99_ns : float;
 }
 
 let hotpath_measure () =
@@ -1369,6 +1388,24 @@ let hotpath_measure () =
     total /. float_of_int warm_iters
   in
   let hits, misses = Extract_snippet.Snippet_cache.stats cache in
+  (* end-to-end tail latency: repeated uncached full runs recorded into an
+     obs histogram, so the JSON reports p50/p95/p99, not just a mean *)
+  let e2e_hist =
+    Registry.histogram ~help:"Bench end-to-end run latency in seconds"
+      ~labels:[ "experiment", "hotpath" ] "bench_e2e_seconds"
+  in
+  let e2e_samples = if quick then 40 else 150 in
+  ignore (Pipeline.run ~bound:10 ~limit db query_string);
+  for _ = 1 to e2e_samples do
+    let _, ns = time_once (fun () -> Pipeline.run ~bound:10 ~limit db query_string) in
+    Registry.observe e2e_hist (ns /. 1e9)
+  done;
+  let e2e_count = Registry.histogram_count e2e_hist in
+  let e2e_mean_ns =
+    if e2e_count = 0 then 0.0
+    else Registry.histogram_sum e2e_hist /. float_of_int e2e_count *. 1e9
+  in
+  let pct q = Registry.percentile e2e_hist q *. 1e9 in
   {
     hp_clothes = clothes;
     hp_nodes = Document.node_count doc;
@@ -1384,6 +1421,11 @@ let hotpath_measure () =
     hp_warm_ns = warm_ns;
     hp_hits = hits;
     hp_misses = misses;
+    hp_e2e_samples = e2e_count;
+    hp_e2e_mean_ns = e2e_mean_ns;
+    hp_e2e_p50_ns = pct 0.5;
+    hp_e2e_p95_ns = pct 0.95;
+    hp_e2e_p99_ns = pct 0.99;
   }
 
 let hotpath_json m =
@@ -1412,9 +1454,14 @@ let hotpath_json m =
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": { \"cold_ns\": %.0f, \"warm_ns\": %.0f, \"speedup\": %.2f, \
-        \"hits\": %d, \"misses\": %d }\n"
+        \"hits\": %d, \"misses\": %d },\n"
        m.hp_cold_ns m.hp_warm_ns (speedup m.hp_cold_ns m.hp_warm_ns) m.hp_hits
        m.hp_misses);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"latency\": { \"samples\": %d, \"e2e_mean_ns\": %.0f, \"e2e_p50_ns\": %.0f, \
+        \"e2e_p95_ns\": %.0f, \"e2e_p99_ns\": %.0f }\n"
+       m.hp_e2e_samples m.hp_e2e_mean_ns m.hp_e2e_p50_ns m.hp_e2e_p95_ns m.hp_e2e_p99_ns);
   Buffer.add_string b "}\n";
   Buffer.contents b
 
@@ -1450,13 +1497,66 @@ let e20 () =
     t;
   m
 
+(* Pull the "e2e_mean_ns" value out of a floor file without a JSON parser:
+   locate the key, skip separators, take the longest number literal. *)
+let parse_floor_mean contents =
+  let key = "\"e2e_mean_ns\"" in
+  let klen = String.length key in
+  let n = String.length contents in
+  let rec find i =
+    if i + klen > n then None
+    else if String.sub contents i klen = key then Some (i + klen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let i = ref start in
+    while !i < n && (contents.[!i] = ':' || contents.[!i] = ' ') do
+      incr i
+    done;
+    let j = ref !i in
+    while
+      !j < n
+      && (match contents.[!j] with '0' .. '9' | '.' | 'e' | '+' | '-' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j > !i then float_of_string_opt (String.sub contents !i (!j - !i)) else None
+
+let floor_gate m =
+  match floor_path with
+  | None -> ()
+  | Some path ->
+    let contents =
+      match In_channel.with_open_bin path In_channel.input_all with
+      | c -> Some c
+      | exception Sys_error msg ->
+        Printf.eprintf "floor gate: cannot read %s: %s\n" path msg;
+        None
+    in
+    (match Option.bind contents parse_floor_mean with
+    | None ->
+      Printf.eprintf "floor gate: no \"e2e_mean_ns\" value in %s\n" path;
+      exit 1
+    | Some floor_mean ->
+      let limit = 3.0 *. floor_mean in
+      Printf.printf "floor gate: e2e mean %.0f ns, floor %.0f ns, limit (3x) %.0f ns\n"
+        m.hp_e2e_mean_ns floor_mean limit;
+      if m.hp_e2e_mean_ns > limit then begin
+        print_endline "floor gate: FAILED — e2e mean regressed more than 3x over the floor";
+        exit 1
+      end
+      else print_endline "floor gate: ok")
+
 let hotpath_json_main () =
   print_endline "eXtract hotpath benchmark (E20)";
   let m = hotpath_measure () in
   let out = open_out "BENCH_hotpath.json" in
   output_string out (hotpath_json m);
   close_out out;
-  print_endline "wrote BENCH_hotpath.json"
+  print_endline "wrote BENCH_hotpath.json";
+  floor_gate m
 
 (* ================================================================== *)
 

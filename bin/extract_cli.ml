@@ -224,6 +224,13 @@ let snippet_cmd =
   let compare_flag =
     Arg.(value & flag & info [ "compare" ] ~doc:"Also show text-engine and naive baselines.")
   in
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:
+               "Record spans around load, search and snippet generation and print the \
+                span tree (with wall-clock durations) to stderr after the results.")
+  in
   let differentiate_flag =
     Arg.(value & flag
          & info [ "differentiate" ]
@@ -235,12 +242,16 @@ let snippet_cmd =
          & info [ "order" ] ~docv:"ORDER"
              ~doc:"Feature ranking: dominance (paper), frequency (strawman) or biased (query-biased).")
   in
-  let run file query semantics bound limit compare_baselines differentiate order =
-    let db = load_db file in
+  let run file query semantics bound limit compare_baselines differentiate order trace =
+    let module Trace = Extract_obs.Trace in
+    if trace then Trace.set_enabled true;
+    let db = Trace.with_span "cli.load" (fun () -> load_db file) in
     let config = { Extract_snippet.Config.default with Extract_snippet.Config.feature_order = order } in
     let results =
-      if differentiate then Pipeline.run_differentiated ~semantics ~config ~bound ?limit db query
-      else Pipeline.run ~semantics ~config ~bound ?limit db query
+      Trace.with_span "cli.run" (fun () ->
+          if differentiate then
+            Pipeline.run_differentiated ~semantics ~config ~bound ?limit db query
+          else Pipeline.run ~semantics ~config ~bound ?limit db query)
     in
     Printf.printf "%d result(s) for %S, bound %d edges\n\n" (List.length results) query bound;
     let q = Extract_search.Query.of_string query in
@@ -262,13 +273,17 @@ let snippet_cmd =
           let naive = Extract_snippet.Naive_baseline.generate ~bound r.result in
           Printf.printf "naive baseline:\n%s\n\n" (Snippet_tree.render naive)
         end)
-      results
+      results;
+    if trace then begin
+      Printf.eprintf "trace:\n%s%!" (Trace.render (Trace.finished ()));
+      Trace.set_enabled false
+    end
   in
   Cmd.v
     (Cmd.info "snippet" ~doc:"Generate snippets for a keyword query (the demo flow).")
     Term.(
       const run $ file_arg $ query_arg $ semantics_arg $ bound_arg $ limit_arg $ compare_flag
-      $ differentiate_flag $ order_arg)
+      $ differentiate_flag $ order_arg $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)

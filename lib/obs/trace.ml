@@ -1,0 +1,106 @@
+module Deadline = Extract_util.Deadline
+
+type span = {
+  name : string;
+  start : float;
+  duration : float;
+  children : span list;
+}
+
+(* an open span being built; children accumulate reversed *)
+type building = {
+  b_name : string;
+  b_start : float;
+  mutable b_children : span list;
+}
+
+let on = Atomic.make false
+
+let set_enabled v = Atomic.set on v
+
+let enabled () = Atomic.get on
+
+(* Per-domain open-span stack: parallel snippet workers each trace their
+   own subtree without interleaving. *)
+let stack_key : building list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Completed roots, across all domains, oldest first (kept reversed). *)
+let roots_lock = Mutex.create ()
+
+let roots : span list ref = ref []
+
+let push_root s =
+  Mutex.lock roots_lock;
+  roots := s :: !roots;
+  Mutex.unlock roots_lock
+
+let finished () =
+  Mutex.lock roots_lock;
+  let out = List.rev !roots in
+  roots := [];
+  Mutex.unlock roots_lock;
+  out
+
+let clear () =
+  Mutex.lock roots_lock;
+  roots := [];
+  Mutex.unlock roots_lock;
+  Domain.DLS.get stack_key := []
+
+let close_span stack b =
+  let finished_span =
+    {
+      name = b.b_name;
+      start = b.b_start;
+      duration = Deadline.now () -. b.b_start;
+      children = List.rev b.b_children;
+    }
+  in
+  (match !stack with
+  | top :: _ -> top.b_children <- finished_span :: top.b_children
+  | [] -> push_root finished_span);
+  finished_span
+
+let with_span name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let b = { b_name = name; b_start = Deadline.now (); b_children = [] } in
+    stack := b :: !stack;
+    let pop () =
+      (* unwind even past an exception; tolerate a clear() underneath us *)
+      (match !stack with
+      | top :: rest when top == b ->
+        stack := rest;
+        ignore (close_span stack b)
+      | _ -> ())
+    in
+    match f () with
+    | x ->
+      pop ();
+      x
+    | exception e ->
+      pop ();
+      raise e
+  end
+
+let pp_duration s =
+  let ns = s *. 1e9 in
+  if Float.is_nan ns || ns < 0.0 then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let render spans =
+  let buf = Buffer.create 256 in
+  let rec go depth s =
+    let label = String.make (2 * depth) ' ' ^ s.name in
+    let pad = max 1 (44 - String.length label) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s\n" label (String.make pad ' ') (pp_duration s.duration));
+    List.iter (go (depth + 1)) s.children
+  in
+  List.iter (go 0) spans;
+  Buffer.contents buf

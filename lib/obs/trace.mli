@@ -1,0 +1,49 @@
+(** Span-based tracing with monotonic timestamps.
+
+    A span covers one named unit of work ([pipeline.search],
+    [eval_ctx.resolve]); spans opened while another span is running
+    become its children, so a traced request yields a tree mirroring the
+    call structure. Timestamps come from the monotonized
+    {!Extract_util.Deadline} clock (so the injected test clock drives
+    deterministic traces too).
+
+    Tracing is {b off by default} and costs one atomic read per
+    {!with_span} when off. When on, each span allocates a small record;
+    the current-span stack is per-domain (domain-local storage), so
+    {!Extract_snippet.Pipeline.run_parallel} workers trace independently
+    without interleaving; completed root spans are collected globally
+    under a mutex, in completion order. *)
+
+type span = {
+  name : string;
+  start : float; (** seconds, {!Extract_util.Deadline.now} clock *)
+  duration : float; (** seconds *)
+  children : span list; (** in start order *)
+}
+
+val set_enabled : bool -> unit
+(** Turn tracing on or off process-wide. Turning it off does not clear
+    already-collected roots. *)
+
+val enabled : unit -> bool
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording a span when tracing is
+    enabled. The span is recorded (and the stack unwound) even when [f]
+    raises. *)
+
+val finished : unit -> span list
+(** The root spans completed so far, oldest first, and clears them. Spans
+    still open are not included. *)
+
+val clear : unit -> unit
+(** Drop collected roots and this domain's open-span stack. *)
+
+val pp_duration : float -> string
+(** Human form of a duration in seconds: ["1.24ms"], ["16.0us"],
+    ["2.1s"]. *)
+
+val render : span list -> string
+(** The span forest as an indented tree, one line per span: two spaces
+    per depth, the name, then the duration right-padded — the shape
+    printed by [extract snippet --trace]. *)

@@ -1,6 +1,8 @@
 module Document = Extract_store.Document
 module Postings = Extract_store.Postings
 module Inverted_index = Extract_store.Inverted_index
+module Registry = Extract_obs.Registry
+module Trace = Extract_obs.Trace
 
 type t = {
   index : Inverted_index.t;
@@ -8,13 +10,23 @@ type t = {
   resolved : (string * Document.node array) list; (* query-keyword order *)
 }
 
+let lists_resolved_total =
+  Registry.counter ~help:"Posting lists resolved into evaluation contexts"
+    "extract_posting_lists_resolved_total"
+
+let entries_resolved_total =
+  Registry.counter ~help:"Posting entries in lists resolved into evaluation contexts"
+    "extract_posting_entries_resolved_total"
+
 let make index query =
-  {
-    index;
-    query;
-    resolved =
-      List.map (fun k -> k, Inverted_index.lookup index k) (Query.keywords query);
-  }
+  let resolved =
+    Trace.with_span "eval_ctx.resolve" (fun () ->
+        List.map (fun k -> k, Inverted_index.lookup index k) (Query.keywords query))
+  in
+  Registry.add lists_resolved_total (List.length resolved);
+  Registry.add entries_resolved_total
+    (List.fold_left (fun acc (_, arr) -> acc + Array.length arr) 0 resolved);
+  { index; query; resolved }
 
 let index t = t.index
 

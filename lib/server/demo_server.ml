@@ -5,6 +5,46 @@ module Snippet_cache = Extract_snippet.Snippet_cache
 module Lru = Extract_util.Lru
 module Deadline = Extract_util.Deadline
 module Faults = Extract_util.Faults
+module Registry = Extract_obs.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Server metrics: cache behaviour, shed load and per-connection
+   transport outcomes. Pipeline-level series (stage latencies, degraded
+   snippets, posting resolution) are recorded by the libraries
+   themselves; /metrics renders the whole registry. *)
+
+let page_hits_total =
+  Registry.counter ~help:"Cache hits" ~labels:[ "cache", "page" ]
+    "extract_cache_hits_total"
+
+let page_misses_total =
+  Registry.counter ~help:"Cache misses" ~labels:[ "cache", "page" ]
+    "extract_cache_misses_total"
+
+let shed_total =
+  Registry.counter ~help:"Requests shed with 503 because the budget was spent up front"
+    "extract_requests_shed_total"
+
+let response_counter status =
+  Registry.counter ~help:"HTTP responses written, by status"
+    ~labels:[ "status", string_of_int status ]
+    "extract_http_responses_total"
+
+(* pre-register the statuses the server can produce, so /metrics shows
+   the full inventory from the first scrape *)
+let () =
+  List.iter
+    (fun s -> ignore (response_counter s))
+    [ 200; 400; 404; 408; 431; 500; 503 ]
+
+let transport_error_counter kind =
+  Registry.counter ~help:"Connections dropped while writing the response"
+    ~labels:[ "kind", kind ] "extract_transport_errors_total"
+
+let () =
+  List.iter
+    (fun k -> ignore (transport_error_counter k))
+    [ "epipe"; "reset"; "write_timeout" ]
 
 type t = {
   corpus : Corpus.t;
@@ -140,8 +180,10 @@ let search_page t ~deadline target params =
       match List.assoc_opt "q" params with
       | None | Some "" -> error 400 "Bad Request" "missing ?q= parameter"
       | Some q ->
-        if Deadline.expired deadline then
+        if Deadline.expired deadline then begin
+          Registry.incr shed_total;
           overloaded "per-request budget exhausted before search started"
+        end
         else begin
           let bound =
             match Option.bind (List.assoc_opt "bound" params) int_of_string_opt with
@@ -155,8 +197,11 @@ let search_page t ~deadline target params =
              the degradation reflects this request's budget, not the
              query's answer. *)
           match Lru.find t.pages target with
-          | Some body -> ok body
+          | Some body ->
+            Registry.incr page_hits_total;
+            ok body
           | None ->
+            Registry.incr page_misses_total;
             let results = Snippet_cache.run ~bound ~limit:25 ~deadline t.snippets db q in
             let degraded =
               List.length (List.filter (fun r -> r.Pipeline.degraded) results)
@@ -195,12 +240,60 @@ let cache_report t =
     (Snippet_cache.hit_rate t.snippets)
     t.degraded_served
 
-let stats_page t params =
-  with_db t params (fun name db ->
+(* Gauges describing current cache occupancy are set at scrape time from
+   the live structures (they are instantaneous state, not events). *)
+let refresh_cache_gauges t =
+  let set name cache v =
+    Registry.set (Registry.gauge ~labels:[ "cache", cache ] name) (float_of_int v)
+  in
+  set "extract_cache_entries" "page" (Lru.length t.pages);
+  set "extract_cache_capacity" "page" (Lru.capacity t.pages);
+  set "extract_cache_evictions" "page" (Lru.evictions t.pages);
+  set "extract_cache_entries" "snippet" (Snippet_cache.length t.snippets);
+  set "extract_cache_capacity" "snippet" (Snippet_cache.capacity t.snippets);
+  set "extract_cache_evictions" "snippet" (Snippet_cache.evictions t.snippets);
+  Registry.set
+    (Registry.gauge ~help:"Deadline-degraded snippets served by this server"
+       "extract_degraded_snippets_served")
+    (float_of_int t.degraded_served)
+
+let metrics_page t =
+  refresh_cache_gauges t;
+  ok ~content_type:"text/plain; version=0.0.4; charset=utf-8" (Registry.render_prometheus ())
+
+let stats_json t params =
+  refresh_cache_gauges t;
+  let page_hits, page_misses = Lru.stats t.pages in
+  let snip_hits, snip_misses = Snippet_cache.stats t.snippets in
+  let dataset =
+    match Option.bind (List.assoc_opt "data" params) (Corpus.find t.corpus) with
+    | None -> "null"
+    | Some db ->
       let stats = Extract_store.Doc_stats.compute (Pipeline.kinds db) in
-      text_ok
-        (Format.asprintf "data set: %s@.%a@.%s" name Extract_store.Doc_stats.pp stats
-           (cache_report t)))
+      Format.asprintf "%a" Extract_store.Doc_stats.pp_json stats
+  in
+  ok ~content_type:"application/json; charset=utf-8"
+    (Printf.sprintf
+       "{ \"caches\": { \"page\": { \"hits\": %d, \"misses\": %d, \"entries\": %d, \
+        \"capacity\": %d, \"evictions\": %d }, \"snippet\": { \"hits\": %d, \"misses\": \
+        %d, \"entries\": %d, \"capacity\": %d, \"evictions\": %d, \"hit_rate\": %.3f } \
+        }, \"degraded_served\": %d, \"dataset\": %s, \"metrics\": %s }\n"
+       page_hits page_misses (Lru.length t.pages) (Lru.capacity t.pages)
+       (Lru.evictions t.pages) snip_hits snip_misses
+       (Snippet_cache.length t.snippets)
+       (Snippet_cache.capacity t.snippets)
+       (Snippet_cache.evictions t.snippets)
+       (Snippet_cache.hit_rate t.snippets)
+       t.degraded_served dataset (Registry.render_json ()))
+
+let stats_page t params =
+  if List.assoc_opt "format" params = Some "json" then stats_json t params
+  else
+    with_db t params (fun name db ->
+        let stats = Extract_store.Doc_stats.compute (Pipeline.kinds db) in
+        text_ok
+          (Format.asprintf "data set: %s@.%a@.%s" name Extract_store.Doc_stats.pp stats
+             (cache_report t)))
 
 let handle ?(deadline = Deadline.never) t target =
   match parse_target target with
@@ -212,6 +305,7 @@ let handle ?(deadline = Deadline.never) t target =
       | "/search" -> search_page t ~deadline target params
       | "/complete" -> complete_page t params
       | "/stats" -> stats_page t params
+      | "/metrics" -> metrics_page t
       | _ -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
     with
     | Faults.Injected (point, _) ->
@@ -377,12 +471,16 @@ let serve_once ?(config = default_config) t listening =
           | _ -> error 400 "Bad Request" (Printf.sprintf "unsupported request %S" line)
         end
       in
+      Registry.incr (response_counter response.status);
       try write_response fd response with
       | Unix.Unix_error (Unix.EPIPE, _, _) ->
+        Registry.incr (transport_error_counter "epipe");
         config.log "client went away before the response was written (EPIPE); dropped"
       | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPROTOTYPE), _, _) ->
+        Registry.incr (transport_error_counter "reset");
         config.log "connection reset by peer while writing response; dropped"
       | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+        Registry.incr (transport_error_counter "write_timeout");
         config.log "response write timed out (slow reader); dropped")
 
 let serve ?(config = default_config) t ~port =

@@ -15,6 +15,13 @@
     - [GET /complete?data=NAME&prefix=P] — query-box completions, plain
       text, one [token count] per line;
     - [GET /stats?data=NAME] — document statistics, plain text;
+    - [GET /stats?format=json&data=NAME] — cache statistics, degraded
+      count, the whole metrics registry, and (when [data] names a data
+      set) its document statistics, as one JSON object;
+    - [GET /metrics] — the {!Extract_obs.Registry} snapshot in the
+      Prometheus text exposition format: per-stage latency histograms,
+      cache hit/miss/eviction series, persistence IO bytes, degraded and
+      shed counts, transport outcomes;
     - anything else — 404.
 
     [handle] is the pure request → response core (unit-testable without

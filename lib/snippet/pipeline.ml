@@ -9,6 +9,8 @@ module Result_tree = Extract_search.Result_tree
 module Eval_ctx = Extract_search.Eval_ctx
 module Deadline = Extract_util.Deadline
 module Faults = Extract_util.Faults
+module Registry = Extract_obs.Registry
+module Trace = Extract_obs.Trace
 
 type t = {
   id : int; (* unique per analyzed database; cache keys embed it *)
@@ -41,6 +43,40 @@ let observer : observer option ref = ref None
 
 let set_observer o = observer := o
 
+(* ------------------------------------------------------------------ *)
+(* Observability: each stage records its latency into one shared
+   histogram family (distinguished by the [stage] label) and opens a
+   trace span, so `extract snippet --trace` and /metrics read the same
+   boundaries the EXTRACT_CHECK observer sees. *)
+
+let stage_histogram stage =
+  Registry.histogram ~help:"Pipeline stage latency in seconds"
+    ~labels:[ "stage", stage ] "extract_stage_duration_seconds"
+
+let build_seconds = stage_histogram "build"
+
+let search_seconds = stage_histogram "search"
+
+let snippet_seconds = stage_histogram "snippet"
+
+let queries_total =
+  Registry.counter ~help:"Keyword queries evaluated (search or full runs)"
+    "extract_queries_total"
+
+let degraded_total =
+  Registry.counter ~help:"Snippets degraded to the naive baseline"
+    "extract_degraded_snippets_total"
+
+let deadline_expired_total =
+  Registry.counter ~help:"Per-result budget checks that found the deadline expired"
+    "extract_deadline_expirations_total"
+
+let timed hist span f =
+  let t0 = Deadline.now () in
+  let x = Trace.with_span span f in
+  Registry.observe hist (Deadline.now () -. t0);
+  x
+
 let notify_built t =
   (match !observer with Some o -> o.on_built t | None -> ());
   t
@@ -54,12 +90,13 @@ let notify_snippets t snips =
   snips
 
 let build doc =
-  Faults.hit "pipeline.build";
-  let guide = Dataguide.build doc in
-  let kinds = Node_kind.classify guide in
-  let keys = Key_miner.mine kinds in
-  let index = Inverted_index.build doc in
-  notify_built { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
+  timed build_seconds "pipeline.build" (fun () ->
+      Faults.hit "pipeline.build";
+      let guide = Dataguide.build doc in
+      let kinds = Node_kind.classify guide in
+      let keys = Key_miner.mine kinds in
+      let index = Inverted_index.build doc in
+      notify_built { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index })
 
 let of_xml_string s = build (Document.load_string s)
 
@@ -68,11 +105,12 @@ let of_file path = build (Document.load_file path)
 (* Rebuild everything derivable cheaply (classification, keys) and reuse
    the persisted index. *)
 let of_parts doc index =
-  Faults.hit "pipeline.build";
-  let guide = Dataguide.build doc in
-  let kinds = Node_kind.classify guide in
-  let keys = Key_miner.mine kinds in
-  notify_built { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index }
+  timed build_seconds "pipeline.build" (fun () ->
+      Faults.hit "pipeline.build";
+      let guide = Dataguide.build doc in
+      let kinds = Node_kind.classify guide in
+      let keys = Key_miner.mine kinds in
+      notify_built { id = Atomic.fetch_and_add next_id 1; doc; guide; kinds; keys; index })
 
 let save path t = Extract_store.Persist.save_bundle path t.doc t.index
 
@@ -109,6 +147,7 @@ let snippet_with ?config ~bound ~ctx t result =
    truncation, with no IList and no selection bookkeeping. Cheap enough
    to be safe under any deadline that admitted the search itself. *)
 let degraded_snippet ~bound result =
+  Registry.incr degraded_total;
   let snippet = Naive_baseline.generate ~bound result in
   {
     result;
@@ -117,7 +156,12 @@ let degraded_snippet ~bound result =
     degraded = true;
   }
 
-let want_degraded deadline = Deadline.expired deadline || Faults.should_fail "pipeline.snippet"
+let want_degraded deadline =
+  if Deadline.expired deadline then begin
+    Registry.incr deadline_expired_total;
+    true
+  end
+  else Faults.should_fail "pipeline.snippet"
 
 let snippet_of ?config ?(bound = default_bound) t result query =
   snippet_with ?config ~bound ~ctx:(Eval_ctx.make t.index query) t result
@@ -126,65 +170,80 @@ let context_of t query_string =
   Faults.hit "pipeline.search";
   Eval_ctx.make t.index (Query.of_string query_string)
 
+(* Search stage shared by every run variant: one evaluation context, one
+   engine pass, one histogram observation and trace span. *)
+let searched ?semantics ?limit t query_string =
+  Registry.incr queries_total;
+  timed search_seconds "pipeline.search" (fun () ->
+      let ctx = context_of t query_string in
+      ctx, notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds))
+
 let search ?semantics ?limit t query_string =
-  notify_results t (Engine.run_ctx ?semantics ?limit (context_of t query_string) t.kinds)
+  let _, results = searched ?semantics ?limit t query_string in
+  results
 
 let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
     ?(deadline = Deadline.never) t query_string =
-  let ctx = context_of t query_string in
-  let results = notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds) in
-  (* one analysis per result, shared between the differentiator and each
-     result's IList construction; a result whose analysis would start
-     after the deadline degrades instead and takes no part in
-     cross-result scoring *)
-  let analyses =
-    List.map
-      (fun r -> if want_degraded deadline then r, None else r, Some (Feature.analyze t.kinds r))
-      results
-  in
-  let differ = Differentiator.make (List.filter_map snd analyses) in
-  notify_snippets t
-    (List.map
-       (fun (result, analysis) ->
-         match analysis with
-         | None -> degraded_snippet ~bound result
-         | Some analysis ->
-           let ilist =
-             Differentiator.apply differ
-               (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
-                  (Eval_ctx.query ctx))
-           in
-           let selection = Selector.greedy ~bound result ilist in
-           { result; ilist; selection; degraded = false })
-       analyses)
+  let ctx, results = searched ?semantics ?limit t query_string in
+  timed snippet_seconds "pipeline.snippet" (fun () ->
+      (* one analysis per result, shared between the differentiator and each
+         result's IList construction; a result whose analysis would start
+         after the deadline degrades instead and takes no part in
+         cross-result scoring *)
+      let analyses =
+        List.map
+          (fun r ->
+            if want_degraded deadline then r, None else r, Some (Feature.analyze t.kinds r))
+          results
+      in
+      let differ = Differentiator.make (List.filter_map snd analyses) in
+      notify_snippets t
+        (List.map
+           (fun (result, analysis) ->
+             match analysis with
+             | None -> degraded_snippet ~bound result
+             | Some analysis ->
+               let ilist =
+                 Differentiator.apply differ
+                   (Ilist.build ?config ~ctx ~analysis t.kinds t.keys t.index result
+                      (Eval_ctx.query ctx))
+               in
+               let selection = Selector.greedy ~bound result ilist in
+               { result; ilist; selection; degraded = false })
+           analyses))
 
 let run_ranked ?semantics ?config ?(bound = default_bound) ?limit
     ?(deadline = Deadline.never) t query_string =
-  let ctx = context_of t query_string in
+  let ctx, results = searched ?semantics t query_string in
   let ranker = Extract_search.Ranker.make t.index in
+  let ranked =
+    Extract_search.Ranker.rank ranker (Eval_ctx.query ctx) results
+    |> fun scored ->
+    match limit with
+    | None -> scored
+    | Some k -> List.filteri (fun i _ -> i < k) scored
+  in
   let scored =
-    notify_results t (Engine.run_ctx ?semantics ctx t.kinds)
-    |> Extract_search.Ranker.rank ranker (Eval_ctx.query ctx)
-    |> (fun scored ->
-         match limit with
-         | None -> scored
-         | Some k -> List.filteri (fun i _ -> i < k) scored)
-    |> List.map (fun (result, score) ->
-           ( score,
-             if want_degraded deadline then degraded_snippet ~bound result
-             else snippet_with ?config ~bound ~ctx t result ))
+    timed snippet_seconds "pipeline.snippet" (fun () ->
+        List.map
+          (fun (result, score) ->
+            ( score,
+              if want_degraded deadline then degraded_snippet ~bound result
+              else snippet_with ?config ~bound ~ctx t result ))
+          ranked)
   in
   ignore (notify_snippets t (List.map snd scored));
   scored
 
 let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline.never) t
     query_string =
-  let ctx = context_of t query_string in
-  notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds)
-  |> List.map (fun result ->
-         if want_degraded deadline then degraded_snippet ~bound result
-         else snippet_with ?config ~bound ~ctx t result)
-  |> notify_snippets t
+  let ctx, results = searched ?semantics ?limit t query_string in
+  timed snippet_seconds "pipeline.snippet" (fun () ->
+      results
+      |> List.map (fun result ->
+             if want_degraded deadline then degraded_snippet ~bound result
+             else snippet_with ?config ~bound ~ctx t result)
+      |> notify_snippets t)
 
 (* Per-result snippet generation is embarrassingly parallel: the arena,
    index, classification and evaluation context are immutable after
@@ -193,29 +252,28 @@ let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline
    order. *)
 let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4)
     ?(deadline = Deadline.never) t query_string =
-  let ctx = context_of t query_string in
-  let results =
-    Array.of_list (notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds))
-  in
+  let ctx, result_list = searched ?semantics ?limit t query_string in
+  let results = Array.of_list result_list in
   let snippet result =
     if want_degraded deadline then degraded_snippet ~bound result
     else snippet_with ?config ~bound ~ctx t result
   in
   let n = Array.length results in
   let domains = max 1 (min domains n) in
-  if domains <= 1 || n <= 1 then
-    notify_snippets t (Array.to_list (Array.map snippet results))
-  else begin
-    let out = Array.make n None in
-    let worker d () =
-      let i = ref d in
-      while !i < n do
-        out.(!i) <- Some (snippet results.(!i));
-        i := !i + domains
-      done
-    in
-    let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
-    worker 0 ();
-    List.iter Domain.join spawned;
-    notify_snippets t (Array.to_list out |> List.filter_map Fun.id)
-  end
+  timed snippet_seconds "pipeline.snippet" (fun () ->
+      if domains <= 1 || n <= 1 then
+        notify_snippets t (Array.to_list (Array.map snippet results))
+      else begin
+        let out = Array.make n None in
+        let worker d () =
+          let i = ref d in
+          while !i < n do
+            out.(!i) <- Some (snippet results.(!i));
+            i := !i + domains
+          done
+        in
+        let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+        worker 0 ();
+        List.iter Domain.join spawned;
+        notify_snippets t (Array.to_list out |> List.filter_map Fun.id)
+      end)

@@ -1,6 +1,15 @@
 module Lru = Extract_util.Lru
 module Engine = Extract_search.Engine
 module Query = Extract_search.Query
+module Registry = Extract_obs.Registry
+
+let hits_total =
+  Registry.counter ~help:"Cache hits" ~labels:[ "cache", "snippet" ]
+    "extract_cache_hits_total"
+
+let misses_total =
+  Registry.counter ~help:"Cache misses" ~labels:[ "cache", "snippet" ]
+    "extract_cache_misses_total"
 
 type key = {
   db : int;
@@ -29,8 +38,11 @@ let key_of ?semantics ?config ?bound ?limit db query_string =
 let run ?semantics ?config ?bound ?limit ?deadline t db query_string =
   let key = key_of ?semantics ?config ?bound ?limit db query_string in
   match Lru.find t key with
-  | Some v -> v
+  | Some v ->
+    Registry.incr hits_total;
+    v
   | None ->
+    Registry.incr misses_total;
     let v = Pipeline.run ?semantics ?config ?bound ?limit ?deadline db query_string in
     (* a deadline-starved answer is not the answer — caching it would
        serve degraded snippets long after the pressure has passed *)
@@ -46,5 +58,7 @@ let hit_rate t =
 let length = Lru.length
 
 let capacity = Lru.capacity
+
+let evictions = Lru.evictions
 
 let clear = Lru.clear

@@ -45,4 +45,7 @@ val length : t -> int
 
 val capacity : t -> int
 
+val evictions : t -> int
+(** Entries evicted by capacity pressure since creation or {!clear}. *)
+
 val clear : t -> unit

@@ -52,6 +52,16 @@ let pp ppf t =
     t.entity_paths t.entity_instances t.attribute_paths t.attribute_instances
     t.connection_paths
 
+let pp_json ppf t =
+  Format.fprintf ppf
+    "{ \"nodes\": %d, \"elements\": %d, \"text_nodes\": %d, \"distinct_tags\": %d, \
+     \"distinct_paths\": %d, \"max_depth\": %d, \"entity_paths\": %d, \
+     \"entity_instances\": %d, \"attribute_paths\": %d, \"attribute_instances\": %d, \
+     \"connection_paths\": %d }"
+    t.nodes t.elements t.text_nodes t.distinct_tags t.distinct_paths t.max_depth
+    t.entity_paths t.entity_instances t.attribute_paths t.attribute_instances
+    t.connection_paths
+
 let header =
   [ "nodes"; "elements"; "tags"; "paths"; "depth"; "entities"; "attrs"; "e-inst"; "a-inst" ]
 

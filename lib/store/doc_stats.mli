@@ -21,6 +21,10 @@ val of_document : Document.t -> t
 
 val pp : Format.formatter -> t -> unit
 
+val pp_json : Format.formatter -> t -> unit
+(** The same statistics as one JSON object (the demo server's
+    [/stats?format=json] embeds it). *)
+
 val to_row : t -> string list
 (** Cells matching {!header}, for table rendering. *)
 

@@ -1,4 +1,21 @@
 module Faults = Extract_util.Faults
+module Registry = Extract_obs.Registry
+
+(* IO volume counters: persistence is the only disk the system touches,
+   so these four series are its complete IO story. *)
+let reads_total =
+  Registry.counter ~help:"Persist artifacts read" "extract_persist_reads_total"
+
+let read_bytes_total =
+  Registry.counter ~help:"Bytes read from persisted artifacts"
+    "extract_persist_read_bytes_total"
+
+let writes_total =
+  Registry.counter ~help:"Persist artifacts written" "extract_persist_writes_total"
+
+let write_bytes_total =
+  Registry.counter ~help:"Bytes written to persisted artifacts"
+    "extract_persist_write_bytes_total"
 
 let magic = "XTRARENA"
 
@@ -128,6 +145,8 @@ let read_file ~what path =
       raise e
   in
   close_in ic;
+  Registry.incr reads_total;
+  Registry.add read_bytes_total (String.length data);
   data
 
 let write_file ~what path data =
@@ -138,7 +157,9 @@ let write_file ~what path data =
    with e ->
      close_out_noerr oc;
      raise e);
-  close_out oc
+  close_out oc;
+  Registry.incr writes_total;
+  Registry.add write_bytes_total (String.length data)
 
 let save path doc = write_file ~what:"arena" path (encode doc)
 

@@ -14,11 +14,20 @@ type ('k, 'v) t = {
   mutable tail : ('k, 'v) node option;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { cap = capacity; table = Hashtbl.create capacity; head = None; tail = None; hits = 0; misses = 0 }
+  {
+    cap = capacity;
+    table = Hashtbl.create capacity;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
 
 let capacity t = t.cap
 
@@ -66,7 +75,8 @@ let evict t =
   | None -> ()
   | Some node ->
     unlink t node;
-    Hashtbl.remove t.table node.key
+    Hashtbl.remove t.table node.key;
+    t.evictions <- t.evictions + 1
 
 let put t key value =
   match Hashtbl.find_opt t.table key with
@@ -99,6 +109,9 @@ let clear t =
   t.head <- None;
   t.tail <- None;
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0
 
 let stats t = t.hits, t.misses
+
+let evictions t = t.evictions

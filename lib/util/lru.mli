@@ -3,7 +3,20 @@
     The demo server answers repeated queries; caching (query, bound) →
     rendered page keeps hot queries cheap. Plain association of hashable
     keys to values with least-recently-used eviction; O(1) amortized per
-    operation (hash table + doubly linked list). Not thread-safe. *)
+    operation (hash table + doubly linked list).
+
+    {b Locking story: not thread-safe, by design.} Every operation —
+    including a {!find} hit, which rewires the recency list — mutates
+    unsynchronized state, so a cache must only ever be driven from one
+    thread. That is the actual usage today: the demo server handles
+    connections sequentially on its accept thread, so its page cache and
+    {!Extract_snippet.Snippet_cache} see no concurrency, and
+    {!Extract_snippet.Pipeline.run_parallel} domains never touch a cache
+    (they share only the immutable analyzed database). The observability
+    counters recorded around cache operations take the
+    {!Extract_obs.Registry} mutex themselves and need nothing from the
+    cache. If a future server shares one cache across domains, wrap every
+    call (including {!find}) in a dedicated mutex. *)
 
 type ('k, 'v) t
 
@@ -32,3 +45,7 @@ val clear : ('k, 'v) t -> unit
 
 val stats : ('k, 'v) t -> int * int
 (** (hits, misses) since creation or [clear]. *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries evicted by capacity pressure ({!remove} and {!clear} do not
+    count) since creation or [clear]. *)

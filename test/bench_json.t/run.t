@@ -7,9 +7,9 @@ successive revisions can track the perf trajectory.
   wrote BENCH_hotpath.json
 
 The JSON shape is stable; numbers vary run to run, so normalize every
-number to N before matching:
+value to N before matching (keys keep their digits — e2e, p50):
 
-  $ sed -E 's/[0-9]+\.[0-9]+|[0-9]+/N/g' BENCH_hotpath.json
+  $ sed -E 's/([:,] )[0-9]+(\.[0-9]+)?/\1N/g' BENCH_hotpath.json
   {
     "experiment": "hotpath",
     "mode": "quick",
@@ -17,5 +17,24 @@ number to N before matching:
     "query": "store apparel",
     "restriction": { "results": N, "postings": N, "linear_ns": N, "interval_ns": N, "speedup": N },
     "limit_pushdown": { "limit": N, "full_ns": N, "limited_ns": N, "speedup": N },
-    "cache": { "cold_ns": N, "warm_ns": N, "speedup": N, "hits": N, "misses": N }
+    "cache": { "cold_ns": N, "warm_ns": N, "speedup": N, "hits": N, "misses": N },
+    "latency": { "samples": N, "e2e_mean_ns": N, "e2e_p50_ns": N, "e2e_p95_ns": N, "e2e_p99_ns": N }
   }
+
+The --floor gate compares the measured end-to-end mean against a
+checked-in floor and fails only on a >3x regression; an absurdly
+generous floor always passes:
+
+  $ printf '{ "e2e_mean_ns": 1000000000 }' > floor.json
+  $ extract-bench quick --json --floor=floor.json > out.txt 2>&1; echo "exit=$?"
+  exit=0
+  $ tail -n 1 out.txt
+  floor gate: ok
+
+An impossibly tight floor fails with exit 1:
+
+  $ printf '{ "e2e_mean_ns": 1 }' > tight.json
+  $ extract-bench quick --json --floor=tight.json > out.txt 2>&1; echo "exit=$?"
+  exit=1
+  $ grep -c "floor gate: FAILED" out.txt
+  1

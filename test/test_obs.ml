@@ -1,0 +1,221 @@
+(* Tests for the observability subsystem (lib/obs): registry identity and
+   value semantics, histogram bucket boundaries and percentile estimates,
+   the Prometheus/JSON renders, concurrent recording from parallel
+   domains, and the span tracer's tree shape. *)
+
+module Registry = Extract_obs.Registry
+module Trace = Extract_obs.Trace
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let feq what expected actual =
+  check (Alcotest.float 1e-9) what expected actual
+
+let contains s sub =
+  let n = String.length sub in
+  let rec scan k = k + n <= String.length s && (String.sub s k n = sub || scan (k + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry: counters, gauges, identity *)
+
+let test_counter_basics () =
+  Registry.reset ();
+  let c = Registry.counter ~labels:[ "who", "obs-test" ] "obs_test_total" in
+  check int "fresh counter is zero" 0 (Registry.counter_value c);
+  Registry.incr c;
+  Registry.add c 4;
+  check int "incr + add accumulate" 5 (Registry.counter_value c);
+  let again = Registry.counter ~labels:[ "who", "obs-test" ] "obs_test_total" in
+  check int "same identity, same cell" 5 (Registry.counter_value again);
+  let other = Registry.counter ~labels:[ "who", "someone-else" ] "obs_test_total" in
+  check int "different labels, different cell" 0 (Registry.counter_value other)
+
+let test_counter_monotonic () =
+  Registry.reset ();
+  let c = Registry.counter "obs_test_monotonic_total" in
+  check bool "negative add rejected" true
+    (match Registry.add c (-1) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  check int "failed add left the value alone" 0 (Registry.counter_value c)
+
+let test_gauge () =
+  Registry.reset ();
+  let g = Registry.gauge "obs_test_gauge" in
+  feq "fresh gauge is zero" 0.0 (Registry.gauge_value g);
+  Registry.set g 17.5;
+  feq "set overwrites" 17.5 (Registry.gauge_value g);
+  Registry.set g 3.0;
+  feq "gauges may go down" 3.0 (Registry.gauge_value g)
+
+let test_kind_clash () =
+  Registry.reset ();
+  let _c = Registry.counter "obs_test_kind_clash" in
+  check bool "same name as another kind is refused" true
+    (match Registry.gauge "obs_test_kind_clash" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms: bucket boundaries and percentile estimates *)
+
+let test_bucket_boundaries () =
+  Registry.reset ();
+  let h = Registry.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "obs_test_bounds_seconds" in
+  (* bounds are inclusive upper edges: 1.0 lands in the first bucket,
+     1.0000001 in the second; 8.0 overflows into +Inf *)
+  List.iter (Registry.observe h) [ 0.5; 1.0; 1.0000001; 3.9; 4.0; 8.0 ];
+  check int "count sees every observation" 6 (Registry.histogram_count h);
+  feq "sum sees every observation" 18.4000001 (Registry.histogram_sum h);
+  let text = Registry.render_prometheus () in
+  check bool "le=1 cumulative = 2" true
+    (contains text "obs_test_bounds_seconds_bucket{le=\"1\"} 2");
+  check bool "le=2 cumulative = 3" true
+    (contains text "obs_test_bounds_seconds_bucket{le=\"2\"} 3");
+  check bool "le=4 cumulative = 5" true
+    (contains text "obs_test_bounds_seconds_bucket{le=\"4\"} 5");
+  check bool "+Inf cumulative = count" true
+    (contains text "obs_test_bounds_seconds_bucket{le=\"+Inf\"} 6")
+
+let test_bad_buckets () =
+  Registry.reset ();
+  let refused buckets =
+    match Registry.histogram ~buckets "obs_test_bad_seconds" with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool "empty buckets refused" true (refused [||]);
+  check bool "non-increasing buckets refused" true (refused [| 1.0; 1.0; 2.0 |]);
+  check bool "decreasing buckets refused" true (refused [| 2.0; 1.0 |])
+
+let test_percentiles () =
+  Registry.reset ();
+  let h = Registry.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "obs_test_pct_seconds" in
+  (* one observation per bucket, one overflow: ranks are fully determined *)
+  List.iter (Registry.observe h) [ 0.5; 1.5; 3.0; 8.0 ];
+  (* p50: target rank 2 falls exactly at the (1,2] bucket's upper edge *)
+  feq "p50 interpolates to the second bucket edge" 2.0 (Registry.percentile h 0.5);
+  (* p99: target rank is in the +Inf bucket, clamped to the last finite bound *)
+  feq "p99 clamps overflow to the largest finite bound" 4.0 (Registry.percentile h 0.99);
+  (* p25: rank 1 at the first bucket's edge; the bucket starts at 0 *)
+  feq "p25 is the first bucket edge" 1.0 (Registry.percentile h 0.25);
+  check bool "q outside (0,1] rejected" true
+    (match Registry.percentile h 0.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_empty_percentile () =
+  Registry.reset ();
+  let h = Registry.histogram ~buckets:[| 1.0 |] "obs_test_empty_seconds" in
+  feq "empty histogram estimates 0" 0.0 (Registry.percentile h 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Renders *)
+
+let test_prometheus_render () =
+  Registry.reset ();
+  let c = Registry.counter ~help:"A test counter" ~labels:[ "k", "v" ] "obs_test_render_total" in
+  Registry.add c 3;
+  let text = Registry.render_prometheus () in
+  check bool "HELP line present" true (contains text "# HELP obs_test_render_total A test counter");
+  check bool "TYPE line present" true (contains text "# TYPE obs_test_render_total counter");
+  check bool "sample with labels" true (contains text "obs_test_render_total{k=\"v\"} 3")
+
+let test_json_render () =
+  Registry.reset ();
+  let c = Registry.counter ~labels:[ "k", "v" ] "obs_test_json_total" in
+  Registry.incr c;
+  let h = Registry.histogram ~buckets:[| 1.0; 2.0 |] "obs_test_json_seconds" in
+  Registry.observe h 0.5;
+  let json = Registry.render_json () in
+  check bool "top-level sections" true
+    (contains json "\"counters\"" && contains json "\"gauges\"" && contains json "\"histograms\"");
+  check bool "counter entry" true (contains json "\"obs_test_json_total\"");
+  check bool "histogram percentiles" true (contains json "\"p95\"")
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: recording from parallel domains must lose nothing *)
+
+let test_parallel_recording () =
+  Registry.reset ();
+  let c = Registry.counter "obs_test_parallel_total" in
+  let h = Registry.histogram ~buckets:[| 0.5; 1.5 |] "obs_test_parallel_seconds" in
+  let per_domain = 10_000 in
+  let worker () =
+    for i = 1 to per_domain do
+      Registry.incr c;
+      Registry.observe h (if i mod 2 = 0 then 1.0 else 2.0)
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  check int "no lost counter increments" (4 * per_domain) (Registry.counter_value c);
+  check int "no lost observations" (4 * per_domain) (Registry.histogram_count h)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+let test_trace_tree () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  let result =
+    Trace.with_span "outer" (fun () ->
+        ignore (Trace.with_span "first" (fun () -> 1));
+        ignore (Trace.with_span "second" (fun () -> 2));
+        "done")
+  in
+  Trace.set_enabled false;
+  check (Alcotest.string) "with_span is transparent" "done" result;
+  match Trace.finished () with
+  | [ root ] ->
+    check (Alcotest.string) "root name" "outer" root.Trace.name;
+    check (Alcotest.list Alcotest.string) "children in order" [ "first"; "second" ]
+      (List.map (fun s -> s.Trace.name) root.Trace.children);
+    check bool "root spans its children" true
+      (List.for_all (fun s -> s.Trace.duration <= root.Trace.duration) root.Trace.children);
+    let rendered = Trace.render [ root ] in
+    check bool "render shows the tree" true
+      (contains rendered "outer" && contains rendered "  first")
+  | roots -> Alcotest.failf "expected one root span, got %d" (List.length roots)
+
+let test_trace_disabled_is_free () =
+  Trace.clear ();
+  Trace.set_enabled false;
+  ignore (Trace.with_span "ignored" (fun () -> ()));
+  check int "disabled tracer records nothing" 0 (List.length (Trace.finished ()))
+
+let test_trace_exception () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  (try ignore (Trace.with_span "raiser" (fun () -> raise Exit)) with Exit -> ());
+  Trace.set_enabled false;
+  check int "span recorded even when the body raises" 1 (List.length (Trace.finished ()))
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "obs.registry",
+      [
+        Alcotest.test_case "counter basics" `Quick test_counter_basics;
+        Alcotest.test_case "counters are monotonic" `Quick test_counter_monotonic;
+        Alcotest.test_case "gauge" `Quick test_gauge;
+        Alcotest.test_case "kind clash refused" `Quick test_kind_clash;
+        Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+        Alcotest.test_case "bad buckets refused" `Quick test_bad_buckets;
+        Alcotest.test_case "percentile estimates" `Quick test_percentiles;
+        Alcotest.test_case "empty percentile" `Quick test_empty_percentile;
+        Alcotest.test_case "prometheus render" `Quick test_prometheus_render;
+        Alcotest.test_case "json render" `Quick test_json_render;
+        Alcotest.test_case "parallel recording" `Quick test_parallel_recording;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "span tree" `Quick test_trace_tree;
+        Alcotest.test_case "disabled is free" `Quick test_trace_disabled_is_free;
+        Alcotest.test_case "exception safety" `Quick test_trace_exception;
+      ] );
+  ]

@@ -40,6 +40,19 @@ let test_lru_eviction_order () =
   check bool "a kept" true (Lru.find c "a" = Some 1);
   check bool "c kept" true (Lru.find c "c" = Some 3)
 
+let test_lru_evictions_counted () =
+  let c = Lru.create ~capacity:2 in
+  check int "fresh cache, no evictions" 0 (Lru.evictions c);
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;
+  Lru.put c "d" 4;
+  check int "two capacity evictions" 2 (Lru.evictions c);
+  Lru.remove c "c";
+  check int "remove is not an eviction" 2 (Lru.evictions c);
+  Lru.clear c;
+  check int "clear resets the counter" 0 (Lru.evictions c)
+
 let test_lru_replace () =
   let c = Lru.create ~capacity:2 in
   Lru.put c "a" 1;
@@ -167,6 +180,40 @@ let test_handle_stats () =
   let r = Demo_server.handle s "/stats?data=paper" in
   check int "200" 200 r.Demo_server.status;
   check bool "mentions nodes" true (contains_substring r.Demo_server.body "nodes")
+
+let test_handle_metrics () =
+  let s = server () in
+  ignore (Demo_server.handle s "/search?data=paper&q=store+texas&bound=6");
+  let r = Demo_server.handle s "/metrics" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "prometheus content type" true
+    (contains_substring r.Demo_server.content_type "text/plain");
+  List.iter
+    (fun family ->
+      check bool (family ^ " exposed") true (contains_substring r.Demo_server.body family))
+    [
+      "extract_cache_hits_total";
+      "extract_cache_misses_total";
+      "extract_stage_duration_seconds_bucket";
+      "extract_queries_total";
+      "extract_degraded_snippets_total";
+      "extract_http_responses_total";
+      "extract_cache_entries";
+    ]
+
+let test_handle_stats_json () =
+  let s = server () in
+  let r = Demo_server.handle s "/stats?format=json&data=paper" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "json content type" true
+    (contains_substring r.Demo_server.content_type "application/json");
+  List.iter
+    (fun key -> check bool (key ^ " present") true (contains_substring r.Demo_server.body key))
+    [ "\"caches\""; "\"page\""; "\"snippet\""; "\"degraded_served\""; "\"metrics\""; "\"nodes\"" ];
+  let no_data = Demo_server.handle s "/stats?format=json" in
+  check int "still 200 without data" 200 no_data.Demo_server.status;
+  check bool "dataset null without data" true
+    (contains_substring no_data.Demo_server.body "\"dataset\": null")
 
 let test_handle_errors () =
   let s = server () in
@@ -436,6 +483,7 @@ let suites =
       [
         Alcotest.test_case "basic" `Quick test_lru_basic;
         Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        Alcotest.test_case "evictions counted" `Quick test_lru_evictions_counted;
         Alcotest.test_case "replace" `Quick test_lru_replace;
         Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
         Alcotest.test_case "remove/clear" `Quick test_lru_remove_clear;
@@ -454,6 +502,8 @@ let suites =
         Alcotest.test_case "page cache" `Quick test_handle_search_caches;
         Alcotest.test_case "complete" `Quick test_handle_complete;
         Alcotest.test_case "stats" `Quick test_handle_stats;
+        Alcotest.test_case "metrics" `Quick test_handle_metrics;
+        Alcotest.test_case "stats json" `Quick test_handle_stats_json;
         Alcotest.test_case "errors" `Quick test_handle_errors;
       ] );
     ( "server.socket",

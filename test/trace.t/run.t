@@ -1,0 +1,23 @@
+The snippet command's --trace flag records spans around load, search and
+snippet generation and prints the span tree to stderr after the results.
+Durations vary run to run, so normalize them; the tree shape (names,
+nesting) is stable.
+
+  $ extract gen paper -o paper.xml
+  wrote paper.xml
+
+  $ extract snippet paper.xml "store texas" -n 1 --trace 2>trace.txt >/dev/null
+  $ sed -E 's/ +[0-9]+(\.[0-9]+)?(ns|us|ms|s)$/ <dur>/' trace.txt
+  trace:
+  cli.load <dur>
+    pipeline.build <dur>
+  cli.run <dur>
+    pipeline.search <dur>
+      eval_ctx.resolve <dur>
+    pipeline.snippet <dur>
+
+Without --trace, nothing is recorded and stderr stays clean:
+
+  $ extract snippet paper.xml "store texas" -n 1 2>trace.txt >/dev/null
+  $ wc -c < trace.txt | tr -d ' '
+  0
