@@ -1335,6 +1335,8 @@ type hotpath_measurements = {
   hp_warm_ns : float;
   hp_hits : int;
   hp_misses : int;
+  hp_plain_ns : float;
+  hp_explain_ns : float;
   hp_e2e_samples : int;
   hp_e2e_mean_ns : float;
   hp_e2e_p50_ns : float;
@@ -1388,6 +1390,17 @@ let hotpath_measure () =
     total /. float_of_int warm_iters
   in
   let hits, misses = Extract_snippet.Snippet_cache.stats cache in
+  (* explain overhead: the same uncached run with ambient capture on and
+     the bundle assembled, vs the plain pipeline — the price of --explain *)
+  ignore (Pipeline.run ~bound:10 ~limit db query_string);
+  ignore (Extract_snippet.Explain.run ~bound:10 ~limit db query_string);
+  let plain_ns =
+    time_median ~repeat (fun () -> Pipeline.run ~bound:10 ~limit db query_string)
+  in
+  let explain_ns =
+    time_median ~repeat (fun () ->
+        Extract_snippet.Explain.run ~bound:10 ~limit db query_string)
+  in
   (* end-to-end tail latency: repeated uncached full runs recorded into an
      obs histogram, so the JSON reports p50/p95/p99, not just a mean *)
   let e2e_hist =
@@ -1421,6 +1434,8 @@ let hotpath_measure () =
     hp_warm_ns = warm_ns;
     hp_hits = hits;
     hp_misses = misses;
+    hp_plain_ns = plain_ns;
+    hp_explain_ns = explain_ns;
     hp_e2e_samples = e2e_count;
     hp_e2e_mean_ns = e2e_mean_ns;
     hp_e2e_p50_ns = pct 0.5;
@@ -1459,6 +1474,10 @@ let hotpath_json m =
        m.hp_misses);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"explain\": { \"plain_ns\": %.0f, \"explain_ns\": %.0f, \"overhead\": %.2f },\n"
+       m.hp_plain_ns m.hp_explain_ns (speedup m.hp_explain_ns m.hp_plain_ns));
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"latency\": { \"samples\": %d, \"e2e_mean_ns\": %.0f, \"e2e_p50_ns\": %.0f, \
         \"e2e_p95_ns\": %.0f, \"e2e_p99_ns\": %.0f }\n"
        m.hp_e2e_samples m.hp_e2e_mean_ns m.hp_e2e_p50_ns m.hp_e2e_p95_ns m.hp_e2e_p99_ns);
@@ -1489,6 +1508,13 @@ let e20 () =
       ns_to_string m.hp_cold_ns;
       ns_to_string m.hp_warm_ns;
       Printf.sprintf "%.0fx" (m.hp_cold_ns /. m.hp_warm_ns);
+    ];
+  Table.add_row t
+    [
+      "explain bundle (plain vs --explain)";
+      ns_to_string m.hp_plain_ns;
+      ns_to_string m.hp_explain_ns;
+      Printf.sprintf "%.2fx" (m.hp_explain_ns /. m.hp_plain_ns);
     ];
   Table.print
     ~title:

@@ -29,6 +29,15 @@ let () =
     prerr_endline msg;
     exit 2
 
+(* Opt-in structured event log: EXTRACT_LOG=level[:FILE] turns on the
+   JSON-lines logger for any verb (see extract_obs.Log). *)
+let () =
+  match Extract_obs.Log.install_from_env () with
+  | () -> ()
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    exit 2
+
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
@@ -63,6 +72,34 @@ let semantics_arg =
     value
     & opt semantics_conv Engine.Xseek
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Search engine: slca, elca, xseek or xsearch.")
+
+(* --log-level LEVEL overrides EXTRACT_LOG for this invocation; absent
+   means leave whatever install_from_env configured. *)
+let log_level_conv =
+  let parse s =
+    match Extract_obs.Log.level_of_string s with
+    | lvl -> Ok lvl
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some lvl -> Format.pp_print_string ppf (Extract_obs.Log.level_name lvl)
+  in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Emit structured JSON-lines events to stderr at $(docv) (debug, info, warn, \
+           error or off). Overrides the EXTRACT_LOG environment variable, which also \
+           accepts level:FILE to log to a file instead.")
+
+let apply_log_level = function
+  | None -> ()
+  | Some lvl -> Extract_obs.Log.set_level lvl
 
 (* Accept an XML file, a binary arena, or a bundle written by [extract
    save]: Corpus.load_file dispatches on the leading magic and, when a
@@ -242,38 +279,72 @@ let snippet_cmd =
          & info [ "order" ] ~docv:"ORDER"
              ~doc:"Feature ranking: dominance (paper), frequency (strawman) or biased (query-biased).")
   in
-  let run file query semantics bound limit compare_baselines differentiate order trace =
+  let explain_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some `Text) (some (enum [ "json", `Json; "text", `Text ])) None
+      & info [ "explain" ] ~docv:"FMT"
+          ~doc:
+            "Emit the explain bundle: per-IList-entry selection fates, dominance scores \
+             and edge-budget accounting. $(docv) is json (the bundle alone, on stdout) \
+             or text (appended after the snippets; the default when $(docv) is omitted).")
+  in
+  let run file query semantics bound limit compare_baselines differentiate order trace
+      explain log_level =
     let module Trace = Extract_obs.Trace in
+    let module Explain = Extract_snippet.Explain in
+    apply_log_level log_level;
     if trace then Trace.set_enabled true;
     let db = Trace.with_span "cli.load" (fun () -> load_db file) in
     let config = { Extract_snippet.Config.default with Extract_snippet.Config.feature_order = order } in
-    let results =
-      Trace.with_span "cli.run" (fun () ->
-          if differentiate then
-            Pipeline.run_differentiated ~semantics ~config ~bound ?limit db query
-          else Pipeline.run ~semantics ~config ~bound ?limit db query)
+    let print_results results =
+      Printf.printf "%d result(s) for %S, bound %d edges\n\n" (List.length results) query
+        bound;
+      let q = Extract_search.Query.of_string query in
+      List.iteri
+        (fun i (r : Pipeline.snippet_result) ->
+          Printf.printf "--- result %d -------------------------------------\n" (i + 1);
+          print_endline (Snippet_tree.render r.selection.snippet);
+          Printf.printf "(%d/%d IList items, %d edges)\n\n"
+            (Selector.covered_count r.selection)
+            (Ilist.length r.ilist)
+            (Snippet_tree.edge_count r.selection.snippet);
+          if compare_baselines then begin
+            let text =
+              Extract_snippet.Text_baseline.generate
+                ~window_tokens:(Extract_snippet.Text_baseline.window_for_bound bound)
+                r.result q
+            in
+            Printf.printf "text baseline:  %s\n" (Extract_snippet.Text_baseline.to_string text);
+            let naive = Extract_snippet.Naive_baseline.generate ~bound r.result in
+            Printf.printf "naive baseline:\n%s\n\n" (Snippet_tree.render naive)
+          end)
+        results
     in
-    Printf.printf "%d result(s) for %S, bound %d edges\n\n" (List.length results) query bound;
-    let q = Extract_search.Query.of_string query in
-    List.iteri
-      (fun i (r : Pipeline.snippet_result) ->
-        Printf.printf "--- result %d -------------------------------------\n" (i + 1);
-        print_endline (Snippet_tree.render r.selection.snippet);
-        Printf.printf "(%d/%d IList items, %d edges)\n\n"
-          (Selector.covered_count r.selection)
-          (Ilist.length r.ilist)
-          (Snippet_tree.edge_count r.selection.snippet);
-        if compare_baselines then begin
-          let text =
-            Extract_snippet.Text_baseline.generate
-              ~window_tokens:(Extract_snippet.Text_baseline.window_for_bound bound)
-              r.result q
+    (* one CLI invocation = one query: give it a request id here so the
+       cli.run span, the pipeline's log lines and the explain bundle all
+       carry the same id *)
+    Extract_obs.Reqid.ensure (fun _rid ->
+        match explain with
+        | None ->
+          print_results
+            (Trace.with_span "cli.run" (fun () ->
+                 if differentiate then
+                   Pipeline.run_differentiated ~semantics ~config ~bound ?limit db query
+                 else Pipeline.run ~semantics ~config ~bound ?limit db query))
+        | Some fmt ->
+          let results, bundle =
+            Trace.with_span "cli.run" (fun () ->
+                Explain.run ~semantics ~config ~bound ?limit
+                  ~differentiated:differentiate db query)
           in
-          Printf.printf "text baseline:  %s\n" (Extract_snippet.Text_baseline.to_string text);
-          let naive = Extract_snippet.Naive_baseline.generate ~bound r.result in
-          Printf.printf "naive baseline:\n%s\n\n" (Snippet_tree.render naive)
-        end)
-      results;
+          (match fmt with
+          | `Json ->
+            (* the bundle alone: stdout stays machine-readable *)
+            print_endline (Explain.render_json bundle)
+          | `Text ->
+            print_results results;
+            print_string (Explain.to_text bundle)));
     if trace then begin
       Printf.eprintf "trace:\n%s%!" (Trace.render (Trace.finished ()));
       Trace.set_enabled false
@@ -283,7 +354,7 @@ let snippet_cmd =
     (Cmd.info "snippet" ~doc:"Generate snippets for a keyword query (the demo flow).")
     Term.(
       const run $ file_arg $ query_arg $ semantics_arg $ bound_arg $ limit_arg $ compare_flag
-      $ differentiate_flag $ order_arg $ trace_flag)
+      $ differentiate_flag $ order_arg $ trace_flag $ explain_arg $ log_level_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -491,7 +562,8 @@ let serve_cmd =
              baseline snippets tagged degraded; a request whose budget is spent before \
              search starts is shed with 503.")
   in
-  let run files port timeout_ms deadline_ms =
+  let run files port timeout_ms deadline_ms log_level =
+    apply_log_level log_level;
     let corpus =
       List.fold_left
         (fun corpus file ->
@@ -510,13 +582,13 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the demo web service (the paper's Fig. 5 site) over XML files.")
-    Term.(const run $ files $ port $ timeout_ms $ deadline_ms)
+    Term.(const run $ files $ port $ timeout_ms $ deadline_ms $ log_level_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "snippet generation for XML keyword search (eXtract, VLDB'08)" in
-  Cmd.group (Cmd.info "extract" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "extract" ~version:Extract_obs.Registry.version ~doc)
     [ gen_cmd; stats_cmd; search_cmd; snippet_cmd; explain_cmd; save_cmd; demo_cmd; view_cmd;
       check_cmd; serve_cmd ]
 

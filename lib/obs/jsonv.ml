@@ -1,0 +1,128 @@
+(* Minimal JSON values for the observability layer: log lines, explain
+   bundles and the slowlog all render through this one module so escaping
+   and number formatting are decided exactly once. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  escape_to buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* integral floats render without a trailing dot or exponent noise; JSON
+   has no NaN/Inf, so non-finite values become null *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let rec add_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buf "null"
+    else Buffer.add_string buf (number f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_to buf s;
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_char buf '"';
+        escape_to buf k;
+        Buffer.add_string buf "\": ";
+        add_compact buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_compact buf v;
+  Buffer.contents buf
+
+(* A value is "flat" when it nests no containers: flat objects and arrays
+   render on one line even in the pretty form, so a list of entries stays
+   one grep-able line per entry. *)
+let flat v =
+  let scalar = function
+    | Null | Bool _ | Int _ | Float _ | Str _ -> true
+    | Arr _ | Obj _ -> false
+  in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | Str _ -> true
+  | Arr items -> List.for_all scalar items
+  | Obj fields -> List.for_all (fun (_, item) -> scalar item) fields
+
+let pretty v =
+  let buf = Buffer.create 1024 in
+  let pad depth = Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let rec go depth v =
+    if flat v then add_compact buf v
+    else
+      match v with
+      | Arr items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            Buffer.add_char buf '"';
+            escape_to buf k;
+            Buffer.add_string buf "\": ";
+            go (depth + 1) item)
+          fields;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf '}'
+      | _ -> add_compact buf v
+  in
+  go 0 v;
+  Buffer.contents buf

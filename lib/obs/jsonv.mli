@@ -1,0 +1,34 @@
+(** Minimal JSON values.
+
+    The observability layer emits a lot of JSON — structured log lines,
+    explain bundles, the slowlog, registry snapshots — and this module is
+    the single place where string escaping and number formatting are
+    decided. It is deliberately write-only: there is no parser, because
+    nothing in the system consumes JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line render ([", "] separators, ["key": value]
+    fields). Non-finite floats render as [null] (JSON has no NaN). *)
+
+val pretty : t -> string
+(** Indented multi-line render (two spaces per depth). Objects and arrays
+    whose members are all scalars stay on one line, so a list of entry
+    records renders one grep-able line per entry. *)
+
+val quote : string -> string
+(** [s] as a JSON string literal: double-quoted, with backslash escapes
+    for quote, backslash, newline, return, tab, backspace, form feed,
+    and [u00XX] escapes for the remaining control bytes. *)
+
+val number : float -> string
+(** Float formatting used by every render: integral values without a
+    trailing dot or exponent, others with [%.12g]. *)

@@ -192,6 +192,16 @@ let percentile_locked h q =
 
 let percentile h q = with_lock (fun () -> percentile_locked h q)
 
+(* Pinned gauges carry process facts (build info, start time) that must
+   survive [reset] — tests reset the registry, and losing build metadata
+   to test isolation would be a lie on the next /metrics scrape. *)
+let pins : (gauge * float) list ref = ref []
+
+let pin g v =
+  with_lock (fun () ->
+      g.g_value <- v;
+      pins := (g, v) :: List.filter (fun (g', _) -> g' != g) !pins)
+
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter
@@ -204,7 +214,8 @@ let reset () =
             h.h_overflow <- 0;
             h.h_sum <- 0.0;
             h.h_count <- 0)
-        table)
+        table;
+      List.iter (fun (g, v) -> g.g_value <- v) !pins)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
@@ -242,12 +253,28 @@ let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* The exposition format escapes exactly backslash, double quote and
+   newline inside label values — OCaml's %S would also escape tabs,
+   high bytes etc., which scrapers then read back literally. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let label_str labels =
   match labels with
   | [] -> ""
   | _ ->
     "{"
-    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
     ^ "}"
 
 (* labels plus an [le] bound, for histogram bucket series *)
@@ -297,7 +324,8 @@ let render_prometheus () =
 
 let json_labels labels =
   "{"
-  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %S" k v) labels)
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (Jsonv.quote k) (Jsonv.quote v)) labels)
   ^ "}"
 
 let render_json () =
@@ -336,3 +364,22 @@ let render_json () =
       Printf.sprintf "{ \"counters\": [%s], \"gauges\": [%s], \"histograms\": [%s] }"
         (String.concat ", " counters) (String.concat ", " gauges)
         (String.concat ", " histograms))
+
+(* ------------------------------------------------------------------ *)
+(* Process facts, registered once at module init and pinned so they
+   survive [reset]. The conventional shapes: a constant-1 info gauge
+   whose labels carry the facts, and a start-time gauge Prometheus can
+   turn into process uptime. *)
+
+let version = "1.0.0"
+
+let () =
+  pin
+    (gauge ~help:"Build information; the value is always 1"
+       ~labels:[ ("ocaml_version", Sys.ocaml_version); ("version", version) ]
+       "extract_build_info")
+    1.0;
+  pin
+    (gauge ~help:"Unix time the process started, in seconds"
+       "extract_process_start_time_seconds")
+    (Unix.gettimeofday ())

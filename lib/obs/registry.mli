@@ -62,6 +62,12 @@ val counter_value : counter -> int
 
 val set : gauge -> float -> unit
 
+val pin : gauge -> float -> unit
+(** [pin g v] sets [g] to [v] and marks it pinned: {!reset} restores [v]
+    instead of zeroing it. For process facts ({!val-version}, start
+    time) that must survive test-isolation resets. Re-pinning replaces
+    the pinned value. *)
+
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
@@ -93,4 +99,9 @@ val render_json : unit -> string
 
 val reset : unit -> unit
 (** Zero every registered metric's value, keeping registrations (module
-    initializers hold metric handles). Test isolation only. *)
+    initializers hold metric handles) and restoring pinned gauges (see
+    {!pin}). Test isolation only. *)
+
+val version : string
+(** The release version baked into [extract_build_info] and reported by
+    the CLI. *)

@@ -4,6 +4,7 @@ type span = {
   name : string;
   start : float;
   duration : float;
+  rid : string option;
   children : span list;
 }
 
@@ -11,6 +12,7 @@ type span = {
 type building = {
   b_name : string;
   b_start : float;
+  b_rid : string option;
   mutable b_children : span list;
 }
 
@@ -54,6 +56,7 @@ let close_span stack b =
       name = b.b_name;
       start = b.b_start;
       duration = Deadline.now () -. b.b_start;
+      rid = b.b_rid;
       children = List.rev b.b_children;
     }
   in
@@ -66,7 +69,12 @@ let with_span name f =
   if not (Atomic.get on) then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
-    let b = { b_name = name; b_start = Deadline.now (); b_children = [] } in
+    let b =
+      { b_name = name;
+        b_start = Deadline.now ();
+        b_rid = Reqid.current ();
+        b_children = [] }
+    in
     stack := b :: !stack;
     let pop () =
       (* unwind even past an exception; tolerate a clear() underneath us *)
@@ -96,7 +104,11 @@ let pp_duration s =
 let render spans =
   let buf = Buffer.create 256 in
   let rec go depth s =
-    let label = String.make (2 * depth) ' ' ^ s.name in
+    let label =
+      String.make (2 * depth) ' '
+      ^ s.name
+      ^ (match s.rid with Some rid -> " [" ^ rid ^ "]" | None -> "")
+    in
     let pad = max 1 (44 - String.length label) in
     Buffer.add_string buf
       (Printf.sprintf "%s%s%s\n" label (String.make pad ' ') (pp_duration s.duration));

@@ -18,6 +18,9 @@ type span = {
   name : string;
   start : float; (** seconds, {!Extract_util.Deadline.now} clock *)
   duration : float; (** seconds *)
+  rid : string option;
+      (** the {!Reqid} current when the span opened, so a span tree
+          correlates with the same query's log lines and slowlog entry *)
   children : span list; (** in start order *)
 }
 
@@ -45,5 +48,6 @@ val pp_duration : float -> string
 
 val render : span list -> string
 (** The span forest as an indented tree, one line per span: two spaces
-    per depth, the name, then the duration right-padded — the shape
-    printed by [extract snippet --trace]. *)
+    per depth, the name (suffixed [" [rid]"] when the span carries a
+    request id), then the duration right-padded — the shape printed by
+    [extract snippet --trace]. *)

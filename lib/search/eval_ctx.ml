@@ -3,6 +3,9 @@ module Postings = Extract_store.Postings
 module Inverted_index = Extract_store.Inverted_index
 module Registry = Extract_obs.Registry
 module Trace = Extract_obs.Trace
+module Log = Extract_obs.Log
+module Capture = Extract_obs.Explain
+module Jsonv = Extract_obs.Jsonv
 
 type t = {
   index : Inverted_index.t;
@@ -26,6 +29,11 @@ let make index query =
   Registry.add lists_resolved_total (List.length resolved);
   Registry.add entries_resolved_total
     (List.fold_left (fun acc (_, arr) -> acc + Array.length arr) 0 resolved);
+  if Log.enabled Log.Debug || Capture.capturing () then begin
+    let counts = List.map (fun (k, arr) -> k, Jsonv.Int (Array.length arr)) resolved in
+    Log.debug "eval_ctx.resolve" counts;
+    Capture.record "postings" (fun () -> Jsonv.Obj counts)
+  end;
   { index; query; resolved }
 
 let index t = t.index

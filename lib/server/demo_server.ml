@@ -2,10 +2,15 @@ module Corpus = Extract_snippet.Corpus
 module Pipeline = Extract_snippet.Pipeline
 module Html_view = Extract_snippet.Html_view
 module Snippet_cache = Extract_snippet.Snippet_cache
+module Explain = Extract_snippet.Explain
 module Lru = Extract_util.Lru
 module Deadline = Extract_util.Deadline
 module Faults = Extract_util.Faults
 module Registry = Extract_obs.Registry
+module Log = Extract_obs.Log
+module Reqid = Extract_obs.Reqid
+module Slowlog = Extract_obs.Slowlog
+module Jsonv = Extract_obs.Jsonv
 
 (* ------------------------------------------------------------------ *)
 (* Server metrics: cache behaviour, shed load and per-connection
@@ -166,6 +171,71 @@ let home_page t =
   Buffer.add_string buf "</p></body></html>\n";
   Buffer.contents buf
 
+let current_rid () = Option.value ~default:"-" (Reqid.current ())
+
+(* Slowlog capture around the query routes: one entry per pipeline run
+   (slowest retention), plus unconditional retention of every degraded
+   or faulted query. An injected fault is recorded before it propagates
+   to the 503 path, so the slowlog still names the query that died. *)
+let slowlogged ~query f =
+  let t0 = Deadline.now () in
+  match f () with
+  | results ->
+    let degraded =
+      List.fold_left
+        (fun n (r : Pipeline.snippet_result) -> if r.Pipeline.degraded then n + 1 else n)
+        0 results
+    in
+    Slowlog.record
+      {
+        Slowlog.rid = current_rid ();
+        query;
+        seconds = Deadline.now () -. t0;
+        degraded;
+        faulted = false;
+        digest = Explain.digest_of_results results;
+      };
+    results
+  | exception (Faults.Injected (point, _) as e) ->
+    Slowlog.record
+      {
+        Slowlog.rid = current_rid ();
+        query;
+        seconds = Deadline.now () -. t0;
+        degraded = 0;
+        faulted = true;
+        digest = Jsonv.Obj [ "fault", Jsonv.Str point ];
+      };
+    raise e
+
+(* same capture for the explain route, which already has a bundle with
+   the id, timing and digest in hand *)
+let slowlogged_bundle ~query f =
+  let t0 = Deadline.now () in
+  match f () with
+  | (_, bundle) as out ->
+    Slowlog.record
+      {
+        Slowlog.rid = bundle.Explain.request_id;
+        query;
+        seconds = bundle.Explain.seconds;
+        degraded = bundle.Explain.degraded;
+        faulted = false;
+        digest = Explain.digest bundle;
+      };
+    out
+  | exception (Faults.Injected (point, _) as e) ->
+    Slowlog.record
+      {
+        Slowlog.rid = current_rid ();
+        query;
+        seconds = Deadline.now () -. t0;
+        degraded = 0;
+        faulted = true;
+        digest = Jsonv.Obj [ "fault", Jsonv.Str point ];
+      };
+    raise e
+
 let with_db t params f =
   match List.assoc_opt "data" params with
   | None -> error 400 "Bad Request" "missing ?data= parameter"
@@ -174,6 +244,11 @@ let with_db t params f =
     | None -> error 404 "Not Found" (Printf.sprintf "unknown data set %S" name)
     | Some db -> f name db
   end
+
+let bound_param params =
+  match Option.bind (List.assoc_opt "bound" params) int_of_string_opt with
+  | Some b when b >= 0 -> b
+  | Some _ | None -> Pipeline.default_bound
 
 let search_page t ~deadline target params =
   with_db t params (fun name db ->
@@ -185,11 +260,7 @@ let search_page t ~deadline target params =
           overloaded "per-request budget exhausted before search started"
         end
         else begin
-          let bound =
-            match Option.bind (List.assoc_opt "bound" params) int_of_string_opt with
-            | Some b when b >= 0 -> b
-            | Some _ | None -> Pipeline.default_bound
-          in
+          let bound = bound_param params in
           (* two cache levels: rendered pages by raw target, and
              search+snippet results by normalized query — a page miss with
              a differently-encoded target still skips the pipeline. A page
@@ -202,7 +273,10 @@ let search_page t ~deadline target params =
             ok body
           | None ->
             Registry.incr page_misses_total;
-            let results = Snippet_cache.run ~bound ~limit:25 ~deadline t.snippets db q in
+            let results =
+              slowlogged ~query:q (fun () ->
+                  Snippet_cache.run ~bound ~limit:25 ~deadline t.snippets db q)
+            in
             let degraded =
               List.length (List.filter (fun r -> r.Pipeline.degraded) results)
             in
@@ -215,6 +289,37 @@ let search_page t ~deadline target params =
             if degraded = 0 then Lru.put t.pages target body;
             ok body
         end)
+
+(* The explain endpoint runs the same cached pipeline as /search but
+   assembles the bundle around it; explain pages are never page-cached —
+   the bundle's provenance (cache hit/miss, timings, request id) is
+   precisely what must stay live. *)
+let explain_page t ~deadline params =
+  with_db t params (fun _name db ->
+      match List.assoc_opt "q" params with
+      | None | Some "" -> error 400 "Bad Request" "missing ?q= parameter"
+      | Some q ->
+        if Deadline.expired deadline then begin
+          Registry.incr shed_total;
+          overloaded "per-request budget exhausted before search started"
+        end
+        else begin
+          let bound = bound_param params in
+          let _, bundle =
+            slowlogged_bundle ~query:q (fun () ->
+                Explain.run ~bound ~limit:25 ~deadline ~cache:t.snippets db q)
+          in
+          match List.assoc_opt "format" params with
+          | Some "text" -> text_ok (Explain.to_text bundle)
+          | Some "json" | None ->
+            ok ~content_type:"application/json; charset=utf-8"
+              (Explain.render_json bundle ^ "\n")
+          | Some other ->
+            error 400 "Bad Request" (Printf.sprintf "unknown format %S" other)
+        end)
+
+let slowlog_page () =
+  ok ~content_type:"application/json; charset=utf-8" (Slowlog.render_json () ^ "\n")
 
 let complete_page t params =
   with_db t params (fun _ db ->
@@ -295,23 +400,37 @@ let stats_page t params =
           (Format.asprintf "data set: %s@.%a@.%s" name Extract_store.Doc_stats.pp stats
              (cache_report t)))
 
+(* Every request runs under a fresh request id: the access-log line, the
+   pipeline's event-log lines, the trace spans and the slowlog entry of
+   one request all carry the same id. *)
 let handle ?(deadline = Deadline.never) t target =
-  match parse_target target with
-  | exception _ -> error 400 "Bad Request" "unparsable target"
-  | path, params -> begin
-    try
-      match path with
-      | "/" | "/index.html" -> ok (home_page t)
-      | "/search" -> search_page t ~deadline target params
-      | "/complete" -> complete_page t params
-      | "/stats" -> stats_page t params
-      | "/metrics" -> metrics_page t
-      | _ -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
-    with
-    | Faults.Injected (point, _) ->
-      overloaded (Printf.sprintf "transient fault at %s" point)
-    | e -> error 500 "Internal Server Error" (Printexc.to_string e)
-  end
+  Reqid.ensure (fun _rid ->
+      let t0 = Deadline.now () in
+      let response =
+        match parse_target target with
+        | exception _ -> error 400 "Bad Request" "unparsable target"
+        | path, params -> begin
+          try
+            match path with
+            | "/" | "/index.html" -> ok (home_page t)
+            | "/search" -> search_page t ~deadline target params
+            | "/explain" -> explain_page t ~deadline params
+            | "/complete" -> complete_page t params
+            | "/stats" -> stats_page t params
+            | "/metrics" -> metrics_page t
+            | "/debug/slowlog" -> slowlog_page ()
+            | _ -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
+          with
+          | Faults.Injected (point, _) ->
+            overloaded (Printf.sprintf "transient fault at %s" point)
+          | e -> error 500 "Internal Server Error" (Printexc.to_string e)
+        end
+      in
+      Log.info "http.access"
+        [ "target", Jsonv.Str target;
+          "status", Jsonv.Int response.status;
+          "seconds", Jsonv.Float (Deadline.now () -. t0) ];
+      response)
 
 let cache_stats t = Lru.stats t.pages
 
@@ -483,8 +602,25 @@ let serve_once ?(config = default_config) t listening =
         Registry.incr (transport_error_counter "write_timeout");
         config.log "response write timed out (slow reader); dropped")
 
+(* On SIGTERM, the serving loop's last act is dumping the slowlog to
+   stderr: when an operator (or an orchestrator) stops a misbehaving
+   server, the worst and the degraded queries survive in the shutdown
+   log even if nobody thought to curl /debug/slowlog first. *)
+let install_sigterm_dump config =
+  try
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle
+         (fun _ ->
+           config.log "SIGTERM: slow-query log follows";
+           output_string stderr (Slowlog.render_json ());
+           output_char stderr '\n';
+           flush stderr;
+           exit 0))
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let serve ?(config = default_config) t ~port =
   ensure_sigpipe_ignored ();
+  install_sigterm_dump config;
   let sock = listen ~port in
   Printf.printf "eXtract demo server on http://127.0.0.1:%d/\n%!" (bound_port sock);
   while true do

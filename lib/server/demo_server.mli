@@ -22,7 +22,20 @@
       Prometheus text exposition format: per-stage latency histograms,
       cache hit/miss/eviction series, persistence IO bytes, degraded and
       shed counts, transport outcomes;
+    - [GET /explain?data=NAME&q=QUERY&bound=N&format=json|text] — the
+      {!Extract_snippet.Explain} bundle for the query: per-IList-entry
+      selection fates, dominance scores, edge-budget accounting,
+      posting/timing/cache sections and the request id (default JSON;
+      never page-cached);
+    - [GET /debug/slowlog] — the {!Extract_obs.Slowlog} snapshot: the
+      slowest queries plus every recent degraded/faulted query, JSON;
     - anything else — 404.
+
+    Every request runs under a fresh {!Extract_obs.Reqid}; with
+    [EXTRACT_LOG] (or the CLI's [--log-level]) enabled, each request
+    emits an [http.access] event whose [rid] matches the pipeline's
+    event-log lines, the trace spans and the slowlog entry produced by
+    the same request.
 
     [handle] is the pure request → response core (unit-testable without
     sockets); [serve] and [serve_once] add the transport.
@@ -111,7 +124,9 @@ val serve_once : ?config:config -> t -> Unix.file_descr -> unit
 val serve : ?config:config -> t -> port:int -> unit
 (** [listen] + [serve_once] forever, with SIGPIPE ignored and a catch-all
     around each connection: no single client can stop the accept loop.
-    Never returns; intended for the CLI's [serve] command. *)
+    On SIGTERM the {!Extract_obs.Slowlog} snapshot is dumped to stderr
+    before exiting 0, so the worst and the degraded queries survive a
+    shutdown. Never returns; intended for the CLI's [serve] command. *)
 
 (** {1 Parsing helpers (exposed for tests)} *)
 

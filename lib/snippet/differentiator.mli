@@ -31,3 +31,9 @@ val distinctiveness : t -> Feature.t -> float
 
 val apply : t -> Ilist.t -> Ilist.t
 (** Re-rank the IList's dominant-feature block by [DS × distinctiveness]. *)
+
+val report : t -> (Feature.t * int * float) list
+(** Every feature seen across the query's results with its result
+    frequency and distinctiveness — most distinctive first, ties broken
+    by the feature triplet, so the readout is deterministic. Feeds the
+    explain bundle's [differentiator] section. *)

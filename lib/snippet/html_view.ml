@@ -70,7 +70,56 @@ let css =
     padding: 0 0.4rem; font-size: 0.8rem; margin-left: 0.5rem; }
   details { margin-top: 0.6rem; }
   summary { cursor: pointer; color: #14548c; }
+  details.explain table { border-collapse: collapse; font-size: 0.85rem; margin-top: 0.4rem; }
+  details.explain th, details.explain td { border: 1px solid #ddd; padding: 0.15rem 0.5rem;
+    text-align: left; }
+  details.explain th { background: #f4f7fa; font-weight: 600; }
+  .st-covered { color: #1b6e1b; }
+  .st-skipped { color: #a05a00; }
+  .st-uncoverable { color: #888; }
 |}
+
+(* The expandable per-result explain panel: one table row per IList
+   entry with its dominance score and selection fate. *)
+let explain_panel ~index (r : Pipeline.snippet_result) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "<details class=\"explain\"><summary>explain</summary>";
+  if r.Pipeline.degraded then
+    Buffer.add_string buf
+      "<p class=\"st-skipped\">degraded: baseline snippet, no IList accounting</p>"
+  else begin
+    let ex = Explain.result_explain_of ~index r in
+    Buffer.add_string buf
+      (Printf.sprintf "<p>%d covered &middot; %d skipped &middot; %d uncoverable &middot; %d/%d edges used</p>"
+         ex.Explain.covered_count ex.Explain.skipped_count ex.Explain.uncoverable_count
+         ex.Explain.edges_used ex.Explain.bound);
+    Buffer.add_string buf
+      "<table><tr><th>#</th><th>kind</th><th>item</th><th>DS</th><th>outcome</th></tr>";
+    List.iter
+      (fun (e : Explain.entry) ->
+        let score =
+          match e.Explain.feature with
+          | Some (_, stats) -> Printf.sprintf "%.2f" stats.Feature.score
+          | None -> ""
+        in
+        let cls, outcome =
+          match e.Explain.status with
+          | Explain.Covered { tag; cost; _ } ->
+            ( "st-covered",
+              if cost = 0 then Printf.sprintf "covered free via &lt;%s&gt;" (escape tag)
+              else Printf.sprintf "covered via &lt;%s&gt; (+%d)" (escape tag) cost )
+          | Explain.Skipped -> "st-skipped", "skipped"
+          | Explain.Uncoverable -> "st-uncoverable", "uncoverable"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td class=\"%s\">%s</td></tr>"
+             e.Explain.rank e.Explain.kind (escape e.Explain.display) score cls outcome))
+      ex.Explain.entries;
+    Buffer.add_string buf "</table>"
+  end;
+  Buffer.add_string buf "</details>";
+  Buffer.contents buf
 
 let result_page ?(title = "eXtract") ~query ~bound results =
   let buf = Buffer.create 4096 in
@@ -97,6 +146,7 @@ let result_page ?(title = "eXtract") ~query ~bound results =
       Buffer.add_string buf
         (Printf.sprintf "<div class=\"ilist\">IList: %s</div>"
            (escape (Ilist.to_string r.Pipeline.ilist)));
+      Buffer.add_string buf (explain_panel ~index:i r);
       Buffer.add_string buf "<details><summary>complete query result</summary>";
       Buffer.add_string buf (result_tree_to_html r.Pipeline.result);
       Buffer.add_string buf "</details></div>")

@@ -11,6 +11,10 @@ module Deadline = Extract_util.Deadline
 module Faults = Extract_util.Faults
 module Registry = Extract_obs.Registry
 module Trace = Extract_obs.Trace
+module Log = Extract_obs.Log
+module Reqid = Extract_obs.Reqid
+module Capture = Extract_obs.Explain
+module Jsonv = Extract_obs.Jsonv
 
 type t = {
   id : int; (* unique per analyzed database; cache keys embed it *)
@@ -74,8 +78,40 @@ let deadline_expired_total =
 let timed hist span f =
   let t0 = Deadline.now () in
   let x = Trace.with_span span f in
-  Registry.observe hist (Deadline.now () -. t0);
+  let dt = Deadline.now () -. t0 in
+  Registry.observe hist dt;
+  Log.debug "stage.done" [ "stage", Jsonv.Str span; "seconds", Jsonv.Float dt ];
+  Capture.record span (fun () -> Jsonv.Float dt);
   x
+
+(* Every run variant executes under a request id — the caller's scope
+   when one is active (the server stamps one per HTTP request), else a
+   fresh id for this call. The same id lands in the stage log lines, the
+   trace spans and the explain capture, so one grep correlates them. *)
+let query_scope event query_string ~count f =
+  Reqid.ensure (fun _rid ->
+      let t0 = Deadline.now () in
+      match f () with
+      | out ->
+        (if Log.enabled Log.Info then begin
+           let results, degraded = count out in
+           Log.info event
+             [ "query", Jsonv.Str query_string;
+               "results", Jsonv.Int results;
+               "degraded", Jsonv.Int degraded;
+               "seconds", Jsonv.Float (Deadline.now () -. t0) ]
+         end);
+        out
+      | exception e ->
+        Log.warn "query.failed"
+          [ "query", Jsonv.Str query_string;
+            "error", Jsonv.Str (Printexc.to_string e);
+            "seconds", Jsonv.Float (Deadline.now () -. t0) ];
+        raise e)
+
+let count_snippets snips =
+  ( List.length snips,
+    List.fold_left (fun n s -> if s.degraded then n + 1 else n) 0 snips )
 
 let notify_built t =
   (match !observer with Some o -> o.on_built t | None -> ());
@@ -179,11 +215,15 @@ let searched ?semantics ?limit t query_string =
       ctx, notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds))
 
 let search ?semantics ?limit t query_string =
-  let _, results = searched ?semantics ?limit t query_string in
-  results
+  query_scope "search.done" query_string
+    ~count:(fun rs -> List.length rs, 0)
+    (fun () ->
+      let _, results = searched ?semantics ?limit t query_string in
+      results)
 
 let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
     ?(deadline = Deadline.never) t query_string =
+  query_scope "query.done" query_string ~count:count_snippets @@ fun () ->
   let ctx, results = searched ?semantics ?limit t query_string in
   timed snippet_seconds "pipeline.snippet" (fun () ->
       (* one analysis per result, shared between the differentiator and each
@@ -197,6 +237,17 @@ let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
           results
       in
       let differ = Differentiator.make (List.filter_map snd analyses) in
+      Capture.record "differentiator" (fun () ->
+          Jsonv.Arr
+            (List.map
+               (fun ((f : Feature.t), rf, d) ->
+                 Jsonv.Obj
+                   [ "entity", Jsonv.Str f.Feature.entity;
+                     "attribute", Jsonv.Str f.Feature.attribute;
+                     "value", Jsonv.Str f.Feature.value;
+                     "result_frequency", Jsonv.Int rf;
+                     "distinctiveness", Jsonv.Float d ])
+               (Differentiator.report differ)));
       notify_snippets t
         (List.map
            (fun (result, analysis) ->
@@ -214,6 +265,9 @@ let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
 
 let run_ranked ?semantics ?config ?(bound = default_bound) ?limit
     ?(deadline = Deadline.never) t query_string =
+  query_scope "query.done" query_string
+    ~count:(fun scored -> count_snippets (List.map snd scored))
+  @@ fun () ->
   let ctx, results = searched ?semantics t query_string in
   let ranker = Extract_search.Ranker.make t.index in
   let ranked =
@@ -237,6 +291,7 @@ let run_ranked ?semantics ?config ?(bound = default_bound) ?limit
 
 let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline.never) t
     query_string =
+  query_scope "query.done" query_string ~count:count_snippets @@ fun () ->
   let ctx, results = searched ?semantics ?limit t query_string in
   timed snippet_seconds "pipeline.snippet" (fun () ->
       results
@@ -252,6 +307,7 @@ let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline
    order. *)
 let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4)
     ?(deadline = Deadline.never) t query_string =
+  query_scope "query.done" query_string ~count:count_snippets @@ fun () ->
   let ctx, result_list = searched ?semantics ?limit t query_string in
   let results = Array.of_list result_list in
   let snippet result =

@@ -2,6 +2,9 @@ module Lru = Extract_util.Lru
 module Engine = Extract_search.Engine
 module Query = Extract_search.Query
 module Registry = Extract_obs.Registry
+module Log = Extract_obs.Log
+module Capture = Extract_obs.Explain
+module Jsonv = Extract_obs.Jsonv
 
 let hits_total =
   Registry.counter ~help:"Cache hits" ~labels:[ "cache", "snippet" ]
@@ -35,14 +38,23 @@ let key_of ?semantics ?config ?bound ?limit db query_string =
     config;
   }
 
+(* cache provenance, into both the debug log and the explain capture: a
+   hit means the bundle's stage sections are absent because nothing ran *)
+let provenance outcome key =
+  Log.debug "snippet_cache" [ "outcome", Jsonv.Str outcome; "query", Jsonv.Str key.query ];
+  Capture.record "cache" (fun () ->
+      Jsonv.Obj [ "outcome", Jsonv.Str outcome; "normalized_query", Jsonv.Str key.query ])
+
 let run ?semantics ?config ?bound ?limit ?deadline t db query_string =
   let key = key_of ?semantics ?config ?bound ?limit db query_string in
   match Lru.find t key with
   | Some v ->
     Registry.incr hits_total;
+    provenance "hit" key;
     v
   | None ->
     Registry.incr misses_total;
+    provenance "miss" key;
     let v = Pipeline.run ?semantics ?config ?bound ?limit ?deadline db query_string in
     (* a deadline-starved answer is not the answer — caching it would
        serve degraded snippets long after the pressure has passed *)

@@ -18,6 +18,7 @@ value to N before matching (keys keep their digits — e2e, p50):
     "restriction": { "results": N, "postings": N, "linear_ns": N, "interval_ns": N, "speedup": N },
     "limit_pushdown": { "limit": N, "full_ns": N, "limited_ns": N, "speedup": N },
     "cache": { "cold_ns": N, "warm_ns": N, "speedup": N, "hits": N, "misses": N },
+    "explain": { "plain_ns": N, "explain_ns": N, "overhead": N },
     "latency": { "samples": N, "e2e_mean_ns": N, "e2e_p50_ns": N, "e2e_p95_ns": N, "e2e_p99_ns": N }
   }
 

@@ -1,0 +1,108 @@
+The explain bundle: why each snippet came out the way it did. On the
+paper's running example the bundle must reproduce the §2.3 dominance
+scores (Houston 3.0, outwear ~2.26, man 1.8, casual 1.4, suit ~1.23,
+woman ~1.08) and the §2.4 edge accounting (all 12 IList items covered
+in exactly 14 edges at bound 14).
+
+  $ extract gen paper -o paper.xml
+  wrote paper.xml
+
+--explain=json prints the bundle alone on stdout. Timings vary run to
+run, so normalize every seconds-valued field; everything else — the
+request id, the per-entry selection fates, the scores, the edge
+budget — is deterministic.
+
+  $ extract snippet paper.xml "Texas apparel retailer" -b 14 --explain=json \
+  >   | sed -E 's/("(seconds|pipeline\.(search|snippet))": )[0-9.e+-]+/\1<t>/g'
+  {
+    "request_id": "q000001",
+    "query": "Texas apparel retailer",
+    "semantics": "xseek",
+    "bound": 14,
+    "seconds": <t>,
+    "results": 1,
+    "degraded": 0,
+    "sections": {
+      "postings": {"texas": 10, "apparel": 1, "retailer": 3},
+      "pipeline.search": <t>,
+      "pipeline.snippet": <t>
+    },
+    "result_explains": [
+      {
+        "result": 1,
+        "root": "retailer",
+        "nodes": 7295,
+        "degraded": false,
+        "bound": 14,
+        "edges_used": 14,
+        "covered": 12,
+        "skipped": 0,
+        "uncoverable": 0,
+        "entries": [
+          {"rank": 0, "kind": "keyword", "display": "texas", "instances": 10, "status": "covered", "instance_node": 9, "instance_tag": "state", "cost": 2},
+          {"rank": 1, "kind": "keyword", "display": "apparel", "instances": 1, "status": "covered", "instance_node": 4, "instance_tag": "product", "cost": 1},
+          {"rank": 2, "kind": "keyword", "display": "retailer", "instances": 1, "status": "covered", "instance_node": 1, "instance_tag": "retailer", "cost": 0},
+          {"rank": 3, "kind": "entity", "display": "clothes", "instances": 1070, "status": "covered", "instance_node": 14, "instance_tag": "clothes", "cost": 2},
+          {"rank": 4, "kind": "entity", "display": "store", "instances": 10, "status": "covered", "instance_node": 6, "instance_tag": "store", "cost": 0},
+          {"rank": 5, "kind": "key", "display": "Brook Brothers", "instances": 1, "status": "covered", "instance_node": 2, "instance_tag": "name", "cost": 1},
+          {"rank": 6, "kind": "feature", "display": "Houston", "instances": 6, "entity": "store", "attribute": "city", "score": 3, "occurrences": 6, "type_total": 10, "domain_size": 5, "status": "covered", "instance_node": 11, "instance_tag": "city", "cost": 1},
+          {"rank": 7, "kind": "feature", "display": "outwear", "instances": 220, "entity": "clothes", "attribute": "category", "score": 2.26168224299, "occurrences": 220, "type_total": 1070, "domain_size": 11, "status": "covered", "instance_node": 15, "instance_tag": "category", "cost": 1},
+          {"rank": 8, "kind": "feature", "display": "man", "instances": 600, "entity": "clothes", "attribute": "fitting", "score": 1.8, "occurrences": 600, "type_total": 1000, "domain_size": 3, "status": "covered", "instance_node": 19, "instance_tag": "fitting", "cost": 1},
+          {"rank": 9, "kind": "feature", "display": "casual", "instances": 700, "entity": "clothes", "attribute": "situation", "score": 1.4, "occurrences": 700, "type_total": 1000, "domain_size": 2, "status": "covered", "instance_node": 17, "instance_tag": "situation", "cost": 1},
+          {"rank": 10, "kind": "feature", "display": "suit", "instances": 120, "entity": "clothes", "attribute": "category", "score": 1.23364485981, "occurrences": 120, "type_total": 1070, "domain_size": 11, "status": "covered", "instance_node": 43, "instance_tag": "category", "cost": 2},
+          {"rank": 11, "kind": "feature", "display": "woman", "instances": 360, "entity": "clothes", "attribute": "fitting", "score": 1.08, "occurrences": 360, "type_total": 1000, "domain_size": 3, "status": "covered", "instance_node": 82, "instance_tag": "fitting", "cost": 2}
+        ]
+      }
+    ]
+  }
+
+Bare --explain keeps the snippets on stdout and appends the terminal
+form of the bundle: one line per IList entry with its dominance score
+and selection fate.
+
+  $ extract snippet paper.xml "Texas apparel retailer" -b 14 --explain 2>/dev/null \
+  >   | sed -n '/^explain/,$p' \
+  >   | sed -E 's/, [0-9.]+(ns|us|ms|s)\)$/, <dur>)/; s/^(section pipeline\.(search|snippet)): .*/\1: <t>/'
+  explain q000001: "Texas apparel retailer" (xseek, bound 14, 1 result, <dur>)
+  result 1: <retailer> 7295 nodes — 12 covered / 0 skipped / 0 uncoverable, 14/14 edges
+     0 keyword  texas          — covered via <state> #9 (+2 edges)
+     1 keyword  apparel        — covered via <product> #4 (+1 edge)
+     2 keyword  retailer       — covered free via <retailer> #1
+     3 entity   clothes        — covered via <clothes> #14 (+2 edges)
+     4 entity   store          — covered free via <store> #6
+     5 key      Brook Brothers — covered via <name> #2 (+1 edge)
+     6 feature  Houston        DS=3 — covered via <city> #11 (+1 edge)
+     7 feature  outwear        DS=2.26168224299 — covered via <category> #15 (+1 edge)
+     8 feature  man            DS=1.8 — covered via <fitting> #19 (+1 edge)
+     9 feature  casual         DS=1.4 — covered via <situation> #17 (+1 edge)
+    10 feature  suit           DS=1.23364485981 — covered via <category> #43 (+2 edges)
+    11 feature  woman          DS=1.08 — covered via <fitting> #82 (+2 edges)
+  section postings: {"texas": 10, "apparel": 1, "retailer": 3}
+  section pipeline.search: <t>
+  section pipeline.snippet: <t>
+
+--log-level=info adds the structured event log on stderr; the query.done
+event carries the same request id as the bundle, so one grep correlates
+them.
+
+  $ extract snippet paper.xml "Texas apparel retailer" -b 14 --explain=json \
+  >   --log-level=info >bundle.json 2>log.jsonl
+  $ grep -c '"request_id": "q000001"' bundle.json
+  1
+  $ grep -c '"event": "query.done".*"rid": "q000001"' log.jsonl
+  1
+
+EXTRACT_LOG=level:FILE routes the event log to a file instead of stderr;
+debug level also emits per-stage and posting-resolution events.
+
+  $ EXTRACT_LOG=debug:events.jsonl extract snippet paper.xml "houston suit" -n 1 >/dev/null
+  $ grep -c '"event": "query.done"' events.jsonl
+  1
+  $ grep -c '"event": "eval_ctx.resolve"' events.jsonl
+  1
+
+A malformed EXTRACT_LOG is reported and refused, like EXTRACT_FAULTS:
+
+  $ EXTRACT_LOG=loud extract snippet paper.xml "x" 2>&1 >/dev/null
+  Log: unknown level "loud"
+  [2]

@@ -1,10 +1,15 @@
 (* Tests for the observability subsystem (lib/obs): registry identity and
    value semantics, histogram bucket boundaries and percentile estimates,
    the Prometheus/JSON renders, concurrent recording from parallel
-   domains, and the span tracer's tree shape. *)
+   domains, the span tracer's tree shape, and the query-level layer —
+   JSON values, request ids, the structured event log, the slowlog. *)
 
 module Registry = Extract_obs.Registry
 module Trace = Extract_obs.Trace
+module Jsonv = Extract_obs.Jsonv
+module Reqid = Extract_obs.Reqid
+module Log = Extract_obs.Log
+module Slowlog = Extract_obs.Slowlog
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -124,6 +129,41 @@ let test_prometheus_render () =
   check bool "TYPE line present" true (contains text "# TYPE obs_test_render_total counter");
   check bool "sample with labels" true (contains text "obs_test_render_total{k=\"v\"} 3")
 
+(* Prometheus label-value escaping: the exposition format escapes exactly
+   backslash, double quote and newline — a regression test, because %S
+   used to leak OCaml-style escapes into scraped label values. *)
+let test_label_value_escaping () =
+  Registry.reset ();
+  let g = Registry.gauge ~labels:[ "path", "a\\b\"c\nd" ] "obs_test_escape_info" in
+  Registry.set g 1.0;
+  let text = Registry.render_prometheus () in
+  check bool "backslash, quote and newline escaped" true
+    (contains text "obs_test_escape_info{path=\"a\\\\b\\\"c\\nd\"} 1");
+  check bool "no raw newline inside the label" false (contains text "c\nd\"");
+  let json = Registry.render_json () in
+  check bool "json labels escaped the same way" true (contains json "a\\\\b\\\"c\\nd")
+
+let test_build_info_pinned () =
+  let build_info () =
+    Registry.gauge
+      ~labels:[ "ocaml_version", Sys.ocaml_version; "version", Registry.version ]
+      "extract_build_info"
+  in
+  let start_time () = Registry.gauge "extract_process_start_time_seconds" in
+  feq "build info gauge is 1" 1.0 (Registry.gauge_value (build_info ()));
+  check bool "start time is a plausible epoch" true
+    (Registry.gauge_value (start_time ()) > 1.0e9);
+  let text = Registry.render_prometheus () in
+  check bool "build info exposed with version label" true
+    (contains text ("version=\"" ^ Registry.version ^ "\"} 1"));
+  check bool "ocaml version labelled" true
+    (contains text ("ocaml_version=\"" ^ Sys.ocaml_version ^ "\""));
+  (* pins survive the reset that every other metric is subject to *)
+  Registry.reset ();
+  feq "build info survives reset" 1.0 (Registry.gauge_value (build_info ()));
+  check bool "start time survives reset" true
+    (Registry.gauge_value (start_time ()) > 1.0e9)
+
 let test_json_render () =
   Registry.reset ();
   let c = Registry.counter ~labels:[ "k", "v" ] "obs_test_json_total" in
@@ -194,6 +234,208 @@ let test_trace_exception () =
   Trace.set_enabled false;
   check int "span recorded even when the body raises" 1 (List.length (Trace.finished ()))
 
+let test_trace_rid () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Reqid.with_id "q000777" (fun () -> ignore (Trace.with_span "scoped" (fun () -> ())));
+  ignore (Trace.with_span "unscoped" (fun () -> ()));
+  Trace.set_enabled false;
+  match Trace.finished () with
+  | [ scoped; unscoped ] ->
+    check bool "span opened inside a scope carries the rid" true
+      (scoped.Trace.rid = Some "q000777");
+    check bool "span outside any scope has none" true (unscoped.Trace.rid = None);
+    let rendered = Trace.render [ scoped; unscoped ] in
+    check bool "render suffixes the rid" true (contains rendered "scoped [q000777]");
+    check bool "no suffix without a rid" false (contains rendered "unscoped [")
+  | spans -> Alcotest.failf "expected two root spans, got %d" (List.length spans)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonv: escaping, number formatting, renders *)
+
+let test_jsonv_escaping () =
+  check (Alcotest.string) "named and numeric escapes"
+    "\"a\\\"b\\\\c\\nd\\u0001\\r\\t\""
+    (Jsonv.quote "a\"b\\c\nd\x01\r\t");
+  check (Alcotest.string) "plain text untouched" "\"store texas\""
+    (Jsonv.quote "store texas")
+
+let test_jsonv_numbers () =
+  check (Alcotest.string) "integral float, no trailing dot" "3" (Jsonv.number 3.0);
+  check (Alcotest.string) "fractional float" "2.5" (Jsonv.number 2.5);
+  check (Alcotest.string) "huge integral falls back to %g" "1e+20"
+    (Jsonv.number 1e20);
+  check (Alcotest.string) "nan renders null in values" "null"
+    (Jsonv.to_string (Jsonv.Float Float.nan));
+  check (Alcotest.string) "infinity renders null in values" "null"
+    (Jsonv.to_string (Jsonv.Float Float.infinity))
+
+let test_jsonv_compact () =
+  check (Alcotest.string) "compact object render"
+    "{\"k\": [1, true, null], \"s\": \"x\", \"f\": 2.5}"
+    (Jsonv.to_string
+       (Jsonv.Obj
+          [
+            "k", Jsonv.Arr [ Jsonv.Int 1; Jsonv.Bool true; Jsonv.Null ];
+            "s", Jsonv.Str "x";
+            "f", Jsonv.Float 2.5;
+          ]))
+
+let test_jsonv_pretty () =
+  (* flat members stay on one line: a list of entry records renders one
+     grep-able line per entry *)
+  let v =
+    Jsonv.Obj
+      [
+        ( "rows",
+          Jsonv.Arr
+            [
+              Jsonv.Obj [ "a", Jsonv.Int 1; "b", Jsonv.Str "x" ];
+              Jsonv.Obj [ "a", Jsonv.Int 2; "b", Jsonv.Str "y" ];
+            ] );
+        "n", Jsonv.Int 3;
+      ]
+  in
+  check (Alcotest.string) "pretty keeps flat rows inline"
+    "{\n  \"rows\": [\n    {\"a\": 1, \"b\": \"x\"},\n    {\"a\": 2, \"b\": \"y\"}\n  ],\n  \"n\": 3\n}"
+    (Jsonv.pretty v)
+
+(* ------------------------------------------------------------------ *)
+(* Reqid: sequential ids, nested scopes, ensure *)
+
+let test_reqid_scopes () =
+  Reqid.reset_counter ();
+  check bool "no current id outside any scope" true (Reqid.current () = None);
+  check (Alcotest.string) "ids are sequential from q000001" "q000001" (Reqid.fresh ());
+  Reqid.with_id "q000042" (fun () ->
+      check bool "current inside the scope" true (Reqid.current () = Some "q000042");
+      Reqid.with_id "q000043" (fun () ->
+          check bool "scopes nest" true (Reqid.current () = Some "q000043"));
+      check bool "inner scope restored the outer id" true
+        (Reqid.current () = Some "q000042"));
+  check bool "outer scope restored to none" true (Reqid.current () = None);
+  (try Reqid.with_id "q000099" (fun () -> raise Exit) with Exit -> ());
+  check bool "restored on exceptions too" true (Reqid.current () = None)
+
+let test_reqid_ensure () =
+  Reqid.reset_counter ();
+  check (Alcotest.string) "ensure reuses the enclosing scope's id" "q000777"
+    (Reqid.with_id "q000777" (fun () -> Reqid.ensure (fun rid -> rid)));
+  check (Alcotest.string) "ensure mints and scopes a fresh id otherwise" "q000001"
+    (Reqid.ensure (fun rid ->
+         check bool "the fresh id is current inside" true
+           (Reqid.current () = Some rid);
+         rid));
+  check bool "ensure's scope ends with the call" true (Reqid.current () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Log: level gating, line shape, rid stamping *)
+
+let with_captured_log level f =
+  let lines = ref [] in
+  Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Log.set_level (Some level);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level None;
+      Log.set_sink None)
+    (fun () -> f lines)
+
+let test_log_shape_and_gating () =
+  with_captured_log Log.Info (fun lines ->
+      check bool "info passes the threshold" true (Log.enabled Log.Info);
+      check bool "debug is gated" false (Log.enabled Log.Debug);
+      Log.debug "invisible" [ "x", Jsonv.Int 1 ];
+      Reqid.with_id "q000123" (fun () ->
+          Log.info "query.done" [ "results", Jsonv.Int 2; "query", Jsonv.Str "a\"b" ]);
+      Log.warn "unscoped" [];
+      match List.rev !lines with
+      | [ scoped; unscoped ] ->
+        check bool "one JSON object per line, ts first" true
+          (String.length scoped > 8 && String.sub scoped 0 8 = "{\"ts\": 1");
+        check bool "event named" true (contains scoped "\"event\": \"query.done\"");
+        check bool "level named" true (contains scoped "\"level\": \"info\"");
+        check bool "rid stamped from the current scope" true
+          (contains scoped "\"rid\": \"q000123\"");
+        check bool "fields appended, escaped" true
+          (contains scoped "\"results\": 2" && contains scoped "\"query\": \"a\\\"b\"");
+        check bool "no rid outside a scope" false (contains unscoped "\"rid\"");
+        check bool "warn level named" true (contains unscoped "\"level\": \"warn\"")
+      | l -> Alcotest.failf "expected 2 emitted lines, got %d" (List.length l))
+
+let test_log_off_by_default_and_levels () =
+  check bool "logging starts off" false (Log.enabled Log.Error);
+  with_captured_log Log.Error (fun lines ->
+      Log.warn "dropped" [];
+      Log.error "kept" [];
+      check int "only the error passed" 1 (List.length !lines))
+
+let test_log_level_parsing () =
+  check bool "warning is an alias of warn" true
+    (Log.level_of_string "WARNING" = Some Log.Warn);
+  check bool "debug parses" true (Log.level_of_string "debug" = Some Log.Debug);
+  check bool "off disables" true (Log.level_of_string "off" = None);
+  check bool "none disables" true (Log.level_of_string "none" = None);
+  check bool "garbage rejected" true
+    (match Log.level_of_string "loud" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Slowlog: the two retentions *)
+
+let slow_entry ?(rid = "q000000") ?(query = "q") ?(seconds = 0.001) ?(degraded = 0)
+    ?(faulted = false) () =
+  { Slowlog.rid; query; seconds; degraded; faulted; digest = Jsonv.Null }
+
+let with_small_slowlog f =
+  Slowlog.configure ~slowest:2 ~ring:2 ();
+  Slowlog.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Slowlog.configure ();
+      Slowlog.reset ())
+    f
+
+let test_slowlog_slowest_retention () =
+  with_small_slowlog (fun () ->
+      Slowlog.record (slow_entry ~rid:"a" ~seconds:0.010 ());
+      Slowlog.record (slow_entry ~rid:"b" ~seconds:0.030 ());
+      Slowlog.record (slow_entry ~rid:"c" ~seconds:0.020 ());
+      let slowest, ring = Slowlog.snapshot () in
+      check bool "slowest first, capacity enforced" true
+        (List.map (fun e -> e.Slowlog.rid) slowest = [ "b"; "c" ]);
+      check int "fast clean queries stay out of the ring" 0 (List.length ring);
+      (* a slower query displaces the tail, a faster one is ignored *)
+      Slowlog.record (slow_entry ~rid:"d" ~seconds:0.025 ());
+      Slowlog.record (slow_entry ~rid:"e" ~seconds:0.001 ());
+      let slowest, _ = Slowlog.snapshot () in
+      check bool "displacement keeps the order" true
+        (List.map (fun e -> e.Slowlog.rid) slowest = [ "b"; "d" ]))
+
+let test_slowlog_degraded_ring () =
+  with_small_slowlog (fun () ->
+      Slowlog.record (slow_entry ~rid:"d1" ~seconds:0.0001 ~degraded:1 ());
+      Slowlog.record (slow_entry ~rid:"f1" ~seconds:0.0001 ~faulted:true ());
+      Slowlog.record (slow_entry ~rid:"d2" ~seconds:0.0001 ~degraded:2 ());
+      let _, ring = Slowlog.snapshot () in
+      check bool "most recent degraded/faulted first, capacity enforced" true
+        (List.map (fun e -> e.Slowlog.rid) ring = [ "d2"; "f1" ]);
+      let json = Slowlog.render_json () in
+      check bool "render names both retentions" true
+        (contains json "\"slowest\"" && contains json "\"degraded\"");
+      check bool "entries carry rid and flags" true
+        (contains json "\"rid\": \"d2\"" && contains json "\"faulted\": true"))
+
+let test_slowlog_configure_rejects_negatives () =
+  check bool "negative capacity refused" true
+    (match Slowlog.configure ~slowest:(-1) () with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  check bool "reset drops entries" true
+    (Slowlog.reset ();
+     Slowlog.snapshot () = ([], []))
+
 (* ------------------------------------------------------------------ *)
 
 let suites =
@@ -209,6 +451,8 @@ let suites =
         Alcotest.test_case "percentile estimates" `Quick test_percentiles;
         Alcotest.test_case "empty percentile" `Quick test_empty_percentile;
         Alcotest.test_case "prometheus render" `Quick test_prometheus_render;
+        Alcotest.test_case "label value escaping" `Quick test_label_value_escaping;
+        Alcotest.test_case "build info pinned" `Quick test_build_info_pinned;
         Alcotest.test_case "json render" `Quick test_json_render;
         Alcotest.test_case "parallel recording" `Quick test_parallel_recording;
       ] );
@@ -217,5 +461,30 @@ let suites =
         Alcotest.test_case "span tree" `Quick test_trace_tree;
         Alcotest.test_case "disabled is free" `Quick test_trace_disabled_is_free;
         Alcotest.test_case "exception safety" `Quick test_trace_exception;
+        Alcotest.test_case "request id on spans" `Quick test_trace_rid;
+      ] );
+    ( "obs.jsonv",
+      [
+        Alcotest.test_case "escaping" `Quick test_jsonv_escaping;
+        Alcotest.test_case "numbers" `Quick test_jsonv_numbers;
+        Alcotest.test_case "compact render" `Quick test_jsonv_compact;
+        Alcotest.test_case "pretty render" `Quick test_jsonv_pretty;
+      ] );
+    ( "obs.reqid",
+      [
+        Alcotest.test_case "scopes" `Quick test_reqid_scopes;
+        Alcotest.test_case "ensure" `Quick test_reqid_ensure;
+      ] );
+    ( "obs.log",
+      [
+        Alcotest.test_case "shape and gating" `Quick test_log_shape_and_gating;
+        Alcotest.test_case "off by default" `Quick test_log_off_by_default_and_levels;
+        Alcotest.test_case "level parsing" `Quick test_log_level_parsing;
+      ] );
+    ( "obs.slowlog",
+      [
+        Alcotest.test_case "slowest retention" `Quick test_slowlog_slowest_retention;
+        Alcotest.test_case "degraded ring" `Quick test_slowlog_degraded_ring;
+        Alcotest.test_case "configure" `Quick test_slowlog_configure_rejects_negatives;
       ] );
   ]

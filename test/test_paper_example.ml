@@ -304,6 +304,74 @@ let test_store_texas_demo () =
   check int "pairwise distinct" (List.length rendered)
     (List.length (List.sort_uniq compare rendered))
 
+(* ------------------------------------------------------------------ *)
+(* The explain bundle surfaces the same §2.3/§2.4 numbers end to end *)
+
+let test_explain_bundle_matches_paper () =
+  let { db; _ } = Lazy.force ctx in
+  let results, bundle = Explain.run ~bound:14 db Paper.query in
+  check int "one result" 1 (List.length results);
+  check string "query recorded" Paper.query bundle.Explain.query;
+  check int "bound recorded" 14 bundle.Explain.bound;
+  check bool "request id minted" true
+    (String.length bundle.Explain.request_id = 7 && bundle.Explain.request_id.[0] = 'q');
+  match bundle.Explain.results with
+  | [ re ] ->
+    (* §2.4 at bound 14: every IList item covered, nothing skipped, every
+       edge spent — the numbers test_snippet_of_figure_2 asserts on the
+       selector directly *)
+    check int "all 12 items covered" 12 re.Explain.covered_count;
+    check int "nothing skipped" 0 re.Explain.skipped_count;
+    check int "nothing uncoverable" 0 re.Explain.uncoverable_count;
+    check int "14 edges spent" 14 re.Explain.edges_used;
+    check int "one entry per IList item" 12 (List.length re.Explain.entries);
+    List.iteri
+      (fun i (e : Explain.entry) -> check int "entries in rank order" i e.Explain.rank)
+      re.Explain.entries;
+    (* §2.3: the dominance scores on the feature entries are the paper's *)
+    let bundle_score e a v =
+      match
+        List.find_opt
+          (fun (entry : Explain.entry) ->
+            match entry.Explain.feature with
+            | Some (f, _) ->
+              f.Feature.entity = e && f.Feature.attribute = a && f.Feature.value = v
+            | None -> false)
+          re.Explain.entries
+      with
+      | Some { Explain.feature = Some (_, stats); _ } -> stats.Feature.score
+      | _ -> Alcotest.failf "no feature entry for %s/%s/%s" e a v
+    in
+    Alcotest.check (Alcotest.float 1e-9) "Houston 3.0" 3.0
+      (bundle_score "store" "city" "Houston");
+    Alcotest.check (Alcotest.float 1e-9) "man 1.8" 1.8
+      (bundle_score "clothes" "fitting" "man");
+    Alcotest.check (Alcotest.float 0.05) "woman ~1.1" 1.08
+      (bundle_score "clothes" "fitting" "woman");
+    Alcotest.check (Alcotest.float 1e-9) "casual 1.4" 1.4
+      (bundle_score "clothes" "situation" "casual");
+    Alcotest.check (Alcotest.float 0.05) "outwear ~2.2" 2.26
+      (bundle_score "clothes" "category" "outwear");
+    Alcotest.check (Alcotest.float 0.05) "suit ~1.2" 1.23
+      (bundle_score "clothes" "category" "suit")
+  | res -> Alcotest.failf "expected one result explain, got %d" (List.length res)
+
+let test_explain_bound13_skips_one () =
+  let { db; _ } = Lazy.force ctx in
+  let _, bundle = Explain.run ~bound:13 db Paper.query in
+  match bundle.Explain.results with
+  | [ re ] ->
+    (* greedy covers 11 of 12 at the Fig. 2 bound; the last coverable item
+       is reported skipped, not silently dropped *)
+    check int "11 covered" 11 re.Explain.covered_count;
+    check int "one skipped" 1 re.Explain.skipped_count;
+    check bool "edge spend within the bound" true (re.Explain.edges_used <= 13);
+    check bool "the skipped entry is identifiable" true
+      (List.exists
+         (fun (e : Explain.entry) -> e.Explain.status = Explain.Skipped)
+         re.Explain.entries)
+  | res -> Alcotest.failf "expected one result explain, got %d" (List.length res)
+
 (* §2.2 fallback: when no entity or attribute name matches a keyword, the
    highest entity is the default return entity. *)
 let test_return_entity_fallback_on_paper_data () =
@@ -394,4 +462,9 @@ let suites =
       ] );
     ( "paper.figure5",
       [ Alcotest.test_case "store texas demo" `Quick test_store_texas_demo ] );
+    ( "paper.explain",
+      [
+        Alcotest.test_case "bundle matches the paper" `Quick test_explain_bundle_matches_paper;
+        Alcotest.test_case "skipped items reported" `Quick test_explain_bound13_skips_one;
+      ] );
   ]

@@ -436,6 +436,141 @@ let test_injected_fault_maps_to_503 () =
   check int "recovers once the fault clears" 200 r.Demo_server.status
 
 (* ------------------------------------------------------------------ *)
+(* Server: observability (explain, slowlog, request-id correlation) *)
+
+module Slowlog = Extract_obs.Slowlog
+module Log = Extract_obs.Log
+module Trace = Extract_obs.Trace
+
+let test_explain_route () =
+  let s = server () in
+  let r = Demo_server.handle s "/explain?data=paper&q=store+texas&bound=6" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "json by default" true
+    (contains_substring r.Demo_server.content_type "application/json");
+  List.iter
+    (fun key ->
+      check bool (key ^ " present") true (contains_substring r.Demo_server.body key))
+    [
+      "\"request_id\": \"q";
+      "\"query\": \"store texas\"";
+      "\"bound\": 6";
+      "\"edges_used\"";
+      "\"covered\"";
+      "\"result_explains\"";
+    ];
+  let t = Demo_server.handle s "/explain?data=paper&q=store+texas&format=text" in
+  check int "text form 200" 200 t.Demo_server.status;
+  check bool "text form is plain" true
+    (contains_substring t.Demo_server.content_type "text/plain");
+  check int "unknown format" 400
+    (Demo_server.handle s "/explain?data=paper&q=x&format=yaml").Demo_server.status;
+  check int "missing q" 400 (Demo_server.handle s "/explain?data=paper").Demo_server.status;
+  check int "unknown data" 404 (Demo_server.handle s "/explain?data=nope&q=x").Demo_server.status
+
+let test_explain_not_page_cached () =
+  let s = server () in
+  let target = "/explain?data=paper&q=store+texas&bound=6" in
+  ignore (Demo_server.handle s target);
+  let hits_before, _ = Demo_server.cache_stats s in
+  ignore (Demo_server.handle s target);
+  let hits_after, _ = Demo_server.cache_stats s in
+  check int "explain bypasses the page cache" hits_before hits_after;
+  (* the second bundle records a snippet-cache hit instead of rerunning *)
+  let r = Demo_server.handle s target in
+  check bool "cache provenance recorded" true
+    (contains_substring r.Demo_server.body "\"outcome\": \"hit\"")
+
+let test_slowlog_route_captures_degraded_and_faulted () =
+  Slowlog.reset ();
+  let s = server () in
+  (* a degraded query: the snippet stage fails in place, the page is 200 *)
+  with_faults "pipeline.snippet:fail" (fun () ->
+      let r = Demo_server.handle s "/search?data=paper&q=store+texas&bound=6" in
+      check int "degraded page still 200" 200 r.Demo_server.status);
+  (* a faulted query: the search stage raises, the request is 503 *)
+  with_faults "pipeline.search:fail" (fun () ->
+      let r = Demo_server.handle s "/search?data=paper&q=houston+suit" in
+      check int "faulted request 503" 503 r.Demo_server.status);
+  let r = Demo_server.handle s "/debug/slowlog" in
+  check int "200" 200 r.Demo_server.status;
+  check bool "json" true (contains_substring r.Demo_server.content_type "application/json");
+  let _, ring = Slowlog.snapshot () in
+  check bool "both queries in the ring" true
+    (List.exists
+       (fun e -> e.Slowlog.query = "store texas" && e.Slowlog.degraded > 0)
+       ring
+    && List.exists
+         (fun e -> e.Slowlog.query = "houston suit" && e.Slowlog.faulted)
+         ring);
+  List.iter
+    (fun needle ->
+      check bool (needle ^ " served") true (contains_substring r.Demo_server.body needle))
+    [ "\"store texas\""; "\"houston suit\""; "\"faulted\": true"; "\"rid\": \"q" ];
+  (* every ring entry's rid is also served on the route *)
+  List.iter
+    (fun e ->
+      check bool ("rid " ^ e.Slowlog.rid ^ " served") true
+        (contains_substring r.Demo_server.body ("\"rid\": \"" ^ e.Slowlog.rid ^ "\"")))
+    ring;
+  Slowlog.reset ()
+
+(* One request, one id: the access-log line, the pipeline's event-log
+   lines, the trace spans and the explain bundle must all carry the same
+   request id. *)
+let rid_of_line line =
+  let marker = "\"rid\": \"" in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length line then None
+    else if String.sub line i ml = marker then Some (String.sub line (i + ml) 7)
+    else find (i + 1)
+  in
+  find 0
+
+let test_request_id_propagation () =
+  let s = server () in
+  (* built before tracing starts: the build span is not part of any request *)
+  let lines = ref [] in
+  Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Log.set_level (Some Log.Info);
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.clear ();
+      Log.set_level None;
+      Log.set_sink None)
+    (fun () ->
+      let r = Demo_server.handle s "/explain?data=paper&q=houston+woman&bound=8" in
+      check int "200" 200 r.Demo_server.status;
+      let line_with event =
+        match
+          List.find_opt (fun l -> contains_substring l ("\"event\": \"" ^ event ^ "\"")) !lines
+        with
+        | Some l -> l
+        | None -> Alcotest.failf "no %s line logged" event
+      in
+      let access = line_with "http.access" in
+      let rid =
+        match rid_of_line access with
+        | Some rid -> rid
+        | None -> Alcotest.fail "access line carries no rid"
+      in
+      check bool "pipeline event shares the access line's rid" true
+        (rid_of_line (line_with "query.done") = Some rid);
+      check bool "explain bundle shares it" true
+        (contains_substring r.Demo_server.body ("\"request_id\": \"" ^ rid ^ "\""));
+      let spans = Trace.finished () in
+      check bool "spans were recorded" true (spans <> []);
+      List.iter
+        (fun (sp : Trace.span) ->
+          check bool (sp.Trace.name ^ " span shares it") true
+            (sp.Trace.rid = Some rid))
+        spans)
+
+(* ------------------------------------------------------------------ *)
 (* Courses dataset *)
 
 let test_courses_shape () =
@@ -522,6 +657,13 @@ let suites =
         Alcotest.test_case "expired deadline sheds" `Quick test_expired_deadline_sheds_search;
         Alcotest.test_case "degraded page" `Quick test_degraded_page_served_not_cached;
         Alcotest.test_case "injected fault 503" `Quick test_injected_fault_maps_to_503;
+      ] );
+    ( "server.observability",
+      [
+        Alcotest.test_case "explain route" `Quick test_explain_route;
+        Alcotest.test_case "explain not page cached" `Quick test_explain_not_page_cached;
+        Alcotest.test_case "slowlog route" `Quick test_slowlog_route_captures_degraded_and_faulted;
+        Alcotest.test_case "request id propagation" `Quick test_request_id_propagation;
       ] );
     ( "datagen.courses",
       [

@@ -1,7 +1,9 @@
 The snippet command's --trace flag records spans around load, search and
 snippet generation and prints the span tree to stderr after the results.
 Durations vary run to run, so normalize them; the tree shape (names,
-nesting) is stable.
+nesting) is stable. Spans opened inside the query's request-id scope
+carry the id; load and build happen before any query exists, so they
+don't.
 
   $ extract gen paper -o paper.xml
   wrote paper.xml
@@ -11,10 +13,10 @@ nesting) is stable.
   trace:
   cli.load <dur>
     pipeline.build <dur>
-  cli.run <dur>
-    pipeline.search <dur>
-      eval_ctx.resolve <dur>
-    pipeline.snippet <dur>
+  cli.run [q000001] <dur>
+    pipeline.search [q000001] <dur>
+      eval_ctx.resolve [q000001] <dur>
+    pipeline.snippet [q000001] <dur>
 
 Without --trace, nothing is recorded and stderr stays clean:
 
