@@ -562,7 +562,27 @@ let serve_cmd =
              baseline snippets tagged degraded; a request whose budget is spent before \
              search starts is shed with 503.")
   in
-  let run files port timeout_ms deadline_ms log_level =
+  let workers =
+    Arg.(
+      value
+      & opt int Extract_server.Demo_server.default_config.Extract_server.Demo_server.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains in the serving pool; each runs connections to completion, so N \
+             bounds concurrently-served connections. Use the machine's core count for \
+             throughput.")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt int
+          Extract_server.Demo_server.default_config.Extract_server.Demo_server.queue_depth
+      & info [ "queue-depth" ] ~docv:"K"
+          ~doc:
+            "Accepted connections allowed to wait for a worker; beyond K the acceptor sheds \
+             with 503 + Retry-After.")
+  in
+  let run files port timeout_ms deadline_ms workers queue_depth log_level =
     apply_log_level log_level;
     let corpus =
       List.fold_left
@@ -576,13 +596,17 @@ let serve_cmd =
         Extract_server.Demo_server.default_config with
         Extract_server.Demo_server.timeout_ms;
         deadline_ms;
+        workers;
+        queue_depth;
       }
     in
     Extract_server.Demo_server.serve ~config (Extract_server.Demo_server.create corpus) ~port
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the demo web service (the paper's Fig. 5 site) over XML files.")
-    Term.(const run $ files $ port $ timeout_ms $ deadline_ms $ log_level_arg)
+    Term.(
+      const run $ files $ port $ timeout_ms $ deadline_ms $ workers $ queue_depth
+      $ log_level_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -3,7 +3,7 @@ module Pipeline = Extract_snippet.Pipeline
 module Html_view = Extract_snippet.Html_view
 module Snippet_cache = Extract_snippet.Snippet_cache
 module Explain = Extract_snippet.Explain
-module Lru = Extract_util.Lru
+module Sharded_lru = Extract_util.Sharded_lru
 module Deadline = Extract_util.Deadline
 module Faults = Extract_util.Faults
 module Registry = Extract_obs.Registry
@@ -40,7 +40,7 @@ let response_counter status =
 let () =
   List.iter
     (fun s -> ignore (response_counter s))
-    [ 200; 400; 404; 408; 431; 500; 503 ]
+    [ 200; 400; 404; 408; 413; 431; 500; 503 ]
 
 let transport_error_counter kind =
   Registry.counter ~help:"Connections dropped while writing the response"
@@ -51,19 +51,42 @@ let () =
     (fun k -> ignore (transport_error_counter k))
     [ "epipe"; "reset"; "write_timeout" ]
 
+(* domain-pool series: per-worker request/connection counters (the
+   "worker" label), the accept-queue occupancy and its shed path *)
+let worker_requests_total w =
+  Registry.counter ~help:"Requests handled, by pool worker"
+    ~labels:[ "worker", string_of_int w ] "extract_worker_requests_total"
+
+let worker_connections_total w =
+  Registry.counter ~help:"Connections handled, by pool worker"
+    ~labels:[ "worker", string_of_int w ] "extract_worker_connections_total"
+
+let keepalive_reuses_total =
+  Registry.counter ~help:"Requests served on an already-open keep-alive connection"
+    "extract_keepalive_reuses_total"
+
+let accept_queue_shed_total =
+  Registry.counter
+    ~help:"Connections answered 503 up front because the accept queue was full"
+    "extract_accept_queue_shed_total"
+
+let accept_queue_depth =
+  Registry.gauge ~help:"Connections waiting in the accept queue"
+    "extract_accept_queue_depth"
+
 type t = {
   corpus : Corpus.t;
-  pages : (string, string) Lru.t; (* request target -> rendered body *)
+  pages : (string, string) Sharded_lru.t; (* request target -> rendered body *)
   snippets : Snippet_cache.t; (* (db, query, bound, …) -> snippet results *)
-  mutable degraded_served : int; (* deadline-degraded snippets sent so far *)
+  degraded_served : int Atomic.t; (* deadline-degraded snippets sent so far *)
 }
 
-let create ?(cache_size = 64) corpus =
+let create ?(cache_size = 64) ?(shards = 8) corpus =
   {
     corpus;
-    pages = Lru.create ~capacity:cache_size;
-    snippets = Snippet_cache.create ~capacity:(4 * cache_size) ();
-    degraded_served = 0;
+    pages = Sharded_lru.create ~shards ~capacity:cache_size ();
+    snippets = Snippet_cache.create ~capacity:(4 * cache_size) ~shards ();
+    degraded_served = Atomic.make 0;
   }
 
 type response = {
@@ -267,7 +290,7 @@ let search_page t ~deadline target params =
              with degraded snippets is served but cached at neither level:
              the degradation reflects this request's budget, not the
              query's answer. *)
-          match Lru.find t.pages target with
+          match Sharded_lru.find t.pages target with
           | Some body ->
             Registry.incr page_hits_total;
             ok body
@@ -280,13 +303,13 @@ let search_page t ~deadline target params =
             let degraded =
               List.length (List.filter (fun r -> r.Pipeline.degraded) results)
             in
-            t.degraded_served <- t.degraded_served + degraded;
+            ignore (Atomic.fetch_and_add t.degraded_served degraded);
             let body =
               Html_view.result_page
                 ~title:(Printf.sprintf "eXtract — %s" name)
                 ~query:q ~bound results
             in
-            if degraded = 0 then Lru.put t.pages target body;
+            if degraded = 0 then Sharded_lru.put t.pages target body;
             ok body
         end)
 
@@ -332,35 +355,60 @@ let complete_page t params =
              (List.map (fun (tok, count) -> Printf.sprintf "%s %d\n" tok count) completions)))
 
 let cache_report t =
-  let page_hits, page_misses = Lru.stats t.pages in
+  let page_hits, page_misses = Sharded_lru.stats t.pages in
   let snip_hits, snip_misses = Snippet_cache.stats t.snippets in
   Printf.sprintf
-    "page cache: %d hits, %d misses, %d/%d entries\n\
-     snippet cache: %d hits, %d misses, %d/%d entries, hit rate %.2f\n\
+    "page cache: %d hits, %d misses, %d/%d entries, %d shard(s)\n\
+     snippet cache: %d hits, %d misses, %d/%d entries, hit rate %.2f, %d shard(s)\n\
      degraded snippets served: %d\n"
-    page_hits page_misses (Lru.length t.pages) (Lru.capacity t.pages) snip_hits
-    snip_misses
+    page_hits page_misses
+    (Sharded_lru.length t.pages)
+    (Sharded_lru.capacity t.pages)
+    (Sharded_lru.shards t.pages)
+    snip_hits snip_misses
     (Snippet_cache.length t.snippets)
     (Snippet_cache.capacity t.snippets)
     (Snippet_cache.hit_rate t.snippets)
-    t.degraded_served
+    (Array.length (Snippet_cache.shard_stats t.snippets))
+    (Atomic.get t.degraded_served)
 
 (* Gauges describing current cache occupancy are set at scrape time from
-   the live structures (they are instantaneous state, not events). *)
+   the live structures (they are instantaneous state, not events). The
+   per-shard series carry a "shard" label next to the aggregated ones,
+   so a hot or cold shard is visible without changing the dashboards
+   that read the totals. *)
 let refresh_cache_gauges t =
   let set name cache v =
     Registry.set (Registry.gauge ~labels:[ "cache", cache ] name) (float_of_int v)
   in
-  set "extract_cache_entries" "page" (Lru.length t.pages);
-  set "extract_cache_capacity" "page" (Lru.capacity t.pages);
-  set "extract_cache_evictions" "page" (Lru.evictions t.pages);
+  let set_shards cache stats =
+    Array.iteri
+      (fun i (s : Sharded_lru.shard_stats) ->
+        let g name v =
+          Registry.set
+            (Registry.gauge
+               ~labels:[ "cache", cache; "shard", string_of_int i ]
+               name)
+            (float_of_int v)
+        in
+        g "extract_cache_shard_hits" s.Sharded_lru.hits;
+        g "extract_cache_shard_misses" s.Sharded_lru.misses;
+        g "extract_cache_shard_evictions" s.Sharded_lru.evictions;
+        g "extract_cache_shard_entries" s.Sharded_lru.entries)
+      stats
+  in
+  set "extract_cache_entries" "page" (Sharded_lru.length t.pages);
+  set "extract_cache_capacity" "page" (Sharded_lru.capacity t.pages);
+  set "extract_cache_evictions" "page" (Sharded_lru.evictions t.pages);
   set "extract_cache_entries" "snippet" (Snippet_cache.length t.snippets);
   set "extract_cache_capacity" "snippet" (Snippet_cache.capacity t.snippets);
   set "extract_cache_evictions" "snippet" (Snippet_cache.evictions t.snippets);
+  set_shards "page" (Sharded_lru.shard_stats t.pages);
+  set_shards "snippet" (Snippet_cache.shard_stats t.snippets);
   Registry.set
     (Registry.gauge ~help:"Deadline-degraded snippets served by this server"
        "extract_degraded_snippets_served")
-    (float_of_int t.degraded_served)
+    (float_of_int (Atomic.get t.degraded_served))
 
 let metrics_page t =
   refresh_cache_gauges t;
@@ -368,7 +416,7 @@ let metrics_page t =
 
 let stats_json t params =
   refresh_cache_gauges t;
-  let page_hits, page_misses = Lru.stats t.pages in
+  let page_hits, page_misses = Sharded_lru.stats t.pages in
   let snip_hits, snip_misses = Snippet_cache.stats t.snippets in
   let dataset =
     match Option.bind (List.assoc_opt "data" params) (Corpus.find t.corpus) with
@@ -383,13 +431,17 @@ let stats_json t params =
         \"capacity\": %d, \"evictions\": %d }, \"snippet\": { \"hits\": %d, \"misses\": \
         %d, \"entries\": %d, \"capacity\": %d, \"evictions\": %d, \"hit_rate\": %.3f } \
         }, \"degraded_served\": %d, \"dataset\": %s, \"metrics\": %s }\n"
-       page_hits page_misses (Lru.length t.pages) (Lru.capacity t.pages)
-       (Lru.evictions t.pages) snip_hits snip_misses
+       page_hits page_misses
+       (Sharded_lru.length t.pages)
+       (Sharded_lru.capacity t.pages)
+       (Sharded_lru.evictions t.pages)
+       snip_hits snip_misses
        (Snippet_cache.length t.snippets)
        (Snippet_cache.capacity t.snippets)
        (Snippet_cache.evictions t.snippets)
        (Snippet_cache.hit_rate t.snippets)
-       t.degraded_served dataset (Registry.render_json ()))
+       (Atomic.get t.degraded_served)
+       dataset (Registry.render_json ()))
 
 let stats_page t params =
   if List.assoc_opt "format" params = Some "json" then stats_json t params
@@ -432,11 +484,11 @@ let handle ?(deadline = Deadline.never) t target =
           "seconds", Jsonv.Float (Deadline.now () -. t0) ];
       response)
 
-let cache_stats t = Lru.stats t.pages
+let cache_stats t = Sharded_lru.stats t.pages
 
 let snippet_cache_stats t = Snippet_cache.stats t.snippets
 
-let degraded_served t = t.degraded_served
+let degraded_served t = Atomic.get t.degraded_served
 
 (* ------------------------------------------------------------------ *)
 (* Transport *)
@@ -445,6 +497,9 @@ type config = {
   timeout_ms : int;
   deadline_ms : int option;
   max_header_bytes : int;
+  workers : int;
+  queue_depth : int;
+  max_requests_per_conn : int;
   log : string -> unit;
 }
 
@@ -453,6 +508,9 @@ let default_config =
     timeout_ms = 5_000;
     deadline_ms = None;
     max_header_bytes = 32_768;
+    workers = 1;
+    queue_depth = 64;
+    max_requests_per_conn = 100;
     log = (fun msg -> Printf.eprintf "extract-serve: %s\n%!" msg);
   }
 
@@ -477,7 +535,9 @@ let listen ~port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 16;
+  (* a deep kernel backlog: under load-test bursts the accept queue, not
+     the kernel's, is the bound we want clients to hit *)
+  Unix.listen sock 128;
   sock
 
 let bound_port sock =
@@ -518,36 +578,117 @@ let read_request_line fd =
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> Timed_out
   | Unix.Unix_error (Unix.ECONNRESET, _, _) -> Eof
 
-(* Consume the header block up to the blank line, bounded: we answer every
-   request with [Connection: close], so the headers only need discarding —
-   but discarding without a bound would hand a hostile client an
-   unmetered sink. *)
-let drain_headers ~max_bytes fd =
+(* Consume the header block up to the blank line, bounded (an unmetered
+   sink would hand a hostile client free memoryless work), and while
+   draining remember the two headers the transport acts on: [Connection]
+   (comma-split, case-insensitive tokens) and [Content-Length]. EOF
+   before the blank line still yields the headers seen so far — the
+   request is served, but the connection cannot be kept alive. *)
+type request_headers = {
+  connection : string list; (* lowercased tokens *)
+  content_length : int option;
+  headers_eof : bool; (* peer closed before finishing the block *)
+}
+
+type header_outcome =
+  | Headers of request_headers
+  | Header_overflow
+  | Header_timeout
+  | Bad_content_length
+
+let read_headers ~max_bytes fd =
   let byte = Bytes.create 1 in
-  (* at_line_start starts true: the request line's terminator was already
-     consumed, so an immediately blank line ends an empty header block *)
-  let rec loop consumed at_line_start =
-    if consumed >= max_bytes then `Overflow
-    else if Unix.read fd byte 0 1 <> 1 then `Eof
+  let line = Buffer.create 64 in
+  let connection = ref [] in
+  let content_length = ref None in
+  let bad_length = ref false in
+  let lowercase_trim s = String.lowercase_ascii (String.trim s) in
+  let process_line l =
+    match String.index_opt l ':' with
+    | None -> ()
+    | Some i ->
+      let name = lowercase_trim (String.sub l 0 i) in
+      let value = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+      (match name with
+      | "connection" ->
+        connection :=
+          !connection @ List.map lowercase_trim (String.split_on_char ',' value)
+      | "content-length" -> begin
+        match int_of_string_opt value with
+        | Some n when n >= 0 -> content_length := Some n
+        | Some _ | None -> bad_length := true
+      end
+      | _ -> ())
+  in
+  let finish eof =
+    if !bad_length then Bad_content_length
+    else
+      Headers
+        {
+          connection = !connection;
+          content_length = !content_length;
+          headers_eof = eof;
+        }
+  in
+  let rec loop consumed =
+    if consumed >= max_bytes then Header_overflow
+    else if Unix.read fd byte 0 1 <> 1 then finish true
     else
       match Bytes.get byte 0 with
-      | '\n' -> if at_line_start then `Done else loop (consumed + 1) true
-      | '\r' -> loop (consumed + 1) at_line_start
-      | _ -> loop (consumed + 1) false
+      | '\n' ->
+        let l = Buffer.contents line in
+        Buffer.clear line;
+        if l = "" then finish false
+        else begin
+          process_line l;
+          loop (consumed + 1)
+        end
+      | '\r' -> loop (consumed + 1) (* CRLF handled at '\n'; bare CR dropped *)
+      | c ->
+        Buffer.add_char line c;
+        loop (consumed + 1)
   in
-  try loop 0 true with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> `Timeout
-  | Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
+  try loop 0 with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+    Header_timeout
+  | Unix.Unix_error (Unix.ECONNRESET, _, _) -> finish true
 
-let write_response fd r =
+(* GET carries no useful body, but a client that declared one must have
+   it consumed before the next request can be framed on a keep-alive
+   connection. Bounded: a declared length past the cap is refused with
+   413 instead of being read. *)
+let max_body_bytes = 1_048_576
+
+let drain_body ~length fd =
+  let chunk = Bytes.create 4096 in
+  let rec loop remaining =
+    if remaining <= 0 then `Drained
+    else
+      match Unix.read fd chunk 0 (min remaining (Bytes.length chunk)) with
+      | 0 -> `Eof
+      | n -> loop (remaining - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        ->
+        `Timeout
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
+  in
+  loop length
+
+(* The response echoes the request's HTTP version (an HTTP/1.0 client
+   gets an HTTP/1.0 status line) and always carries Content-Length and
+   an explicit Connection header — keep-alive framing depends on both,
+   and error responses always say [close]. *)
+let write_response ~http11 ~keep_alive fd r =
   let extra =
     String.concat ""
       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
   in
   let head =
     Printf.sprintf
-      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n"
+      "%s %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: %s\r\n\r\n"
+      (if http11 then "HTTP/1.1" else "HTTP/1.0")
       r.status r.reason r.content_type (String.length r.body) extra
+      (if keep_alive then "keep-alive" else "close")
   in
   let payload = head ^ r.body in
   let bytes = Bytes.of_string payload in
@@ -559,48 +700,261 @@ let write_response fd r =
   in
   write_all 0
 
+(* One connection, up to [max_requests] requests with HTTP/1.1
+   keep-alive. Every request gets a fresh deadline from the config —
+   the budget protects a request, not a connection. Errors (≥ 400)
+   always close: a client that just sent a malformed request cannot be
+   trusted to have framed the rest of the stream correctly. *)
+let handle_connection ?(worker = 0) ~config ~max_requests t fd =
+  set_socket_timeouts fd config.timeout_ms;
+  let requests = worker_requests_total worker in
+  let rec loop served =
+    let last = served + 1 >= max_requests in
+    let finish ~http11 ~may_continue response =
+      let keep_alive = may_continue && (not last) && response.status < 400 in
+      Registry.incr (response_counter response.status);
+      Registry.incr requests;
+      if served > 0 then Registry.incr keepalive_reuses_total;
+      match write_response ~http11 ~keep_alive fd response with
+      | () -> if keep_alive then loop (served + 1)
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+        Registry.incr (transport_error_counter "epipe");
+        config.log "client went away before the response was written (EPIPE); dropped"
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPROTOTYPE), _, _) ->
+        Registry.incr (transport_error_counter "reset");
+        config.log "connection reset by peer while writing response; dropped"
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        ->
+        Registry.incr (transport_error_counter "write_timeout");
+        config.log "response write timed out (slow reader); dropped"
+    in
+    match read_request_line fd with
+    (* between keep-alive requests, a vanished or idle peer is normal
+       connection end, not an error worth a response *)
+    | Eof when served > 0 -> ()
+    | Timed_out when served > 0 -> ()
+    | Eof -> finish ~http11:false ~may_continue:false (error 400 "Bad Request" "empty request")
+    | Timed_out ->
+      finish ~http11:false ~may_continue:false
+        (error 408 "Request Timeout" "no request line within the read timeout")
+    | Too_long ->
+      finish ~http11:false ~may_continue:false
+        (error 400 "Bad Request"
+           (Printf.sprintf "request line longer than %d bytes" max_request_line))
+    | Bad_cr ->
+      finish ~http11:false ~may_continue:false
+        (error 400 "Bad Request" "bare CR in request line")
+    | Line line -> begin
+      match String.split_on_char ' ' line with
+      | "GET" :: target :: rest -> begin
+        let http11 = List.mem "HTTP/1.1" rest in
+        match read_headers ~max_bytes:config.max_header_bytes fd with
+        | Header_overflow ->
+          finish ~http11 ~may_continue:false
+            (error 431 "Request Header Fields Too Large"
+               (Printf.sprintf "headers longer than %d bytes" config.max_header_bytes))
+        | Header_timeout ->
+          finish ~http11 ~may_continue:false
+            (error 408 "Request Timeout" "headers not finished within the read timeout")
+        | Bad_content_length ->
+          finish ~http11 ~may_continue:false
+            (error 400 "Bad Request" "invalid Content-Length")
+        | Headers h -> begin
+          let wants_keepalive =
+            if List.mem "close" h.connection then false
+            else if List.mem "keep-alive" h.connection then true
+            else http11 (* HTTP/1.1 defaults to persistent connections *)
+          in
+          let body =
+            match h.content_length with
+            | None | Some 0 -> `Drained
+            | Some n when n > max_body_bytes -> `Too_big
+            | Some n -> drain_body ~length:n fd
+          in
+          match body with
+          | `Too_big ->
+            finish ~http11 ~may_continue:false
+              (error 413 "Payload Too Large"
+                 (Printf.sprintf "request body longer than %d bytes" max_body_bytes))
+          | `Timeout ->
+            finish ~http11 ~may_continue:false
+              (error 408 "Request Timeout"
+                 "request body not finished within the read timeout")
+          | (`Eof | `Drained) as b ->
+            (* the budget clock starts once the request is fully read *)
+            let may_continue =
+              wants_keepalive && (not h.headers_eof) && b = `Drained
+            in
+            finish ~http11 ~may_continue
+              (handle ~deadline:(Deadline.of_ms_opt config.deadline_ms) t target)
+        end
+      end
+      | _ ->
+        finish ~http11:false ~may_continue:false
+          (error 400 "Bad Request" (Printf.sprintf "unsupported request %S" line))
+    end
+  in
+  loop 0
+
 let serve_once ?(config = default_config) t listening =
   ensure_sigpipe_ignored ();
   let fd, _ = Unix.accept listening in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      set_socket_timeouts fd config.timeout_ms;
-      let response =
-        match read_request_line fd with
-        | Eof -> error 400 "Bad Request" "empty request"
-        | Timed_out -> error 408 "Request Timeout" "no request line within the read timeout"
-        | Too_long ->
-          error 400 "Bad Request"
-            (Printf.sprintf "request line longer than %d bytes" max_request_line)
-        | Bad_cr -> error 400 "Bad Request" "bare CR in request line"
-        | Line line -> begin
-          match String.split_on_char ' ' line with
-          | "GET" :: target :: _ -> begin
-            match drain_headers ~max_bytes:config.max_header_bytes fd with
-            | `Overflow ->
-              error 431 "Request Header Fields Too Large"
-                (Printf.sprintf "headers longer than %d bytes" config.max_header_bytes)
-            | `Timeout ->
-              error 408 "Request Timeout" "headers not finished within the read timeout"
-            | `Done | `Eof ->
-              (* the budget clock starts once the request is fully read *)
-              handle ~deadline:(Deadline.of_ms_opt config.deadline_ms) t target
-          end
-          | _ -> error 400 "Bad Request" (Printf.sprintf "unsupported request %S" line)
-        end
-      in
-      Registry.incr (response_counter response.status);
-      try write_response fd response with
-      | Unix.Unix_error (Unix.EPIPE, _, _) ->
-        Registry.incr (transport_error_counter "epipe");
-        config.log "client went away before the response was written (EPIPE); dropped"
-      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPROTOTYPE), _, _) ->
-        Registry.incr (transport_error_counter "reset");
-        config.log "connection reset by peer while writing response; dropped"
-      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
-        Registry.incr (transport_error_counter "write_timeout");
-        config.log "response write timed out (slow reader); dropped")
+    (fun () -> handle_connection ~config ~max_requests:1 t fd)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool: one acceptor domain feeds a bounded queue of accepted
+   connections; a fixed pool of worker domains drains it, each running
+   the full keep-alive request loop. When the queue is full the
+   acceptor answers 503 + Retry-After itself — cheap, immediate
+   backpressure instead of unbounded queueing. *)
+
+type conn_queue = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : Unix.file_descr Queue.t;
+  depth : int;
+  mutable closed : bool;
+}
+
+let queue_create depth =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    depth;
+    closed = false;
+  }
+
+let queue_try_push q fd =
+  Mutex.lock q.lock;
+  let accepted = (not q.closed) && Queue.length q.items < q.depth in
+  if accepted then begin
+    Queue.add fd q.items;
+    Registry.set accept_queue_depth (float_of_int (Queue.length q.items));
+    Condition.signal q.nonempty
+  end;
+  Mutex.unlock q.lock;
+  accepted
+
+(* blocks until an item or close; after close, drains remaining items
+   so no accepted connection is leaked *)
+let queue_pop q =
+  Mutex.lock q.lock;
+  let rec wait () =
+    if not (Queue.is_empty q.items) then begin
+      let fd = Queue.take q.items in
+      Registry.set accept_queue_depth (float_of_int (Queue.length q.items));
+      Some fd
+    end
+    else if q.closed then None
+    else begin
+      Condition.wait q.nonempty q.lock;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock q.lock;
+  r
+
+let queue_close q =
+  Mutex.lock q.lock;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.lock
+
+type pool = {
+  pool_listening : Unix.file_descr;
+  pool_queue : conn_queue;
+  acceptor : unit Domain.t;
+  pool_workers : unit Domain.t list;
+  stopping : bool Atomic.t;
+}
+
+let acceptor_loop ~config queue stopping listening =
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let rec loop () =
+    match Unix.accept listening with
+    | fd, _ ->
+      if Atomic.get stopping then close_quietly fd (* the stop poke; exit *)
+      else if queue_try_push queue fd then loop ()
+      else begin
+        (* queue full: shed on the acceptor itself so the client hears
+           503 now rather than waiting behind everyone else *)
+        Registry.incr accept_queue_shed_total;
+        set_socket_timeouts fd config.timeout_ms;
+        let r = overloaded "accept queue full" in
+        Registry.incr (response_counter r.status);
+        (try write_response ~http11:false ~keep_alive:false fd r
+         with Unix.Unix_error _ -> ());
+        close_quietly fd;
+        loop ()
+      end
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Atomic.get stopping then () else loop ()
+    | exception Unix.Unix_error (e, fn, _) ->
+      config.log
+        (Printf.sprintf "accept failed: %s in %s" (Unix.error_message e) fn);
+      if Atomic.get stopping then () else loop ()
+  in
+  loop ()
+
+let worker_loop ~config queue t w =
+  let connections = worker_connections_total w in
+  let rec loop () =
+    match queue_pop queue with
+    | None -> ()
+    | Some fd ->
+      Registry.incr connections;
+      (* nothing a single connection does may stop a worker *)
+      (match
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             handle_connection ~worker:w ~config
+               ~max_requests:config.max_requests_per_conn t fd)
+       with
+      | () -> ()
+      | exception Unix.Unix_error (e, fn, _) ->
+        config.log
+          (Printf.sprintf "connection dropped: %s in %s" (Unix.error_message e) fn)
+      | exception e ->
+        config.log
+          (Printf.sprintf "connection handler failed: %s" (Printexc.to_string e)));
+      loop ()
+  in
+  loop ()
+
+let start_pool ?(config = default_config) t listening =
+  ensure_sigpipe_ignored ();
+  let workers = max 1 config.workers in
+  let queue = queue_create (max 1 config.queue_depth) in
+  let stopping = Atomic.make false in
+  let acceptor =
+    Domain.spawn (fun () -> acceptor_loop ~config queue stopping listening)
+  in
+  let pool_workers =
+    List.init workers (fun w -> Domain.spawn (fun () -> worker_loop ~config queue t w))
+  in
+  { pool_listening = listening; pool_queue = queue; acceptor; pool_workers; stopping }
+
+let stop_pool pool =
+  Atomic.set pool.stopping true;
+  queue_close pool.pool_queue;
+  (* wake the acceptor parked in accept(2): closing the listening fd
+     from another domain is not reliably observed, so poke it with a
+     loopback connection instead — it sees [stopping] and exits *)
+  (try
+     let port = bound_port pool.pool_listening in
+     let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      with Unix.Unix_error _ -> ());
+     try Unix.close s with Unix.Unix_error _ -> ()
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  Domain.join pool.acceptor;
+  List.iter Domain.join pool.pool_workers
 
 (* On SIGTERM, the serving loop's last act is dumping the slowlog to
    stderr: when an operator (or an orchestrator) stops a misbehaving
@@ -622,13 +976,13 @@ let serve ?(config = default_config) t ~port =
   ensure_sigpipe_ignored ();
   install_sigterm_dump config;
   let sock = listen ~port in
-  Printf.printf "eXtract demo server on http://127.0.0.1:%d/\n%!" (bound_port sock);
+  let workers = max 1 config.workers in
+  Printf.printf "eXtract demo server on http://127.0.0.1:%d/ (%d worker%s)\n%!"
+    (bound_port sock) workers
+    (if workers = 1 then "" else "s");
+  let _pool = start_pool ~config t sock in
+  (* the main domain parks instead of joining: it must stay interruptible
+     so the SIGTERM handler above still runs and dumps the slowlog *)
   while true do
-    (* nothing a single connection does may stop the accept loop *)
-    match serve_once ~config t sock with
-    | () -> ()
-    | exception Unix.Unix_error (e, fn, _) ->
-      config.log (Printf.sprintf "connection dropped: %s in %s" (Unix.error_message e) fn)
-    | exception e ->
-      config.log (Printf.sprintf "connection handler failed: %s" (Printexc.to_string e))
+    try Unix.sleepf 3600. with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done

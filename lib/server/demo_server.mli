@@ -3,9 +3,11 @@
     The original demonstration ran as a web site (Apache + PHP, paper §4):
     the user picks an XML data set, issues keyword queries, customizes the
     snippet size bound and browses snippets with links to the complete
-    results. This module is that service, self-contained: a tiny HTTP/1.0
+    results. This module is that service, self-contained: a tiny HTTP/1.1
     server (plain [Unix] sockets, no dependencies) over a {!Corpus}, with
-    an LRU cache of rendered pages.
+    keep-alive connections, a fixed pool of OCaml 5 domain workers behind
+    a bounded accept queue, and sharded LRU caches of rendered pages and
+    snippet results shared across the workers.
 
     Routing:
 
@@ -38,27 +40,41 @@
     the same request.
 
     [handle] is the pure request → response core (unit-testable without
-    sockets); [serve] and [serve_once] add the transport.
+    sockets); [serve], [serve_once] and {!start_pool} add the transport.
 
     {2 Resilience (DESIGN.md §9)}
 
     The transport assumes hostile or broken clients: SIGPIPE is ignored
     (a dying client costs one connection, not the process), reads and
     writes carry [SO_RCVTIMEO]/[SO_SNDTIMEO] timeouts so a slowloris
-    client cannot wedge the loop, the request line and header drain are
-    byte-bounded, and every per-connection failure is logged and dropped
-    while the accept loop keeps serving. Each request may run under a
-    deadline ({!config.deadline_ms}): snippets that would start after
-    expiry degrade to the baseline (tagged in the HTML and counted on
+    client can wedge at most one worker for one timeout, the request
+    line, header block and declared body are byte-bounded, and every
+    per-connection failure is logged and dropped while the pool keeps
+    serving. Each request may run under a deadline
+    ({!config.deadline_ms}): snippets that would start after expiry
+    degrade to the baseline (tagged in the HTML and counted on
     [/stats]), and a request whose budget is gone before search starts is
-    shed with [503] + [Retry-After]. *)
+    shed with [503] + [Retry-After].
+
+    {2 Multi-core serving (DESIGN.md §12)}
+
+    {!serve} runs an acceptor domain feeding a bounded queue of accepted
+    connections to [config.workers] worker domains; when the queue is
+    full the acceptor itself answers [503] + [Retry-After] immediately.
+    Each worker runs the keep-alive loop: up to
+    [config.max_requests_per_conn] requests per connection, [Connection]
+    and [Content-Length] honored, every error response closing the
+    connection. Responses echo the request's HTTP version and always
+    carry [Content-Length] and an explicit [Connection] header. *)
 
 type t
 
-val create : ?cache_size:int -> Extract_snippet.Corpus.t -> t
+val create : ?cache_size:int -> ?shards:int -> Extract_snippet.Corpus.t -> t
 (** [cache_size] bounds the rendered-page LRU (default 64 pages); the
     query-level snippet cache underneath holds [4 × cache_size]
-    entries. *)
+    entries. Both caches are sharded [shards] ways (default 8,
+    {!Extract_util.Sharded_lru}) so pool workers contend only on hash
+    collisions. *)
 
 type response = {
   status : int;
@@ -101,6 +117,17 @@ type config = {
   max_header_bytes : int;
       (** bound on the post-request-line header drain (default 32 KiB);
           beyond it the request is answered 431. *)
+  workers : int;
+      (** worker domains in the pool (default 1; values < 1 are clamped
+          to 1). Each worker runs connections to completion, so
+          [workers] bounds concurrently-served connections. *)
+  queue_depth : int;
+      (** accepted connections allowed to wait for a worker (default 64;
+          clamped to ≥ 1). Beyond it the acceptor sheds with 503. *)
+  max_requests_per_conn : int;
+      (** keep-alive requests served on one connection before the server
+          closes it (default 100) — bounds how long one client can hold
+          a worker. *)
   log : string -> unit;
       (** dropped-connection and handler-failure reports (default:
           stderr). *)
@@ -115,18 +142,37 @@ val bound_port : Unix.file_descr -> int
 
 val serve_once : ?config:config -> t -> Unix.file_descr -> unit
 (** Accept one connection on a listening socket, answer one request,
-    close. Malformed requests get a 400, an overlong request line 400, an
-    overlong header block 431, a read timeout 408; a client that
-    disappears mid-response (EPIPE/reset) or reads too slowly is logged
-    via [config.log] and dropped. Never raises for any of these
-    per-connection conditions. *)
+    close (keep-alive is never granted: the single-shot entry point).
+    Malformed requests get a 400, an overlong request line 400, an
+    overlong header block 431, a read timeout 408, an oversized declared
+    body 413; a client that disappears mid-response (EPIPE/reset) or
+    reads too slowly is logged via [config.log] and dropped. Never
+    raises for any of these per-connection conditions. *)
+
+type pool
+(** A running acceptor + worker-domain pool (see {!start_pool}). *)
+
+val start_pool : ?config:config -> t -> Unix.file_descr -> pool
+(** Start the domain pool on an already-listening socket and return
+    immediately: one acceptor domain pushing accepted connections into a
+    bounded queue ([config.queue_depth], overflow answered 503 +
+    [Retry-After] by the acceptor), [config.workers] worker domains each
+    running the keep-alive connection loop. The caller keeps ownership
+    of the listening socket. *)
+
+val stop_pool : pool -> unit
+(** Graceful stop: close the queue, wake the acceptor (a loopback poke —
+    closing the fd from another domain is not reliably observed), join
+    all domains. Connections already queued or in flight are served to
+    completion; the listening socket is left open for the caller. *)
 
 val serve : ?config:config -> t -> port:int -> unit
-(** [listen] + [serve_once] forever, with SIGPIPE ignored and a catch-all
-    around each connection: no single client can stop the accept loop.
-    On SIGTERM the {!Extract_obs.Slowlog} snapshot is dumped to stderr
-    before exiting 0, so the worst and the degraded queries survive a
-    shutdown. Never returns; intended for the CLI's [serve] command. *)
+(** [listen] + {!start_pool}, then park forever, with SIGPIPE ignored
+    and a catch-all around each connection: no single client can stop
+    the pool. On SIGTERM the {!Extract_obs.Slowlog} snapshot is dumped
+    to stderr before exiting 0, so the worst and the degraded queries
+    survive a shutdown. Never returns; intended for the CLI's [serve]
+    command. *)
 
 (** {1 Parsing helpers (exposed for tests)} *)
 

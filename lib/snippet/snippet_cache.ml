@@ -1,4 +1,4 @@
-module Lru = Extract_util.Lru
+module Sharded_lru = Extract_util.Sharded_lru
 module Engine = Extract_search.Engine
 module Query = Extract_search.Query
 module Registry = Extract_obs.Registry
@@ -23,9 +23,9 @@ type key = {
   config : Config.t option;
 }
 
-type t = (key, Pipeline.snippet_result list) Lru.t
+type t = (key, Pipeline.snippet_result list) Sharded_lru.t
 
-let create ?(capacity = 128) () = Lru.create ~capacity
+let create ?(capacity = 128) ?(shards = 8) () = Sharded_lru.create ~shards ~capacity ()
 
 let key_of ?semantics ?config ?bound ?limit db query_string =
   {
@@ -47,7 +47,7 @@ let provenance outcome key =
 
 let run ?semantics ?config ?bound ?limit ?deadline t db query_string =
   let key = key_of ?semantics ?config ?bound ?limit db query_string in
-  match Lru.find t key with
+  match Sharded_lru.find t key with
   | Some v ->
     Registry.incr hits_total;
     provenance "hit" key;
@@ -55,22 +55,27 @@ let run ?semantics ?config ?bound ?limit ?deadline t db query_string =
   | None ->
     Registry.incr misses_total;
     provenance "miss" key;
+    (* the shard lock is NOT held while the pipeline runs: two workers
+       missing on the same key may both compute, and the second put
+       wins — duplicated work beats serializing every miss *)
     let v = Pipeline.run ?semantics ?config ?bound ?limit ?deadline db query_string in
     (* a deadline-starved answer is not the answer — caching it would
        serve degraded snippets long after the pressure has passed *)
-    if not (List.exists (fun r -> r.Pipeline.degraded) v) then Lru.put t key v;
+    if not (List.exists (fun r -> r.Pipeline.degraded) v) then Sharded_lru.put t key v;
     v
 
-let stats = Lru.stats
+let stats = Sharded_lru.stats
 
 let hit_rate t =
-  let hits, misses = Lru.stats t in
+  let hits, misses = Sharded_lru.stats t in
   if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
 
-let length = Lru.length
+let length = Sharded_lru.length
 
-let capacity = Lru.capacity
+let capacity = Sharded_lru.capacity
 
-let evictions = Lru.evictions
+let evictions = Sharded_lru.evictions
 
-let clear = Lru.clear
+let shard_stats = Sharded_lru.shard_stats
+
+let clear = Sharded_lru.clear

@@ -10,13 +10,21 @@
 
     One cache may serve several databases: keys embed {!Pipeline.id}.
     Cached values are shared (the same [snippet_result list] is returned
-    on every hit) and immutable by construction. Not thread-safe — wrap
-    with a lock if several domains serve queries from one cache. *)
+    on every hit) and immutable by construction.
+
+    {b Domain-safe}: the cache is an {!Extract_util.Sharded_lru} — keys
+    are routed by hash to independent mutex-guarded shards, so the
+    domain-pool server's workers share one cache and contend only on
+    hash collisions. The shard lock is not held while a miss runs the
+    pipeline: concurrent misses on the same key may compute twice, and
+    the last insert wins — both compute the same immutable answer. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] bounds the number of cached query entries (default 128). *)
+val create : ?capacity:int -> ?shards:int -> unit -> t
+(** [capacity] bounds the total number of cached query entries across
+    shards (default 128); [shards] is the lock-striping width (default
+    8 — one global lock is [~shards:1]). *)
 
 val run :
   ?semantics:Extract_search.Engine.semantics ->
@@ -47,5 +55,9 @@ val capacity : t -> int
 
 val evictions : t -> int
 (** Entries evicted by capacity pressure since creation or {!clear}. *)
+
+val shard_stats : t -> Extract_util.Sharded_lru.shard_stats array
+(** Per-shard hit/miss/eviction/occupancy counters (index = shard); the
+    demo server aggregates these into the metrics registry. *)
 
 val clear : t -> unit

@@ -68,6 +68,14 @@ let find t key =
     t.misses <- t.misses + 1;
     None
 
+(* read-only probe: no recency rewiring, no counter updates — safe to
+   call while iterating shard statistics without perturbing eviction
+   order or hit rates *)
+let peek t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node -> Some node.value
+  | None -> None
+
 let mem t key = Hashtbl.mem t.table key
 
 let evict t =

@@ -7,16 +7,26 @@
 
     {b Locking story: not thread-safe, by design.} Every operation —
     including a {!find} hit, which rewires the recency list — mutates
-    unsynchronized state, so a cache must only ever be driven from one
-    thread. That is the actual usage today: the demo server handles
-    connections sequentially on its accept thread, so its page cache and
-    {!Extract_snippet.Snippet_cache} see no concurrency, and
-    {!Extract_snippet.Pipeline.run_parallel} domains never touch a cache
-    (they share only the immutable analyzed database). The observability
-    counters recorded around cache operations take the
-    {!Extract_obs.Registry} mutex themselves and need nothing from the
-    cache. If a future server shares one cache across domains, wrap every
-    call (including {!find}) in a dedicated mutex. *)
+    unsynchronized state, so a bare cache must only ever be driven from
+    one thread. Single-threaded callers (the CLI verbs,
+    {!Extract_snippet.Pipeline.run_parallel} domains, which never touch a
+    cache — they share only the immutable analyzed database) use this
+    module directly. The observability counters recorded around cache
+    operations take the {!Extract_obs.Registry} mutex themselves and need
+    nothing from the cache.
+
+    {b Sharded locking story.} A cache shared across domains (the demo
+    server's page and snippet caches under the domain-pool transport)
+    must go through {!Sharded_lru}, which routes keys by hash to [S]
+    independent [Lru] shards, each behind its own mutex: every operation
+    — including {!find}, because of the recency rewiring — runs under
+    exactly one shard lock, and workers contend only on hash collisions.
+    The per-shard mutex must wrap {e every} entry point of this module;
+    {!peek} and the read-only accessors ({!stats}, {!length},
+    {!evictions}) mutate nothing but still race against concurrent
+    writers, so {!Sharded_lru} locks for those too. Do not add ad-hoc
+    locking around a bare [Lru] elsewhere — share through [Sharded_lru]
+    so the locking discipline lives in one place. *)
 
 type ('k, 'v) t
 
@@ -29,6 +39,12 @@ val length : ('k, 'v) t -> int
 
 val find : ('k, 'v) t -> 'k -> 'v option
 (** Refreshes the entry's recency on a hit. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** [find] without promotion: refreshes no recency and counts no
+    hit/miss — a pure probe, for code (shard statistics, tests,
+    debugging views) that must observe the cache without perturbing
+    eviction order. *)
 
 val mem : ('k, 'v) t -> 'k -> bool
 (** Does not refresh recency. *)

@@ -1,0 +1,579 @@
+(* eXtract closed-loop load harness.
+
+   Drives the real demo server over real sockets: N client threads each
+   hold one keep-alive connection and issue Zipf-distributed /search
+   requests back to back (closed loop — a client sends its next request
+   only after reading the previous response, so offered load adapts to
+   server capacity instead of overrunning it). The query mix comes from
+   the datagen workload generator over the retail dataset, skewed so hot
+   queries exist and the sharded caches see realistic reuse.
+
+   By default the harness is self-hosting: it builds the corpus, starts
+   the domain pool in-process on a free port (one run per --workers
+   value), and tears it down between runs. --port drives an externally
+   started server instead.
+
+   Output: a human table, BENCH_load.json (machine-readable, tracked
+   across PRs like BENCH_hotpath.json), and an optional --floor=PATH
+   SLO gate that fails the process when throughput-per-core drops below
+   a third of the checked-in floor or p99 latency exceeds 3x its floor —
+   same contract as the extract-bench hot-path gate.
+
+   Run:  dune exec tools/load/load.exe -- --duration 3 --workers 1,4
+         dune exec tools/load/load.exe -- --floor=bench/load_floor.json *)
+
+module Demo_server = Extract_server.Demo_server
+module Corpus = Extract_snippet.Corpus
+module Pipeline = Extract_snippet.Pipeline
+module Document = Extract_store.Document
+module Datagen = Extract_datagen
+module Deadline = Extract_util.Deadline
+module Prng = Extract_util.Prng
+module Zipf = Extract_util.Zipf
+module Table = Extract_util.Table
+module Faults = Extract_util.Faults
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+
+let duration = ref 3.0
+let connections = ref 8
+let workers_spec = ref "1"
+let queue_depth = ref 64
+let external_port = ref 0 (* 0 = self-host *)
+let skew = ref 0.9
+let query_count = ref 200
+let seed = ref 42
+let out_path = ref "BENCH_load.json"
+let floor_path = ref ""
+let chaos_spec = ref ""
+
+let spec =
+  [
+    "--duration", Arg.Set_float duration, "SECONDS measured window per run (default 3)";
+    "--connections", Arg.Set_int connections, "N concurrent client connections (default 8)";
+    ( "--workers",
+      Arg.Set_string workers_spec,
+      "LIST comma-separated pool sizes, one run each (default 1; try 1,4)" );
+    "--queue-depth", Arg.Set_int queue_depth, "K server accept-queue depth (default 64)";
+    ( "--port",
+      Arg.Set_int external_port,
+      "PORT drive an already-running server instead of self-hosting" );
+    "--skew", Arg.Set_float skew, "S Zipf skew of the query mix (default 0.9)";
+    "--queries", Arg.Set_int query_count, "N distinct queries in the mix (default 200)";
+    "--seed", Arg.Set_int seed, "N workload + client PRNG seed (default 42)";
+    "--out", Arg.Set_string out_path, "PATH JSON results file (default BENCH_load.json)";
+    ( "--floor",
+      Arg.Set_string floor_path,
+      "PATH SLO gate: exit 1 when rps/core < floor/3 or p99 > 3x floor" );
+    ( "--chaos",
+      Arg.Set_string chaos_spec,
+      "SPEC extra run with EXTRACT_FAULTS-style injection armed (self-host only)" );
+  ]
+
+let usage = "extract-load [options] — closed-loop load test of the demo server"
+
+(* ------------------------------------------------------------------ *)
+(* Minimal buffered HTTP/1.1 client. A peer close mid-read raises
+   End_of_file; callers treat it as a reconnect. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let refill c =
+  let n = Unix.read c.fd c.buf 0 (Bytes.length c.buf) in
+  if n = 0 then raise End_of_file;
+  c.pos <- 0;
+  c.len <- n
+
+let read_char c =
+  if c.pos >= c.len then refill c;
+  let ch = Bytes.get c.buf c.pos in
+  c.pos <- c.pos + 1;
+  ch
+
+let read_line c =
+  let b = Buffer.create 64 in
+  let rec loop () =
+    match read_char c with
+    | '\n' -> Buffer.contents b
+    | '\r' -> loop ()
+    | ch ->
+      Buffer.add_char b ch;
+      loop ()
+  in
+  loop ()
+
+let skip_body c n =
+  let remaining = ref n in
+  while !remaining > 0 do
+    if c.pos >= c.len then refill c;
+    let take = min !remaining (c.len - c.pos) in
+    c.pos <- c.pos + take;
+    remaining := !remaining - take
+  done
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let rec loop off =
+    if off < Bytes.length bytes then
+      loop (off + Unix.write fd bytes off (Bytes.length bytes - off))
+  in
+  loop 0
+
+(* status code + whether the server asked to close; the body is drained
+   by Content-Length (every eXtract response carries one) *)
+let read_response c =
+  let status_line = read_line c in
+  let code =
+    match String.split_on_char ' ' status_line with
+    | _ :: code :: _ -> (
+      match int_of_string_opt code with
+      | Some n -> n
+      | None -> raise End_of_file)
+    | _ -> raise End_of_file
+  in
+  let content_length = ref 0 in
+  let close = ref false in
+  let rec headers () =
+    let l = read_line c in
+    if l <> "" then begin
+      (match String.index_opt l ':' with
+      | Some i ->
+        let name = String.lowercase_ascii (String.trim (String.sub l 0 i)) in
+        let value = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+        if name = "content-length" then
+          content_length := Option.value ~default:0 (int_of_string_opt value)
+        else if name = "connection" && String.lowercase_ascii value = "close" then
+          close := true
+      | None -> ());
+      headers ()
+    end
+  in
+  headers ();
+  skip_body c !content_length;
+  code, !close
+
+(* ------------------------------------------------------------------ *)
+(* Query mix                                                           *)
+
+let encode_query q = String.map (fun ch -> if ch = ' ' then '+' else ch) q
+
+let build_targets db =
+  let queries =
+    Datagen.Workload.generate
+      { Datagen.Workload.default with Datagen.Workload.queries = !query_count; seed = !seed }
+      (Pipeline.kinds db)
+  in
+  if queries = [] then begin
+    prerr_endline "extract-load: workload generator produced no queries";
+    exit 2
+  end;
+  Array.of_list
+    (List.mapi
+       (fun i q ->
+         Printf.sprintf "/search?data=retail&q=%s&bound=%d" (encode_query q)
+           (4 + (i mod 9)))
+       queries)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop clients                                                 *)
+
+type client_stats = {
+  mutable latencies_ms : float list;
+  mutable ok : int;
+  mutable shed : int; (* 503 *)
+  mutable other : int; (* any other non-200 *)
+  mutable reconnects : int;
+  mutable transport_errors : int;
+}
+
+let fresh_stats () =
+  { latencies_ms = []; ok = 0; shed = 0; other = 0; reconnects = 0; transport_errors = 0 }
+
+let client_loop ~port ~deadline ~targets ~zipf ~seed stats =
+  let rng = Prng.create seed in
+  let current = ref None in
+  let conn () =
+    match !current with
+    | Some c -> c
+    | None ->
+      let c = connect port in
+      current := Some c;
+      c
+  in
+  let drop () =
+    (match !current with
+    | Some c -> close_conn c
+    | None -> ());
+    current := None
+  in
+  while not (Deadline.expired deadline) do
+    match
+      let c = conn () in
+      let target = targets.(Zipf.sample zipf rng) in
+      let t0 = Deadline.now () in
+      write_all c.fd
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n" target);
+      let code, close = read_response c in
+      let dt_ms = (Deadline.now () -. t0) *. 1000. in
+      stats.latencies_ms <- dt_ms :: stats.latencies_ms;
+      if code = 200 then stats.ok <- stats.ok + 1
+      else if code = 503 then stats.shed <- stats.shed + 1
+      else stats.other <- stats.other + 1;
+      if close then begin
+        drop ();
+        stats.reconnects <- stats.reconnects + 1
+      end
+    with
+    | () -> ()
+    | exception (End_of_file | Unix.Unix_error _) ->
+      stats.transport_errors <- stats.transport_errors + 1;
+      drop ();
+      (* back off briefly: a refused connect must not busy-spin *)
+      Thread.delay 0.005
+  done;
+  drop ()
+
+(* ------------------------------------------------------------------ *)
+(* One measured run                                                    *)
+
+type run_result = {
+  r_workers : int;
+  r_chaos : bool;
+  r_elapsed : float;
+  r_requests : int;
+  r_ok : int;
+  r_shed : int;
+  r_other : int;
+  r_reconnects : int;
+  r_transport_errors : int;
+  r_rps : float;
+  r_rps_per_core : float;
+  r_p50_ms : float;
+  r_p95_ms : float;
+  r_p99_ms : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5))
+
+(* one serial pass over the targets, so every run starts against the
+   same warm caches instead of the first run paying all the misses *)
+let warmup ~port ~targets =
+  let c = ref (connect port) in
+  Array.iter
+    (fun target ->
+      match
+        write_all !c.fd
+          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n" target);
+        read_response !c
+      with
+      | _, true ->
+        close_conn !c;
+        c := connect port
+      | _, false -> ()
+      | exception (End_of_file | Unix.Unix_error _) ->
+        close_conn !c;
+        c := connect port)
+    targets;
+  close_conn !c
+
+let run_load ~port ~workers ~chaos ~targets =
+  let zipf = Zipf.create ~n:(Array.length targets) ~skew:!skew in
+  let stats = Array.init !connections (fun _ -> fresh_stats ()) in
+  let deadline = Deadline.after !duration in
+  let t0 = Deadline.now () in
+  let threads =
+    Array.mapi
+      (fun i s ->
+        Thread.create
+          (fun () ->
+            client_loop ~port ~deadline ~targets ~zipf ~seed:(!seed + (17 * (i + 1))) s)
+          ())
+      stats
+  in
+  Array.iter Thread.join threads;
+  let elapsed = Deadline.now () -. t0 in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc s -> List.rev_append s.latencies_ms acc) [] stats)
+  in
+  Array.sort Float.compare latencies;
+  let requests = Array.length latencies in
+  let rps = if elapsed > 0. then float_of_int requests /. elapsed else 0.0 in
+  {
+    r_workers = workers;
+    r_chaos = chaos;
+    r_elapsed = elapsed;
+    r_requests = requests;
+    r_ok = sum (fun s -> s.ok);
+    r_shed = sum (fun s -> s.shed);
+    r_other = sum (fun s -> s.other);
+    r_reconnects = sum (fun s -> s.reconnects);
+    r_transport_errors = sum (fun s -> s.transport_errors);
+    r_rps = rps;
+    r_rps_per_core = rps /. float_of_int (max 1 workers);
+    r_p50_ms = percentile latencies 50.;
+    r_p95_ms = percentile latencies 95.;
+    r_p99_ms = percentile latencies 99.;
+  }
+
+let with_pool ~server ~workers f =
+  let sock = Demo_server.listen ~port:0 in
+  let config =
+    {
+      Demo_server.default_config with
+      Demo_server.workers;
+      queue_depth = !queue_depth;
+      log = (fun _ -> () (* client disconnects during teardown are expected *));
+    }
+  in
+  let pool = Demo_server.start_pool ~config server sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Demo_server.stop_pool pool;
+      try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () -> f (Demo_server.bound_port sock))
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let json_of_runs ~cores ~scaling runs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"load\",\n";
+  Buffer.add_string b "  \"dataset\": \"retail\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"workload\": { \"queries\": %d, \"skew\": %.2f, \"seed\": %d, \
+        \"connections\": %d, \"duration_s\": %.2f },\n"
+       !query_count !skew !seed !connections !duration);
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"workers\": %d, \"chaos\": %b, \"elapsed_s\": %.3f, \"requests\": \
+            %d, \"ok\": %d, \"shed\": %d, \"other\": %d, \"reconnects\": %d, \
+            \"transport_errors\": %d, \"throughput_rps\": %.1f, \
+            \"throughput_per_core_rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+            \"p99_ms\": %.3f }%s\n"
+           r.r_workers r.r_chaos r.r_elapsed r.r_requests r.r_ok r.r_shed r.r_other
+           r.r_reconnects r.r_transport_errors r.r_rps r.r_rps_per_core r.r_p50_ms
+           r.r_p95_ms r.r_p99_ms
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (match scaling with
+    | Some s -> Printf.sprintf "  \"scaling_4v1\": %.2f\n" s
+    | None -> "  \"scaling_4v1\": null\n");
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let print_table runs =
+  let t =
+    Table.create
+      [ "workers"; "reqs"; "rps"; "rps/core"; "p50"; "p95"; "p99"; "shed"; "errors" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          (if r.r_chaos then Printf.sprintf "%d (chaos)" r.r_workers
+           else string_of_int r.r_workers);
+          string_of_int r.r_requests;
+          Printf.sprintf "%.0f" r.r_rps;
+          Printf.sprintf "%.0f" r.r_rps_per_core;
+          Printf.sprintf "%.2fms" r.r_p50_ms;
+          Printf.sprintf "%.2fms" r.r_p95_ms;
+          Printf.sprintf "%.2fms" r.r_p99_ms;
+          string_of_int r.r_shed;
+          string_of_int (r.r_other + r.r_transport_errors);
+        ])
+    runs;
+  Table.print
+    ~title:
+      (Printf.sprintf "extract-load — closed loop, %d connections, %.1fs per run"
+         !connections !duration)
+    t
+
+(* Pull one numeric value out of the floor file without a JSON parser —
+   same technique as the extract-bench hot-path gate. *)
+let parse_floor_number key contents =
+  let key = Printf.sprintf "%S" key in
+  let klen = String.length key in
+  let n = String.length contents in
+  let rec find i =
+    if i + klen > n then None
+    else if String.sub contents i klen = key then Some (i + klen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let i = ref start in
+    while !i < n && (contents.[!i] = ':' || contents.[!i] = ' ') do
+      incr i
+    done;
+    let j = ref !i in
+    while
+      !j < n
+      && (match contents.[!j] with '0' .. '9' | '.' | 'e' | '+' | '-' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j > !i then float_of_string_opt (String.sub contents !i (!j - !i)) else None
+
+(* SLO gate over the last non-chaos run: throughput-per-core must stay
+   above a third of the floor, p99 below 3x its floor — generous bands
+   that absorb runner variance but catch real regressions. *)
+let floor_gate runs =
+  if !floor_path <> "" then begin
+    let contents =
+      match In_channel.with_open_bin !floor_path In_channel.input_all with
+      | c -> Some c
+      | exception Sys_error msg ->
+        Printf.eprintf "floor gate: cannot read %s: %s\n" !floor_path msg;
+        None
+    in
+    match contents with
+    | None -> exit 1
+    | Some contents -> (
+      let floor_tpc = parse_floor_number "throughput_per_core_rps" contents in
+      let floor_p99 = parse_floor_number "p99_ms" contents in
+      match floor_tpc, floor_p99 with
+      | None, _ | _, None ->
+        Printf.eprintf
+          "floor gate: %s needs \"throughput_per_core_rps\" and \"p99_ms\"\n"
+          !floor_path;
+        exit 1
+      | Some floor_tpc, Some floor_p99 -> (
+        match List.rev (List.filter (fun r -> not r.r_chaos) runs) with
+        | [] ->
+          Printf.eprintf "floor gate: no non-chaos run to judge\n";
+          exit 1
+        | r :: _ ->
+          let tpc_limit = floor_tpc /. 3. in
+          let p99_limit = floor_p99 *. 3. in
+          Printf.printf
+            "floor gate: %.1f rps/core (floor %.1f, limit %.1f), p99 %.2fms (floor \
+             %.2fms, limit %.2fms)\n"
+            r.r_rps_per_core floor_tpc tpc_limit r.r_p99_ms floor_p99 p99_limit;
+          let failed = ref false in
+          if r.r_rps_per_core < tpc_limit then begin
+            print_endline
+              "floor gate: FAILED — throughput per core below a third of the floor";
+            failed := true
+          end;
+          if r.r_p99_ms > p99_limit then begin
+            print_endline "floor gate: FAILED — p99 latency more than 3x the floor";
+            failed := true
+          end;
+          if !failed then exit 1 else print_endline "floor gate: ok"))
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let main () =
+  Arg.parse spec
+    (fun a ->
+      Printf.eprintf "extract-load: unexpected argument %S\n%s\n" a usage;
+      exit 2)
+    usage;
+  let worker_counts =
+    String.split_on_char ',' !workers_spec
+    |> List.filter_map (fun s ->
+           match int_of_string_opt (String.trim s) with
+           | Some n when n >= 1 -> Some n
+           | _ -> None)
+  in
+  let worker_counts = if worker_counts = [] then [ 1 ] else worker_counts in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "extract-load: %d core(s) visible, workers %s\n%!" cores
+    (String.concat "," (List.map string_of_int worker_counts));
+  let db =
+    Pipeline.build (Document.of_document (Datagen.Retail.generate Datagen.Retail.default))
+  in
+  let targets = build_targets db in
+  Printf.printf "query mix: %d targets over retail, zipf skew %.2f\n%!"
+    (Array.length targets) !skew;
+  let runs =
+    if !external_port > 0 then begin
+      (* external server: one run; workers taken from the first --workers
+         value purely for the per-core arithmetic *)
+      let workers = match worker_counts with w :: _ -> w | [] -> 1 in
+      warmup ~port:!external_port ~targets;
+      [ run_load ~port:!external_port ~workers ~chaos:false ~targets ]
+    end
+    else begin
+      let server = Demo_server.create (Corpus.add Corpus.empty ~name:"retail" db) in
+      let measured =
+        List.map
+          (fun workers ->
+            with_pool ~server ~workers (fun port ->
+                warmup ~port ~targets;
+                run_load ~port ~workers ~chaos:false ~targets))
+          worker_counts
+      in
+      let chaos_runs =
+        if !chaos_spec = "" then []
+        else begin
+          (* chaos run: same load with faults armed — shows tail latency
+             under injected failure; excluded from the gate and scaling *)
+          match Faults.configure !chaos_spec with
+          | Error msg ->
+            Printf.eprintf "extract-load: bad --chaos spec: %s\n" msg;
+            exit 2
+          | Ok () ->
+            (* arm the chaos run at the largest configured pool *)
+            let workers = List.fold_left (fun _ w -> w) 1 worker_counts in
+            let r =
+              with_pool ~server ~workers (fun port ->
+                  run_load ~port ~workers ~chaos:true ~targets)
+            in
+            Faults.clear ();
+            [ r ]
+        end
+      in
+      measured @ chaos_runs
+    end
+  in
+  let scaling =
+    let rps_at w =
+      List.find_opt (fun r -> r.r_workers = w && not r.r_chaos) runs
+      |> Option.map (fun r -> r.r_rps)
+    in
+    match rps_at 1, rps_at 4 with
+    | Some one, Some four when one > 0. -> Some (four /. one)
+    | _ -> None
+  in
+  print_table runs;
+  (match scaling with
+  | Some s ->
+    Printf.printf "scaling 4 vs 1 workers: %.2fx (on %d visible core(s))\n" s cores
+  | None -> ());
+  let out = open_out !out_path in
+  output_string out (json_of_runs ~cores ~scaling runs);
+  close_out out;
+  Printf.printf "wrote %s\n" !out_path;
+  floor_gate runs
+
+let () = main ()
