@@ -1,3 +1,4 @@
+(* read-only — static name pool *)
 let cities =
   [|
     "Houston"; "Austin"; "Dallas"; "El Paso"; "San Antonio"; "Fort Worth"; "Plano";
@@ -5,12 +6,14 @@ let cities =
     "Frisco"; "Pasadena"; "Mesquite"; "Killeen"; "McAllen"; "Waco";
   |]
 
+(* read-only — static name pool *)
 let states =
   [|
     "Texas"; "California"; "New York"; "Florida"; "Illinois"; "Ohio"; "Georgia";
     "Arizona"; "Washington"; "Oregon";
   |]
 
+(* read-only — static name pool *)
 let store_names =
   [|
     "Galleria"; "West Village"; "Market Square"; "Town Center"; "Riverside"; "Lakeline";
@@ -19,6 +22,7 @@ let store_names =
     "South Congress";
   |]
 
+(* read-only — static name pool *)
 let retailer_names =
   [|
     "Brook Brothers"; "Levis"; "ESprit"; "Nordstrom"; "Macys"; "Gap"; "Banana Republic";
@@ -26,16 +30,20 @@ let retailer_names =
     "Lands End"; "Talbots";
   |]
 
+(* read-only — static name pool *)
 let clothes_categories =
   [|
     "outwear"; "suit"; "skirt"; "sweaters"; "jeans"; "shirts"; "dresses"; "shorts";
     "jackets"; "coats"; "vests";
   |]
 
+(* read-only — static name pool *)
 let fittings = [| "man"; "woman"; "children" |]
 
+(* read-only — static name pool *)
 let situations = [| "casual"; "formal" |]
 
+(* read-only — static name pool *)
 let first_names =
   [|
     "James"; "Mary"; "Robert"; "Patricia"; "John"; "Jennifer"; "Michael"; "Linda";
@@ -43,6 +51,7 @@ let first_names =
     "Thomas"; "Sarah"; "Carlos"; "Yuki"; "Wei"; "Amara"; "Noor"; "Ivan";
   |]
 
+(* read-only — static name pool *)
 let last_names =
   [|
     "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Garcia"; "Miller"; "Davis";
@@ -50,63 +59,76 @@ let last_names =
     "Thomas"; "Taylor"; "Moore"; "Chen"; "Kim"; "Nakamura"; "Singh"; "Okafor"; "Novak";
   |]
 
+(* read-only — static name pool *)
 let movie_adjectives =
   [|
     "Silent"; "Crimson"; "Forgotten"; "Eternal"; "Hidden"; "Broken"; "Golden"; "Last";
     "Distant"; "Burning"; "Frozen"; "Midnight"; "Savage"; "Gentle"; "Electric";
   |]
 
+(* read-only — static name pool *)
 let movie_nouns =
   [|
     "Horizon"; "Empire"; "Garden"; "River"; "Promise"; "Shadow"; "Voyage"; "Kingdom";
     "Letter"; "Summer"; "Winter"; "Station"; "Harbor"; "Orchard"; "Mirror"; "Signal";
   |]
 
+(* read-only — static name pool *)
 let genres =
   [| "drama"; "comedy"; "thriller"; "documentary"; "animation"; "romance"; "western" |]
 
+(* read-only — static name pool *)
 let studios =
   [|
     "Meridian Pictures"; "Bluebird Films"; "Cathedral Studios"; "Red Rock Media";
     "Northlight"; "Starfall Entertainment";
   |]
 
+(* read-only — static name pool *)
 let countries =
   [| "USA"; "France"; "Japan"; "Italy"; "Mexico"; "Korea"; "Germany"; "Brazil" |]
 
+(* read-only — static name pool *)
 let auction_items =
   [|
     "bicycle"; "camera"; "guitar"; "wristwatch"; "bookshelf"; "typewriter"; "telescope";
     "turntable"; "armchair"; "lamp"; "teapot"; "painting"; "rug"; "clock"; "radio";
   |]
 
+(* read-only — static name pool *)
 let auction_adjectives =
   [|
     "vintage"; "antique"; "handmade"; "restored"; "rare"; "mint"; "classic"; "signed";
     "original"; "limited";
   |]
 
+(* read-only — static name pool *)
 let payment_kinds = [| "credit"; "cash"; "wire"; "check" |]
 
+(* read-only — static name pool *)
 let journals =
   [|
     "VLDB"; "SIGMOD"; "ICDE"; "TODS"; "CIKM"; "EDBT"; "WWW"; "KDD";
   |]
 
+(* read-only — static name pool *)
 let paper_topic_words =
   [|
     "keyword"; "search"; "ranking"; "snippet"; "index"; "query"; "schema"; "stream";
     "graph"; "join"; "cache"; "transaction"; "optimization"; "semantics"; "storage";
   |]
 
+(* read-only — static name pool *)
 let full_name rng =
   Printf.sprintf "%s %s"
     (Extract_util.Prng.choose rng first_names)
     (Extract_util.Prng.choose rng last_names)
 
+(* read-only — static name pool *)
 let movie_title rng =
   Printf.sprintf "The %s %s"
     (Extract_util.Prng.choose rng movie_adjectives)
     (Extract_util.Prng.choose rng movie_nouns)
 
+(* read-only — static name pool *)
 let unique_label base i = Printf.sprintf "%s-%d" base i

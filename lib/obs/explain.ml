@@ -8,6 +8,7 @@
    DLS read) outside a scope. Section thunks are forced immediately at
    record time — the values they close over are mutable pipeline state. *)
 
+(* domain-local — frames live on the per-domain DLS stack below *)
 type frame = { mutable sections : (string * Jsonv.t) list (* reversed *) }
 
 (* a stack, so a capture nested inside another (cache probe inside a

@@ -48,7 +48,7 @@ let stderr_sink line =
   output_char stderr '\n';
   flush stderr
 
-let sink : (string -> unit) ref = ref stderr_sink
+let sink : (string -> unit) ref = ref stderr_sink (* guarded-by: sink_lock *)
 
 let set_sink s =
   Mutex.lock sink_lock;

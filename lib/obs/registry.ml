@@ -4,6 +4,7 @@
    the simplicity is worth it. Metric handles returned to callers are the
    interned records themselves; updating one never touches the table. *)
 
+(* guarded-by: lock *)
 type counter = {
   c_name : string;
   c_labels : (string * string) list;
@@ -11,6 +12,7 @@ type counter = {
   mutable c_value : int;
 }
 
+(* guarded-by: lock *)
 type gauge = {
   g_name : string;
   g_labels : (string * string) list;
@@ -18,6 +20,7 @@ type gauge = {
   mutable g_value : float;
 }
 
+(* guarded-by: lock *)
 type histogram = {
   h_name : string;
   h_labels : (string * string) list;
@@ -47,8 +50,10 @@ let with_lock f =
     raise e
 
 (* identity = name + ordered labels *)
+(* guarded-by: lock *)
 let table : (string * (string * string) list, metric) Hashtbl.t = Hashtbl.create 64
 
+(* read-only — shared bucket template; histograms copy it on creation *)
 let default_latency_buckets =
   [|
     1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 0.1;
@@ -195,6 +200,7 @@ let percentile h q = with_lock (fun () -> percentile_locked h q)
 (* Pinned gauges carry process facts (build info, start time) that must
    survive [reset] — tests reset the registry, and losing build metadata
    to test isolation would be a lie on the next /metrics scrape. *)
+(* guarded-by: lock *)
 let pins : (gauge * float) list ref = ref []
 
 let pin g v =

@@ -23,14 +23,16 @@ let default_slowest = 16
 
 let default_ring = 64
 
-let slowest_cap = ref default_slowest
+let slowest_cap = ref default_slowest (* guarded-by: lock *)
 
-let ring_cap = ref default_ring
+let ring_cap = ref default_ring (* guarded-by: lock *)
 
 (* slowest first; length <= !slowest_cap *)
+(* guarded-by: lock *)
 let slowest : entry list ref = ref []
 
 (* most recent first; length <= !ring_cap *)
+(* guarded-by: lock *)
 let ring : entry list ref = ref []
 
 let with_lock f =

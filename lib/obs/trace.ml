@@ -9,6 +9,7 @@ type span = {
 }
 
 (* an open span being built; children accumulate reversed *)
+(* domain-local — open spans live on the per-domain DLS stack below *)
 type building = {
   b_name : string;
   b_start : float;
@@ -30,7 +31,7 @@ let stack_key : building list ref Domain.DLS.key =
 (* Completed roots, across all domains, oldest first (kept reversed). *)
 let roots_lock = Mutex.create ()
 
-let roots : span list ref = ref []
+let roots : span list ref = ref [] (* guarded-by: roots_lock *)
 
 let push_root s =
   Mutex.lock roots_lock;

@@ -517,10 +517,15 @@ let default_config =
 (* A dying client must cost us one connection, not the process: without
    this, the kernel answers a write to a closed peer with SIGPIPE and the
    default disposition kills the server. Ignored, the write fails with
-   EPIPE, which the per-connection handler logs and drops. *)
-let ensure_sigpipe_ignored =
-  let installed = lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore) in
-  fun () -> (try Lazy.force installed with Invalid_argument _ | Sys_error _ -> ())
+   EPIPE, which the per-connection handler logs and drops. The once-guard
+   is an Atomic exchange rather than a lazy: forcing a lazy from two
+   domains at once raises Lazy.Undefined in one of them. *)
+let sigpipe_installed = Atomic.make false
+
+let ensure_sigpipe_ignored () =
+  if not (Atomic.exchange sigpipe_installed true) then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+    with Invalid_argument _ | Sys_error _ -> ()
 
 let set_socket_timeouts fd timeout_ms =
   if timeout_ms > 0 then begin
@@ -813,9 +818,9 @@ let serve_once ?(config = default_config) t listening =
 type conn_queue = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  items : Unix.file_descr Queue.t;
+  items : Unix.file_descr Queue.t; (* guarded-by: lock *)
   depth : int;
-  mutable closed : bool;
+  mutable closed : bool; (* guarded-by: lock *)
 }
 
 let queue_create depth =

@@ -15,17 +15,21 @@ type stats = {
   score : float;
 }
 
+(* domain-local — an analysis (and everything hanging off it) is built
+   and consumed by the one domain snippeting that result *)
 type feature_data = {
   mutable count : int;
   mutable nodes : Document.node list; (* reverse document order *)
   first_seen : int;
 }
 
+(* domain-local — see feature_data above *)
 type type_data = {
   mutable total : int;
   values : (string, unit) Hashtbl.t;
 }
 
+(* domain-local — see feature_data above *)
 type analysis = {
   features : (t, feature_data) Hashtbl.t;
   types : (string * string, type_data) Hashtbl.t;

@@ -121,7 +121,7 @@ let build ?(config = Config.default) ?ctx ?analysis kinds keys index result quer
   end;
   { entries = Array.of_list (List.rev !out) }
 
-let empty = { entries = [||] }
+let empty = { entries = [||] } (* read-only — shared empty sentinel *)
 
 let entries t = Array.to_list t.entries
 

@@ -43,6 +43,8 @@ and snippet_result = {
   degraded : bool;
 }
 
+(* init-only — installed by Check.install_from_env / test setup before
+   any query runs; read-only from the worker domains *)
 let observer : observer option ref = ref None
 
 let set_observer o = observer := o

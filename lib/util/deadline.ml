@@ -3,17 +3,27 @@
    from un-expiring. A test clock can be injected for deterministic
    expiry tests. *)
 
+(* init-only — the test clock is installed by single-threaded test setup
+   before any domain spawns, and read-only afterwards *)
 let test_clock : (unit -> float) option ref = ref None
 
-let monotonic_floor = ref neg_infinity
+(* Every domain raises the shared floor with a CAS loop: the old
+   plain-ref version was a read/write data race once the server pool and
+   run_parallel started calling [now] from every domain. *)
+let monotonic_floor = Atomic.make neg_infinity
 
 let now () =
   match !test_clock with
   | Some clock -> clock ()
   | None ->
     let t = Unix.gettimeofday () in
-    if t > !monotonic_floor then monotonic_floor := t;
-    !monotonic_floor
+    let rec raise_floor () =
+      let floor = Atomic.get monotonic_floor in
+      if t > floor then
+        if Atomic.compare_and_set monotonic_floor floor t then t else raise_floor ()
+      else floor
+    in
+    raise_floor ()
 
 let set_clock clock = test_clock := clock
 

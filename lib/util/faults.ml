@@ -12,6 +12,8 @@ type mode =
   | Nth of int
   | Prob of float * Prng.t
 
+(* guarded-by: lock — hits/fired (and the Prng inside Prob) are bumped
+   from every worker domain once faults are armed *)
 type state = {
   mode : mode;
   spec : string; (* the spec as configured, for reporting *)
@@ -19,15 +21,29 @@ type state = {
   mutable fired : int;
 }
 
+let lock = Mutex.create ()
+
+(* guarded-by: lock *)
 let table : (string, state) Hashtbl.t = Hashtbl.create 8
 
+let with_lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
 (* The pipeline consults fault points per result; with nothing configured
-   the whole feature must cost one load. *)
-let armed = ref false
+   the whole feature must cost one load — hence an Atomic flag in front
+   of the mutex-guarded table. *)
+let armed = Atomic.make false
 
 let clear () =
-  Hashtbl.reset table;
-  armed := false
+  with_lock (fun () -> Hashtbl.reset table);
+  Atomic.set armed false
 
 let parse_mode spec =
   let parts = String.split_on_char ';' spec in
@@ -70,8 +86,9 @@ let configure config =
   let entries =
     String.split_on_char ',' config |> List.filter (fun s -> String.trim s <> "")
   in
-  let rec install = function
-    | [] -> Ok ()
+  (* parse everything first, commit under the lock only on full success *)
+  let rec parse_entries acc = function
+    | [] -> Ok (List.rev acc)
     | entry :: rest -> begin
       let entry = String.trim entry in
       match String.index_opt entry ':' with
@@ -81,15 +98,18 @@ let configure config =
         let spec = String.sub entry (i + 1) (String.length entry - i - 1) in
         match parse_mode spec with
         | Error e -> Error (Printf.sprintf "%s: %s" point e)
-        | Ok mode ->
-          Hashtbl.replace table point { mode; spec; hits = 0; fired = 0 };
-          install rest
+        | Ok mode -> parse_entries ((point, mode, spec) :: acc) rest
       end
     end
   in
-  match install entries with
-  | Ok () ->
-    armed := Hashtbl.length table > 0;
+  match parse_entries [] entries with
+  | Ok parsed ->
+    with_lock (fun () ->
+        List.iter
+          (fun (point, mode, spec) ->
+            Hashtbl.replace table point { mode; spec; hits = 0; fired = 0 })
+          parsed);
+    Atomic.set armed (parsed <> []);
     Ok ()
   | Error _ as e ->
     clear ();
@@ -106,42 +126,45 @@ let install_from_env () =
     | Error msg -> invalid_arg (Printf.sprintf "%s: %s" env_var msg)
   end
 
-let active () = !armed
+let active () = Atomic.get armed
 
 let should_fail point =
-  !armed
-  &&
-  match Hashtbl.find_opt table point with
-  | None -> false
-  | Some st ->
-    st.hits <- st.hits + 1;
-    let fire =
-      match st.mode with
-      | Always -> true
-      | Once -> st.hits = 1
-      | Nth k -> st.hits = k
-      | Prob (p, prng) -> Prng.float prng 1.0 < p
-    in
-    if fire then st.fired <- st.fired + 1;
-    fire
+  Atomic.get armed
+  && with_lock (fun () ->
+         match Hashtbl.find_opt table point with
+         | None -> false
+         | Some st ->
+           st.hits <- st.hits + 1;
+           let fire =
+             match st.mode with
+             | Always -> true
+             | Once -> st.hits = 1
+             | Nth k -> st.hits = k
+             | Prob (p, prng) -> Prng.float prng 1.0 < p
+           in
+           if fire then st.fired <- st.fired + 1;
+           fire)
 
 let spec_of point =
-  match Hashtbl.find_opt table point with
-  | Some st -> st.spec
-  | None -> "?"
+  with_lock (fun () ->
+      match Hashtbl.find_opt table point with
+      | Some st -> st.spec
+      | None -> "?")
 
 let hit point = if should_fail point then raise (Injected (point, "spec " ^ spec_of point))
 
 let hits point =
-  match Hashtbl.find_opt table point with
-  | Some st -> st.hits
-  | None -> 0
+  with_lock (fun () ->
+      match Hashtbl.find_opt table point with
+      | Some st -> st.hits
+      | None -> 0)
 
 let fired point =
-  match Hashtbl.find_opt table point with
-  | Some st -> st.fired
-  | None -> 0
+  with_lock (fun () ->
+      match Hashtbl.find_opt table point with
+      | Some st -> st.fired
+      | None -> 0)
 
 let configured () =
-  Hashtbl.fold (fun point st acc -> (point, st.spec) :: acc) table []
+  with_lock (fun () -> Hashtbl.fold (fun point st acc -> (point, st.spec) :: acc) table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

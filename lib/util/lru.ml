@@ -1,5 +1,7 @@
 (* Hash table + intrusive doubly linked list, most-recent at the head. *)
 
+(* guarded-by: Sharded_lru.lock — a bare Lru is not thread-safe by design
+   (see lru.mli); every shared instance sits behind a Sharded_lru shard *)
 type ('k, 'v) node = {
   key : 'k;
   mutable value : 'v;
@@ -7,6 +9,7 @@ type ('k, 'v) node = {
   mutable next : ('k, 'v) node option;
 }
 
+(* guarded-by: Sharded_lru.lock — same story as node above *)
 type ('k, 'v) t = {
   cap : int;
   table : ('k, ('k, 'v) node) Hashtbl.t;

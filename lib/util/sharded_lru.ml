@@ -15,7 +15,7 @@ type shard_stats = {
 
 type ('k, 'v) shard = {
   lock : Mutex.t;
-  lru : ('k, 'v) Lru.t;
+  lru : ('k, 'v) Lru.t; (* guarded-by: lock *)
 }
 
 type ('k, 'v) t = ('k, 'v) shard array

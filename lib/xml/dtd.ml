@@ -10,6 +10,7 @@ type t = {
   attlists : (string, attribute_decl list) Hashtbl.t;
 }
 
+(* read-only — the shared no-DTD sentinel; its tables are never written *)
 let empty = { order = []; models = Hashtbl.create 1; attlists = Hashtbl.create 1 }
 
 let rep_of lx =

@@ -75,3 +75,31 @@ other rules:
   proj/bin/main.ml:1: [partial-fn] List.hd raises on []; match the list or use a non-empty invariant
   1 violation(s) in 3 file(s) scanned
   [1]
+
+The driver's introspection surface: every registered rule is listed
+with its synopsis, and each has a long-form explanation:
+
+  $ extract-lint --list-rules
+  poly-compare      bare polymorphic compare (or Stdlib.compare)
+  partial-fn        partial stdlib functions that raise on representable inputs
+  raise-discipline  raise of an exception not declared in a library .mli; failwith
+  missing-mli       library module without a .mli interface
+  domain-safety     shared mutable state without an established concurrency discipline
+  lock-pairing      Mutex.lock/unlock without its counterpart in the same definition
+  lock-raise        raise/failwith/invalid_arg while a mutex is held
+  stale-annotation  guarded-by annotation that names no known mutex
+
+  $ extract-lint --explain-rule lock-pairing | head -1
+  lock-pairing — Mutex.lock/unlock without its counterpart in the same definition
+
+Unknown rules and unknown flags are usage errors (exit 2), distinct
+from the exit-1 "violations found" contract:
+
+  $ extract-lint --explain-rule no-such-rule
+  extract-lint: unknown rule no-such-rule (try --list-rules)
+  [2]
+
+  $ extract-lint --format=yaml proj
+  extract-lint: unknown option --format=yaml
+  usage: extract-lint [--format=text|json] [--list-rules] [--explain-rule RULE] [--concurrency-doc] [DIR ...]
+  [2]

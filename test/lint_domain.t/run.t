@@ -1,0 +1,143 @@
+Domain-safety self-test: seeded concurrency violations must each be
+caught by the matching rule, and a properly annotated module must be
+silent.
+
+  $ mkdir -p proj/bin
+
+An unguarded top-level ref in a module that spawns domains (the
+fixtures live under bin/, which the missing-mli rule exempts, to keep
+the output focused on the concurrency rules):
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > let pending : int list ref = ref []
+  > let run () = ignore (Domain.spawn (fun () -> pending := []))
+  > EOF
+
+  $ extract-lint proj
+  proj/bin/worker.ml:1: [domain-safety] shared mutable state: ref `pending` has no concurrency discipline; use Atomic/Domain.DLS, or annotate (* guarded-by: <mutex> *), (* domain-local *), (* init-only *) or (* read-only *) with a justification
+  1 violation(s) in 1 file(s) scanned
+  [1]
+
+A Mutex.lock without a matching unlock in the same definition, and an
+unlock without a lock:
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > let lock = Mutex.create ()
+  > let park () = Mutex.lock lock
+  > let free () = Mutex.unlock lock
+  > EOF
+
+  $ extract-lint proj
+  proj/bin/worker.ml:2: [lock-pairing] Mutex.lock lock without a matching Mutex.unlock in this definition (did you mean Mutex.protect?)
+  proj/bin/worker.ml:3: [lock-pairing] Mutex.unlock lock without a matching Mutex.lock in this definition
+  2 violation(s) in 1 file(s) scanned
+  [1]
+
+Raising while a mutex is held leaks the lock; the canonical
+with_lock wrapper (exception branch unlocks before re-raising) is the
+sanctioned shape and stays silent:
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > exception Empty
+  > let lock = Mutex.create ()
+  > let pop q =
+  >   Mutex.lock lock;
+  >   if Queue.is_empty q then raise Empty;
+  >   let v = Queue.pop q in
+  >   Mutex.unlock lock;
+  >   v
+  > let with_lock f =
+  >   Mutex.lock lock;
+  >   match f () with
+  >   | v -> Mutex.unlock lock; v
+  >   | exception e -> Mutex.unlock lock; raise e
+  > EOF
+  $ cat > proj/bin/worker.mli <<'EOF'
+  > exception Empty
+  > val pop : 'a Queue.t -> 'a
+  > val with_lock : (unit -> 'a) -> 'a
+  > EOF
+
+  $ extract-lint proj
+  proj/bin/worker.ml:5: [lock-raise] raise while holding lock; unlock in an exception branch (match ... | exception e -> unlock; raise e) or use Mutex.protect
+  1 violation(s) in 2 file(s) scanned
+  [1]
+
+  $ rm proj/bin/worker.mli
+
+A guarded-by annotation naming a mutex that does not exist is stale;
+one naming a real guard (here a top-level Mutex.create) is accepted:
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > let lock = Mutex.create ()
+  > (* guarded-by: registry_lock *)
+  > let table : (string, int) Hashtbl.t = Hashtbl.create 8
+  > let bump k = with_lock (fun () -> Hashtbl.replace table k 1)
+  > and with_lock f = Mutex.lock lock; let v = f () in Mutex.unlock lock; v
+  > EOF
+
+  $ extract-lint proj
+  proj/bin/worker.ml:2: [stale-annotation] stale guarded-by: no mutex named `registry_lock` (expected a top-level Mutex.create binding or a `: Mutex.t` field in proj/bin/worker.ml)
+  1 violation(s) in 1 file(s) scanned
+  [1]
+
+A fully disciplined module — Atomic state, a correctly named guard,
+domain-local and init-only annotations — is silent even though it
+spawns domains and carries mutable fields:
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > let lock = Mutex.create ()
+  > let served = Atomic.make 0
+  > let verbose = ref false (* init-only — set by Arg.parse before spawn *)
+  > (* guarded-by: lock *)
+  > let table : (string, int) Hashtbl.t = Hashtbl.create 8
+  > type scratch = {
+  >   mutable pos : int; (* domain-local — one scratch per worker domain *)
+  > }
+  > let with_lock f = Mutex.lock lock; match f () with
+  >   | v -> Mutex.unlock lock; v
+  >   | exception e -> Mutex.unlock lock; raise e
+  > let bump k = with_lock (fun () -> Hashtbl.replace table k 1)
+  > let run () =
+  >   ignore (Domain.spawn (fun () ->
+  >     let s = { pos = 0 } in
+  >     s.pos <- 1;
+  >     if !verbose then bump "spawned";
+  >     Atomic.incr served))
+  > EOF
+
+  $ extract-lint proj
+
+The machine-readable output carries the same diagnostics with a
+stable schema (exit code 1 is part of the contract):
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > let lock = Mutex.create ()
+  > let park () = Mutex.lock lock
+  > EOF
+
+  $ extract-lint --format=json proj
+  {
+    "version": 1,
+    "files_scanned": 1,
+    "violations": [
+      { "file": "proj/bin/worker.ml", "line": 2, "rule": "lock-pairing", "message": "Mutex.lock lock without a matching Mutex.unlock in this definition (did you mean Mutex.protect?)" }
+    ],
+    "total": 1
+  }
+  [1]
+
+The shared-state catalogue renders the disciplines the analyzer
+resolved (here: one guard, one guarded table):
+
+  $ cat > proj/bin/worker.ml <<'EOF'
+  > let lock = Mutex.create ()
+  > (* guarded-by: lock *)
+  > let table : (string, int) Hashtbl.t = Hashtbl.create 8
+  > let bump k = Mutex.lock lock; Hashtbl.replace table k 1; Mutex.unlock lock
+  > let run () = ignore (Domain.spawn bump)
+  > EOF
+
+  $ extract-lint --concurrency-doc proj | grep -E '^\| Worker'
+  | Worker | `lock` | Mutex (guard) | guard (mutex) | proj/bin/worker.ml:1 |
+  | Worker | `table` | Hashtbl | guarded by `lock` | proj/bin/worker.ml:3 |

@@ -1,385 +1,127 @@
-(* extract-lint — a source analyzer for this repository's correctness
-   conventions. Run via [dune build @lint] (see the root dune file) or
-   directly: [extract-lint DIR ...].
+(* extract-lint — the static-analysis driver for this repository's
+   correctness conventions. Run via [dune build @lint] (see the root
+   dune file) or directly: [extract-lint [OPTIONS] DIR ...].
 
-   Rules (each suppressible per-site with [(* lint: allow <rule> *)] on
-   the offending line or the line above):
+   The framework is a rule registry (Lint_rule) over a shared lexical
+   context: Lint_core carries the original four rules (poly-compare,
+   partial-fn, raise-discipline, missing-mli), Lint_domain the
+   domain-safety analyzer (domain-safety, lock-pairing, lock-raise,
+   stale-annotation) and the doc/CONCURRENCY.md generator.
 
-   - poly-compare      bare polymorphic [compare] (or [Stdlib.compare]).
-                       Tree nodes, Dewey labels and posting entries must
-                       use a dedicated comparator ([Int.compare],
-                       [String.compare], [Dewey.compare_nodes], ...): the
-                       polymorphic version is slow on the hot paths and
-                       silently wrong on abstract or cyclic types.
-                       Definition sites ([let compare], [val compare])
-                       are exempt: defining a dedicated comparator named
-                       [compare] is the fix, not the offence.
-   - partial-fn        partial functions that raise on perfectly
-                       representable inputs: [List.hd], [List.tl],
-                       [List.nth], [Option.get] and exception-raising
-                       [Hashtbl.find]. Use the [_opt] forms with explicit
-                       handling.
-   - raise-discipline  every [raise] must use an exception declared in
-                       some library [.mli] (the registry is built by
-                       scanning the tree: [Parse_error] from
-                       lib/xml/error.mli, [Codec.Corrupt],
-                       [Check.Violation], ...) or a sanctioned stdlib
-                       exception ([Invalid_argument], [Not_found],
-                       [Exit], [End_of_file]); re-raising a bound
-                       exception variable is fine. [failwith] (anonymous
-                       [Failure]) is banned.
-   - missing-mli       every library module [lib/**/x.ml] must have an
-                       [x.mli] interface.
+   Options:
+     --format=text|json   output format (default text)
+     --list-rules         print every rule with its one-line synopsis
+     --explain-rule RULE  print a rule's full documentation
+     --concurrency-doc    print the shared-state catalogue as markdown
+                          (the checked-in doc/CONCURRENCY.md)
 
-   The analysis is lexical but OCaml-aware: comments (nested), string
-   literals (including [{id|...|id}] quoted strings) and character
-   literals are skipped, and qualified paths ([Hashtbl.find_opt]) are
-   lexed as single tokens so they never collide with their partial
-   cousins. *)
+   Exit codes (the contract CI and editors consume):
+     0  clean — no violations
+     1  violations found (text/json listing on stdout)
+     2  usage error (unknown flag or rule; message on stderr)
 
-type token = {
-  line : int;
-  text : string;
-}
+   Per-site suppression: [(* lint: allow <rule> ... *)] on the offending
+   line or the line above. *)
 
-type violation = {
-  file : string;
-  vline : int;
-  rule : string;
-  message : string;
-}
-
-(* ------------------------------------------------------------------ *)
-(* Lexer                                                               *)
-
-type lexed = {
-  tokens : token array;
-  (* line -> rules suppressed on that line (from a comment on the same
-     line or the line above) *)
-  suppressed : (int, string list) Hashtbl.t;
-}
-
-let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
-
-let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
-
-let is_upper c = c >= 'A' && c <= 'Z'
-
-let split_words s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char '\n')
-  |> List.filter (fun w -> w <> "")
-
-(* [(* lint: allow rule1 rule2 *)] — register the rules against the
-   comment's first line and the next line. *)
-let parse_suppression suppressed ~line comment =
-  match split_words comment with
-  | "lint:" :: "allow" :: (_ :: _ as rules) ->
-    List.iter
-      (fun l ->
-        let existing = Option.value ~default:[] (Hashtbl.find_opt suppressed l) in
-        Hashtbl.replace suppressed l (rules @ existing))
-      [ line; line + 1 ]
-  | _ -> ()
-
-let lex src =
-  let n = String.length src in
-  let tokens = ref [] in
-  let suppressed = Hashtbl.create 8 in
-  let line = ref 1 in
-  let i = ref 0 in
-  let bump c = if c = '\n' then incr line in
-  let push text = tokens := { line = !line; text } :: !tokens in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      (* comment, possibly nested *)
-      let start_line = !line in
-      let buf = Buffer.create 64 in
-      let depth = ref 1 in
-      i := !i + 2;
-      while !depth > 0 && !i < n do
-        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
-          incr depth;
-          Buffer.add_string buf "(*";
-          i := !i + 2
-        end
-        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
-          decr depth;
-          if !depth > 0 then Buffer.add_string buf "*)";
-          i := !i + 2
-        end
-        else begin
-          bump src.[!i];
-          Buffer.add_char buf src.[!i];
-          incr i
-        end
-      done;
-      parse_suppression suppressed ~line:start_line (Buffer.contents buf)
-    end
-    else if c = '"' then begin
-      (* string literal *)
-      incr i;
-      let fin = ref false in
-      while (not !fin) && !i < n do
-        match src.[!i] with
-        | '\\' ->
-          if !i + 1 < n then bump src.[!i + 1];
-          i := !i + 2
-        | '"' ->
-          fin := true;
-          incr i
-        | ch ->
-          bump ch;
-          incr i
-      done
-    end
-    else if c = '{' then begin
-      (* possible quoted string {id|...|id} *)
-      let j = ref (!i + 1) in
-      while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
-        incr j
-      done;
-      if !j < n && src.[!j] = '|' then begin
-        let id = String.sub src (!i + 1) (!j - !i - 1) in
-        let close = "|" ^ id ^ "}" in
-        let cl = String.length close in
-        i := !j + 1;
-        let fin = ref false in
-        while (not !fin) && !i < n do
-          if !i + cl <= n && String.sub src !i cl = close then begin
-            i := !i + cl;
-            fin := true
-          end
-          else begin
-            bump src.[!i];
-            incr i
-          end
-        done
-      end
-      else incr i
-    end
-    else if c = '\'' then begin
-      (* char literal or type-variable quote *)
-      if !i + 2 < n && src.[!i + 1] = '\\' then begin
-        let j = ref (!i + 2) in
-        while !j < n && src.[!j] <> '\'' do incr j done;
-        i := !j + 1
-      end
-      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
-        bump src.[!i + 1];
-        i := !i + 3
-      end
-      else incr i
-    end
-    else if is_ident_start c then begin
-      let start = !i in
-      while !i < n && is_ident_char src.[!i] do incr i done;
-      let word = ref (String.sub src start (!i - start)) in
-      if is_upper !word.[0] then begin
-        (* absorb the qualified path: Module.Sub.name *)
-        let continue = ref true in
-        while !continue && !i + 1 < n && src.[!i] = '.' && is_ident_start src.[!i + 1] do
-          incr i;
-          let s2 = !i in
-          while !i < n && is_ident_char src.[!i] do incr i done;
-          let segment = String.sub src s2 (!i - s2) in
-          word := !word ^ "." ^ segment;
-          if not (is_upper segment.[0]) then continue := false
-        done
-      end;
-      push !word
-    end
-    else begin
-      if c = '(' || c = ')' then push (String.make 1 c);
-      bump c;
-      incr i
-    end
-  done;
-  { tokens = Array.of_list (List.rev !tokens); suppressed }
-
-(* ------------------------------------------------------------------ *)
-(* File walking                                                        *)
-
-let rec walk dir acc =
-  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
-  else
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "" || entry.[0] = '.' || entry.[0] = '_' then acc
-        else begin
-          let path = Filename.concat dir entry in
-          if Sys.is_directory path then walk path acc
-          else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
-            path :: acc
-          else acc
-        end)
-      acc (Sys.readdir dir)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
-
-(* ------------------------------------------------------------------ *)
-(* Declared-exception registry                                         *)
+let rules : Lint_rule.rule list =
+  [
+    Lint_core.poly_compare;
+    Lint_core.partial_fn;
+    Lint_core.raise_discipline;
+    Lint_core.missing_mli;
+    Lint_domain.domain_safety;
+    Lint_domain.lock_pairing;
+    Lint_domain.lock_raise;
+    Lint_domain.stale_annotation;
+  ]
 
 let stdlib_exceptions = [ "Invalid_argument"; "Not_found"; "Exit"; "End_of_file" ]
 
 (* [exception Name ...] declarations from interface files: the repo's
    sanctioned error types (lib/xml/error.mli's Parse_error, Codec.Corrupt,
    Check.Violation, ...). *)
-let declared_exceptions mlis =
+let declared_exceptions (mlis : Lint_rule.file_unit list) =
   let declared = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace declared e ()) stdlib_exceptions;
   List.iter
-    (fun path ->
-      let { tokens; _ } = lex (read_file path) in
+    (fun (fu : Lint_rule.file_unit) ->
+      let tokens = fu.lexed.Lint_source.tokens in
       Array.iteri
-        (fun k tok ->
+        (fun k (tok : Lint_source.token) ->
           if tok.text = "exception" && k + 1 < Array.length tokens then begin
-            let name = tokens.(k + 1).text in
-            if name <> "" && is_upper name.[0] then Hashtbl.replace declared name ()
+            let name = tokens.(k + 1).Lint_source.text in
+            if name <> "" && Lint_source.is_upper name.[0] then Hashtbl.replace declared name ()
           end)
         tokens)
     mlis;
   declared
 
-let base_name path_token =
-  match List.rev (String.split_on_char '.' path_token) with
-  | base :: _ -> base
-  | [] -> path_token
-
-(* ------------------------------------------------------------------ *)
-(* Rules                                                               *)
-
-let strip_stdlib tok =
-  let prefix = "Stdlib." in
-  if String.length tok > String.length prefix && String.sub tok 0 (String.length prefix) = prefix
-  then String.sub tok (String.length prefix) (String.length tok - String.length prefix)
-  else tok
-
-let partial_functions =
-  [
-    "List.hd", "List.hd raises on []; match the list or use a non-empty invariant";
-    "List.tl", "List.tl raises on []; match the list instead";
-    "List.nth", "List.nth raises out of range; use List.nth_opt";
-    "Option.get", "Option.get raises on None; match the option";
-    "Hashtbl.find", "Hashtbl.find raises Not_found; use Hashtbl.find_opt with explicit handling";
-  ]
-
-let check_tokens ~file ~declared { tokens; suppressed } =
-  let violations = ref [] in
-  let add line rule message =
-    let suppressed_here = Option.value ~default:[] (Hashtbl.find_opt suppressed line) in
-    if not (List.mem rule suppressed_here) then
-      violations := { file; vline = line; rule; message } :: !violations
+let build_ctx roots : Lint_rule.ctx =
+  let files =
+    List.sort String.compare (List.fold_left (fun acc d -> Lint_source.walk d acc) [] roots)
   in
-  let n = Array.length tokens in
-  for k = 0 to n - 1 do
-    let tok = tokens.(k) in
-    let text = strip_stdlib tok.text in
-    (* poly-compare — definition sites ([let compare = ...], [val compare :
-       ...]) define a dedicated comparator and are exempt *)
-    if text = "compare" then begin
-      let definition_site =
-        k > 0
-        && List.mem tokens.(k - 1).text [ "let"; "rec"; "and"; "val"; "method"; "external" ]
-      in
-      if not definition_site then
-        add tok.line "poly-compare"
-          "polymorphic compare; use Int.compare / String.compare / a dedicated comparator"
-    end;
-    (* partial-fn *)
-    (match List.assoc_opt text partial_functions with
-    | Some message -> add tok.line "partial-fn" message
-    | None -> ());
-    (* raise-discipline *)
-    if text = "failwith" then
-      add tok.line "raise-discipline"
-        "failwith raises the anonymous Failure; use invalid_arg or a declared error type";
-    if text = "raise" || text = "raise_notrace" then begin
-      (* the raised expression: skip open parens to its head token *)
-      let j = ref (k + 1) in
-      while !j < n && tokens.(!j).text = "(" do incr j done;
-      if !j >= n then add tok.line "raise-discipline" "dangling raise"
-      else begin
-        let head = strip_stdlib tokens.(!j).text in
-        if head = "" then add tok.line "raise-discipline" "dangling raise"
-        else if is_upper head.[0] then begin
-          let base = base_name head in
-          if not (Hashtbl.mem declared base) then
-            add tok.line "raise-discipline"
-              (Printf.sprintf
-                 "raise of undeclared exception %s; declare it in a library .mli or use a \
-                  sanctioned error type"
-                 head)
-        end
-        (* lowercase head: re-raising a bound exception is fine *)
-      end
-    end
-  done;
-  !violations
+  let load path : Lint_rule.file_unit =
+    { path; lexed = Lint_source.lex (Lint_source.read_file path) }
+  in
+  let mls = List.filter (fun f -> Filename.check_suffix f ".ml") files |> List.map load in
+  let mlis = List.filter (fun f -> Filename.check_suffix f ".mli") files |> List.map load in
+  { mls; mlis; files_scanned = List.length files; declared = declared_exceptions mlis }
 
-let is_lib_module path =
-  (* lib/**/x.ml, under any of the scanned roots *)
-  String.length path > 4
-  && (String.sub path 0 4 = "lib/"
-     ||
-     let rec has_sub s sub i =
-       i + String.length sub <= String.length s
-       && (String.sub s i (String.length sub) = sub || has_sub s sub (i + 1))
-     in
-     has_sub path "/lib/" 0)
-
-let check_missing_mli mls =
-  List.filter_map
-    (fun path ->
-      if is_lib_module path && not (Sys.file_exists (path ^ "i")) then
-        Some
-          {
-            file = path;
-            vline = 1;
-            rule = "missing-mli";
-            message = "library module has no .mli interface";
-          }
-      else None)
-    mls
-
-(* ------------------------------------------------------------------ *)
+let usage () =
+  prerr_endline
+    "usage: extract-lint [--format=text|json] [--list-rules] [--explain-rule RULE] \
+     [--concurrency-doc] [DIR ...]";
+  exit 2
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | [] | [ _ ] -> [ "lib"; "bin" ]
-    | _ :: rest -> rest
+  let format = ref `Text in
+  let mode = ref `Check in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--format=json" :: rest ->
+      format := `Json;
+      parse rest
+    | "--format=text" :: rest ->
+      format := `Text;
+      parse rest
+    | "--list-rules" :: rest ->
+      mode := `List;
+      parse rest
+    | "--explain-rule" :: rule :: rest ->
+      mode := `Explain rule;
+      parse rest
+    | "--concurrency-doc" :: rest ->
+      mode := `Doc;
+      parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "extract-lint: unknown option %s\n" arg;
+      usage ()
+    | dir :: rest ->
+      roots := dir :: !roots;
+      parse rest
   in
-  let files = List.sort String.compare (List.fold_left (fun acc d -> walk d acc) [] roots) in
-  let mls = List.filter (fun f -> Filename.check_suffix f ".ml") files in
-  let mlis = List.filter (fun f -> Filename.check_suffix f ".mli") files in
-  let declared = declared_exceptions mlis in
-  let violations =
-    check_missing_mli mls
-    @ List.concat_map (fun path -> check_tokens ~file:path ~declared (lex (read_file path))) mls
-  in
-  let violations =
-    List.sort
-      (fun a b ->
-        let c = String.compare a.file b.file in
-        if c <> 0 then c
-        else
-          let c = Int.compare a.vline b.vline in
-          if c <> 0 then c else String.compare a.rule b.rule)
-      violations
-  in
-  List.iter
-    (fun v -> Printf.printf "%s:%d: [%s] %s\n" v.file v.vline v.rule v.message)
-    violations;
-  if violations <> [] then begin
-    Printf.printf "%d violation(s) in %d file(s) scanned\n" (List.length violations)
-      (List.length files);
-    exit 1
-  end
+  (match Array.to_list Sys.argv with [] -> () | _ :: args -> parse args);
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
+  match !mode with
+  | `List ->
+    List.iter (fun (r : Lint_rule.rule) -> Printf.printf "%-17s %s\n" r.name r.synopsis) rules
+  | `Explain rule -> (
+    match List.find_opt (fun (r : Lint_rule.rule) -> r.name = rule) rules with
+    | Some r ->
+      Printf.printf "%s — %s\n\n%s\n" r.name r.synopsis r.doc
+    | None ->
+      Printf.eprintf "extract-lint: unknown rule %s (try --list-rules)\n" rule;
+      exit 2)
+  | `Doc ->
+    let ctx = build_ctx roots in
+    print_string (Lint_domain.concurrency_doc ctx)
+  | `Check ->
+    let ctx = build_ctx roots in
+    let violations =
+      Lint_rule.sort (List.concat_map (fun (r : Lint_rule.rule) -> r.run ctx) rules)
+    in
+    (match !format with
+    | `Text -> Lint_rule.render_text ~files_scanned:ctx.files_scanned violations
+    | `Json -> Lint_rule.render_json ~files_scanned:ctx.files_scanned violations);
+    if violations <> [] then exit 1

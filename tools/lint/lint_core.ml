@@ -1,0 +1,173 @@
+(* The original four extract-lint rules: polymorphic compare, partial
+   functions, raise discipline and missing interfaces. Diagnostics are
+   kept byte-identical to the single-file linter these grew out of, so
+   the cram self-tests pin the exact messages. *)
+
+open Lint_rule
+module S = Lint_source
+
+let strip_stdlib tok =
+  let prefix = "Stdlib." in
+  if String.length tok > String.length prefix && String.sub tok 0 (String.length prefix) = prefix
+  then String.sub tok (String.length prefix) (String.length tok - String.length prefix)
+  else tok
+
+let base_name path_token =
+  match List.rev (String.split_on_char '.' path_token) with
+  | base :: _ -> base
+  | [] -> path_token
+
+(* ------------------------------------------------------------------ *)
+
+let poly_compare =
+  {
+    name = "poly-compare";
+    synopsis = "bare polymorphic compare (or Stdlib.compare)";
+    doc =
+      "Tree nodes, Dewey labels and posting entries must use a dedicated\n\
+       comparator (Int.compare, String.compare, Dewey.compare_nodes, ...):\n\
+       the polymorphic version is slow on the hot paths and silently wrong\n\
+       on abstract or cyclic types.\n\n\
+       Definition sites (let compare, val compare) are exempt: defining a\n\
+       dedicated comparator named compare is the fix, not the offence.";
+    run =
+      (fun ctx ->
+        List.concat_map
+          (fun fu ->
+            let acc, add = collector fu in
+            let tokens = fu.lexed.S.tokens in
+            Array.iteri
+              (fun k tok ->
+                if strip_stdlib tok.S.text = "compare" then begin
+                  let definition_site =
+                    k > 0
+                    && List.mem tokens.(k - 1).S.text
+                         [ "let"; "rec"; "and"; "val"; "method"; "external" ]
+                  in
+                  if not definition_site then
+                    add tok.S.line "poly-compare"
+                      "polymorphic compare; use Int.compare / String.compare / a dedicated \
+                       comparator"
+                end)
+              tokens;
+            !acc)
+          ctx.mls);
+  }
+
+let partial_functions =
+  [
+    "List.hd", "List.hd raises on []; match the list or use a non-empty invariant";
+    "List.tl", "List.tl raises on []; match the list instead";
+    "List.nth", "List.nth raises out of range; use List.nth_opt";
+    "Option.get", "Option.get raises on None; match the option";
+    "Hashtbl.find", "Hashtbl.find raises Not_found; use Hashtbl.find_opt with explicit handling";
+  ]
+
+let partial_fn =
+  {
+    name = "partial-fn";
+    synopsis = "partial stdlib functions that raise on representable inputs";
+    doc =
+      "List.hd, List.tl, List.nth, Option.get and exception-raising\n\
+       Hashtbl.find raise on perfectly representable inputs. Use the _opt\n\
+       forms (or a match on the structure) with explicit handling.";
+    run =
+      (fun ctx ->
+        List.concat_map
+          (fun fu ->
+            let acc, add = collector fu in
+            Array.iter
+              (fun tok ->
+                match List.assoc_opt (strip_stdlib tok.S.text) partial_functions with
+                | Some message -> add tok.S.line "partial-fn" message
+                | None -> ())
+              fu.lexed.S.tokens;
+            !acc)
+          ctx.mls);
+  }
+
+let raise_discipline =
+  {
+    name = "raise-discipline";
+    synopsis = "raise of an exception not declared in a library .mli; failwith";
+    doc =
+      "Every raise must use an exception declared in some library .mli\n\
+       (the registry is built by scanning the tree: Parse_error from\n\
+       lib/xml/error.mli, Codec.Corrupt, Check.Violation, ...) or a\n\
+       sanctioned stdlib exception (Invalid_argument, Not_found, Exit,\n\
+       End_of_file); re-raising a bound exception variable is fine.\n\
+       failwith (anonymous Failure) is banned.";
+    run =
+      (fun ctx ->
+        List.concat_map
+          (fun fu ->
+            let acc, add = collector fu in
+            let tokens = fu.lexed.S.tokens in
+            let n = Array.length tokens in
+            Array.iteri
+              (fun k tok ->
+                let text = strip_stdlib tok.S.text in
+                if text = "failwith" then
+                  add tok.S.line "raise-discipline"
+                    "failwith raises the anonymous Failure; use invalid_arg or a declared error \
+                     type";
+                if text = "raise" || text = "raise_notrace" then begin
+                  (* the raised expression: skip open parens to its head token *)
+                  let j = ref (k + 1) in
+                  while !j < n && tokens.(!j).S.text = "(" do incr j done;
+                  if !j >= n then add tok.S.line "raise-discipline" "dangling raise"
+                  else begin
+                    let head = strip_stdlib tokens.(!j).S.text in
+                    if head = "" then add tok.S.line "raise-discipline" "dangling raise"
+                    else if S.is_upper head.[0] then begin
+                      let base = base_name head in
+                      if not (Hashtbl.mem ctx.declared base) then
+                        add tok.S.line "raise-discipline"
+                          (Printf.sprintf
+                             "raise of undeclared exception %s; declare it in a library .mli or \
+                              use a sanctioned error type"
+                             head)
+                    end
+                    (* lowercase head: re-raising a bound exception is fine *)
+                  end
+                end)
+              tokens;
+            !acc)
+          ctx.mls);
+  }
+
+let is_lib_module path =
+  (* lib/**/x.ml, under any of the scanned roots *)
+  String.length path > 4
+  && (String.sub path 0 4 = "lib/"
+     ||
+     let rec has_sub s sub i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || has_sub s sub (i + 1))
+     in
+     has_sub path "/lib/" 0)
+
+let missing_mli =
+  {
+    name = "missing-mli";
+    synopsis = "library module without a .mli interface";
+    doc =
+      "Every library module lib/**/x.ml must ship an x.mli interface:\n\
+       interfaces are where the exception registry, the documented locking\n\
+       story and the abstraction boundaries live. Executable directories\n\
+       (bin/, bench/, tools/) are exempt.";
+    run =
+      (fun ctx ->
+        List.filter_map
+          (fun fu ->
+            if is_lib_module fu.path && not (Sys.file_exists (fu.path ^ "i")) then
+              Some
+                {
+                  file = fu.path;
+                  vline = 1;
+                  rule = "missing-mli";
+                  message = "library module has no .mli interface";
+                }
+            else None)
+          ctx.mls);
+  }

@@ -1,0 +1,92 @@
+(* Rule registry plumbing for extract-lint: the violation type shared by
+   every pass, the per-rule record (name, one-line synopsis, long
+   [--explain-rule] doc, runner), and the text/JSON renderers. *)
+
+type violation = {
+  file : string;
+  vline : int;
+  rule : string;
+  message : string;
+}
+
+type file_unit = {
+  path : string;
+  lexed : Lint_source.lexed;
+}
+
+(* Everything a rule may look at. Files are lexed once, up front. *)
+type ctx = {
+  mls : file_unit list;
+  mlis : file_unit list;
+  files_scanned : int;
+  (* exception names declared in some scanned .mli (plus the sanctioned
+     stdlib ones) — the raise-discipline registry *)
+  declared : (string, unit) Hashtbl.t;
+}
+
+type rule = {
+  name : string;
+  synopsis : string; (* one line, for --list-rules *)
+  doc : string; (* multi-paragraph, for --explain-rule *)
+  run : ctx -> violation list;
+}
+
+(* Build a suppression-aware accumulator for one file. *)
+let collector (fu : file_unit) =
+  let acc = ref [] in
+  let add line rule message =
+    let suppressed_here =
+      Option.value ~default:[] (Hashtbl.find_opt fu.lexed.suppressed line)
+    in
+    if not (List.mem rule suppressed_here) then
+      acc := { file = fu.path; vline = line; rule; message } :: !acc
+  in
+  (acc, add)
+
+let compare_violations a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.vline b.vline in
+    if c <> 0 then c else String.compare a.rule b.rule
+
+let sort violations = List.sort compare_violations violations
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+
+let render_text ~files_scanned violations =
+  List.iter
+    (fun v -> Printf.printf "%s:%d: [%s] %s\n" v.file v.vline v.rule v.message)
+    violations;
+  if violations <> [] then
+    Printf.printf "%d violation(s) in %d file(s) scanned\n" (List.length violations)
+      files_scanned
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Stable machine-readable output: one object per violation, sorted the
+   same way as the text render. Consumers may rely on the field set
+   {file, line, rule, message} and on [version] for future evolution. *)
+let render_json ~files_scanned violations =
+  Printf.printf "{\n  \"version\": 1,\n  \"files_scanned\": %d,\n  \"violations\": [" files_scanned;
+  List.iteri
+    (fun k v ->
+      Printf.printf "%s\n    { \"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \"%s\" }"
+        (if k = 0 then "" else ",")
+        (json_escape v.file) v.vline (json_escape v.rule) (json_escape v.message))
+    violations;
+  if violations = [] then print_string "],\n" else print_string "\n  ],\n";
+  Printf.printf "  \"total\": %d\n}\n" (List.length violations)

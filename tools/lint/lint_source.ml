@@ -1,0 +1,278 @@
+(* Lexing and file access for extract-lint.
+
+   The analysis is lexical but OCaml-aware: comments (nested), string
+   literals (including [{id|...|id}] quoted strings) and character
+   literals are skipped, and qualified paths ([Hashtbl.find_opt]) are
+   lexed as single tokens so they never collide with their partial
+   cousins. Tokens carry their column so rules can recognise top-level
+   structure items (column 0 [let] / [type] / ...), and a small set of
+   punctuation tokens ([= : ; { } | [ ] ( ) -> <- := [| |]]) is kept so
+   the domain-safety pass can parse record fields and binding heads. *)
+
+type token = {
+  line : int;
+  col : int; (* 0-based column of the token's first character *)
+  text : string;
+}
+
+(* Concurrency-discipline annotations, parsed out of ordinary comments.
+   The grammar is first-word keyed so prose never matches by accident:
+     (* guarded-by: lock *)        mutation happens under that mutex
+     (* domain-local *)            value never crosses a domain boundary
+     (* init-only *)               written before any domain is spawned
+     (* read-only *)               created once, never mutated after
+   A trailing free-form justification after the keyword is encouraged
+   and ignored by the parser. *)
+type annotation =
+  | Guarded_by of string
+  | Domain_local
+  | Init_only
+  | Read_only
+
+type lexed = {
+  tokens : token array;
+  (* line -> rules suppressed on that line (from a [(* lint: allow ... *)]
+     comment on the same line or the line above) *)
+  suppressed : (int, string list) Hashtbl.t;
+  (* line -> discipline annotations attached to that line (an annotation
+     comment covers its own line and the next line, so it can trail the
+     annotated site or sit on its own line above it) *)
+  annotations : (int, annotation list) Hashtbl.t;
+  (* every annotation with the line of its comment, for staleness checks *)
+  annotation_sites : (int * annotation) list;
+}
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+(* [(* lint: allow rule1 rule2 *)] — register the rules against the
+   comment's first line and the next line. *)
+let parse_suppression suppressed ~line comment =
+  match split_words comment with
+  | "lint:" :: "allow" :: (_ :: _ as rules) ->
+    List.iter
+      (fun l ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt suppressed l) in
+        Hashtbl.replace suppressed l (rules @ existing))
+      [ line; line + 1 ]
+  | _ -> ()
+
+let parse_annotation ~line comment =
+  let keyword w =
+    (* allow a trailing separator glued to the keyword: "init-only:" *)
+    match String.index_opt w ':' with
+    | Some k when k = String.length w - 1 -> String.sub w 0 k
+    | _ -> w
+  in
+  match split_words comment with
+  | [] -> None
+  | first :: rest -> (
+    match keyword first, rest with
+    | "guarded-by", guard :: _ -> Some (line, Guarded_by guard)
+    | "guarded-by", [] -> Some (line, Guarded_by "")
+    | "domain-local", _ -> Some (line, Domain_local)
+    | "init-only", _ -> Some (line, Init_only)
+    | "read-only", _ -> Some (line, Read_only)
+    | _ -> None)
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let suppressed = Hashtbl.create 8 in
+  let annotations = Hashtbl.create 8 in
+  let annotation_sites = ref [] in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let i = ref 0 in
+  (* consume the newline (if any) at absolute position [p] *)
+  let bump_at p =
+    if p < n && src.[p] = '\n' then begin
+      incr line;
+      line_start := p + 1
+    end
+  in
+  let push start text = tokens := { line = !line; col = start - !line_start; text } :: !tokens in
+  (* an annotation covers every line its comment spans, plus the next
+     line — so it can trail the site or sit above it, even when the
+     justification wraps *)
+  let register_annotation ~first ~last ann =
+    annotation_sites := (first, ann) :: !annotation_sites;
+    for l = first to last + 1 do
+      let existing = Option.value ~default:[] (Hashtbl.find_opt annotations l) in
+      Hashtbl.replace annotations l (ann :: existing)
+    done
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment, possibly nested *)
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          bump_at !i;
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      let body = Buffer.contents buf in
+      parse_suppression suppressed ~line:start_line body;
+      match parse_annotation ~line:start_line body with
+      | Some (l, ann) -> register_annotation ~first:l ~last:!line ann
+      | None -> ()
+    end
+    else if c = '"' then begin
+      (* string literal *)
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        match src.[!i] with
+        | '\\' ->
+          if !i + 1 < n then bump_at (!i + 1);
+          i := !i + 2
+        | '"' ->
+          fin := true;
+          incr i
+        | _ ->
+          bump_at !i;
+          incr i
+      done
+    end
+    else if c = '{' && !i + 1 < n
+            && ((src.[!i + 1] >= 'a' && src.[!i + 1] <= 'z')
+               || src.[!i + 1] = '_' || src.[!i + 1] = '|') then begin
+      (* possible quoted string {id|...|id} *)
+      let j = ref (!i + 1) in
+      while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let cl = String.length close in
+        i := !j + 1;
+        let fin = ref false in
+        while (not !fin) && !i < n do
+          if !i + cl <= n && String.sub src !i cl = close then begin
+            i := !i + cl;
+            fin := true
+          end
+          else begin
+            bump_at !i;
+            incr i
+          end
+        done
+      end
+      else begin
+        push !i "{";
+        incr i
+      end
+    end
+    else if c = '\'' then begin
+      (* char literal or type-variable quote *)
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do incr j done;
+        i := !j + 1
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
+        bump_at (!i + 1);
+        i := !i + 3
+      end
+      else incr i
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = ref (String.sub src start (!i - start)) in
+      if is_upper !word.[0] then begin
+        (* absorb the qualified path: Module.Sub.name *)
+        let continue = ref true in
+        while !continue && !i + 1 < n && src.[!i] = '.' && is_ident_start src.[!i + 1] do
+          incr i;
+          let s2 = !i in
+          while !i < n && is_ident_char src.[!i] do incr i done;
+          let segment = String.sub src s2 (!i - s2) in
+          word := !word ^ "." ^ segment;
+          if not (is_upper segment.[0]) then continue := false
+        done
+      end;
+      push start !word
+    end
+    else begin
+      let two tx =
+        push !i tx;
+        i := !i + 2
+      in
+      if c = ':' && !i + 1 < n && src.[!i + 1] = '=' then two ":="
+      else if c = '<' && !i + 1 < n && src.[!i + 1] = '-' then two "<-"
+      else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then two "->"
+      else if c = '[' && !i + 1 < n && src.[!i + 1] = '|' then two "[|"
+      else if c = '|' && !i + 1 < n && src.[!i + 1] = ']' then two "|]"
+      else begin
+        (match c with
+        | '(' | ')' | '{' | '}' | '[' | ']' | ';' | '=' | ':' | '|' ->
+          push !i (String.make 1 c)
+        | _ -> ());
+        bump_at !i;
+        incr i
+      end
+    end
+  done;
+  {
+    tokens = Array.of_list (List.rev !tokens);
+    suppressed;
+    annotations;
+    annotation_sites = List.rev !annotation_sites;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File walking                                                        *)
+
+let rec walk dir acc =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry.[0] = '_' then acc
+        else begin
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path acc
+          else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+            path :: acc
+          else acc
+        end)
+      acc (Sys.readdir dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let module_name path = String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let annotations_at lexed line =
+  Option.value ~default:[] (Hashtbl.find_opt lexed.annotations line)

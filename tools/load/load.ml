@@ -36,17 +36,17 @@ module Faults = Extract_util.Faults
 (* ------------------------------------------------------------------ *)
 (* Options                                                             *)
 
-let duration = ref 3.0
-let connections = ref 8
-let workers_spec = ref "1"
-let queue_depth = ref 64
-let external_port = ref 0 (* 0 = self-host *)
-let skew = ref 0.9
-let query_count = ref 200
-let seed = ref 42
-let out_path = ref "BENCH_load.json"
-let floor_path = ref ""
-let chaos_spec = ref ""
+let duration = ref 3.0 (* init-only — set by Arg.parse before any client thread starts *)
+let connections = ref 8 (* init-only — set by Arg.parse before any client thread starts *)
+let workers_spec = ref "1" (* init-only — set by Arg.parse before any client thread starts *)
+let queue_depth = ref 64 (* init-only — set by Arg.parse before any client thread starts *)
+let external_port = ref 0 (* 0 = self-host *) (* init-only — set by Arg.parse before any client thread starts *)
+let skew = ref 0.9 (* init-only — set by Arg.parse before any client thread starts *)
+let query_count = ref 200 (* init-only — set by Arg.parse before any client thread starts *)
+let seed = ref 42 (* init-only — set by Arg.parse before any client thread starts *)
+let out_path = ref "BENCH_load.json" (* init-only — set by Arg.parse before any client thread starts *)
+let floor_path = ref "" (* init-only — set by Arg.parse before any client thread starts *)
+let chaos_spec = ref "" (* init-only — set by Arg.parse before any client thread starts *)
 
 let spec =
   [
@@ -77,6 +77,7 @@ let usage = "extract-load [options] — closed-loop load test of the demo server
 (* Minimal buffered HTTP/1.1 client. A peer close mid-read raises
    End_of_file; callers treat it as a reconnect. *)
 
+(* domain-local — one conn per client thread, never shared *)
 type conn = {
   fd : Unix.file_descr;
   buf : Bytes.t;
@@ -192,6 +193,8 @@ let build_targets db =
 (* ------------------------------------------------------------------ *)
 (* Closed-loop clients                                                 *)
 
+(* domain-local — each record is owned by one client thread and only
+   read by the harness after Thread.join *)
 type client_stats = {
   mutable latencies_ms : float list;
   mutable ok : int;
