@@ -121,6 +121,45 @@ let load_db file =
   | exception Extract_store.Codec.Corrupt msg ->
     Printf.eprintf "error: %s: %s\n%!" file msg;
     exit 1
+  | exception Extract_store.Codec.Truncated msg ->
+    Printf.eprintf "error: %s: truncated: %s\n%!" file msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Live-store helpers                                                  *)
+
+module Live = Extract_store.Live
+module Live_corpus = Extract_snippet.Live_corpus
+
+let live_warning msg = Printf.eprintf "warning: %s\n%!" msg
+
+(* live-store errors are user-facing: report and exit 1, like load_db *)
+let live_guard dir f =
+  match f () with
+  | v -> v
+  | exception Extract_store.Codec.Corrupt msg ->
+    Printf.eprintf "error: %s: %s\n%!" dir msg;
+    exit 1
+  | exception Extract_store.Codec.Truncated msg ->
+    Printf.eprintf "error: %s: truncated: %s\n%!" dir msg;
+    exit 1
+  | exception Extract_xml.Error.Parse_error (pos, msg) ->
+    Printf.eprintf "error: %s\n%!" (Extract_xml.Error.to_string pos msg);
+    exit 1
+  | exception Invalid_argument msg ->
+    Printf.eprintf "error: %s\n%!" msg;
+    exit 1
+
+let open_live dir = live_guard dir (fun () -> Live.open_dir ~on_warning:live_warning dir)
+
+let open_live_corpus ?read_only dir =
+  live_guard dir (fun () -> Live_corpus.open_dir ?read_only ~on_warning:live_warning dir)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  data
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -208,6 +247,24 @@ let search_cmd =
          & info [ "relax" ] ~doc:"Drop the rarest keywords until the query has results.")
   in
   let run file query semantics limit ranked relax =
+    if Sys.is_directory file then begin
+      (* a directory is a live store: hits are already scored per member *)
+      ignore ranked;
+      if relax then prerr_endline "note: --relax is not supported for live-store directories";
+      let lc = open_live_corpus ~read_only:true file in
+      let hits = Live_corpus.run ~semantics ?limit lc query in
+      Printf.printf "%d hit(s)\n" (List.length hits);
+      List.iteri
+        (fun i (h : Live_corpus.hit) ->
+          let r = h.Live_corpus.snippet.Pipeline.result in
+          let doc = Result_tree.document r in
+          Printf.printf "%2d. [%s] <%s> (%d nodes)  score=%.3f\n" (i + 1) h.Live_corpus.source
+            (Document.tag_name doc (Result_tree.root r))
+            (Result_tree.size r) h.Live_corpus.score)
+        hits;
+      Live_corpus.close lc
+    end
+    else begin
     let db = load_db file in
     let results, dropped =
       if relax then
@@ -237,6 +294,7 @@ let search_cmd =
           (Document.tag_name doc (Result_tree.root r))
           (Result_tree.size r) score_str)
       scored
+    end
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run a keyword query, list result roots.")
@@ -294,6 +352,27 @@ let snippet_cmd =
     let module Trace = Extract_obs.Trace in
     let module Explain = Extract_snippet.Explain in
     apply_log_level log_level;
+    if Sys.is_directory file then begin
+      (* a directory is a live store; the flags tied to single-database
+         explain plumbing do not apply there *)
+      ignore (compare_baselines, differentiate, order, trace, explain);
+      let lc = open_live_corpus ~read_only:true file in
+      let hits = Live_corpus.run ~semantics ~bound ?limit lc query in
+      Printf.printf "%d hit(s) for %S, bound %d edges\n\n" (List.length hits) query bound;
+      List.iteri
+        (fun i (h : Live_corpus.hit) ->
+          let s = h.Live_corpus.snippet in
+          Printf.printf "--- hit %d [%s] score=%.3f --------------------------\n" (i + 1)
+            h.Live_corpus.source h.Live_corpus.score;
+          print_endline (Snippet_tree.render s.Pipeline.selection.Selector.snippet);
+          Printf.printf "(%d/%d IList items, %d edges)\n\n"
+            (Selector.covered_count s.Pipeline.selection)
+            (Ilist.length s.Pipeline.ilist)
+            (Snippet_tree.edge_count s.Pipeline.selection.Selector.snippet))
+        hits;
+      Live_corpus.close lc
+    end
+    else begin
     if trace then Trace.set_enabled true;
     let db = Trace.with_span "cli.load" (fun () -> load_db file) in
     let config = { Extract_snippet.Config.default with Extract_snippet.Config.feature_order = order } in
@@ -348,6 +427,7 @@ let snippet_cmd =
     if trace then begin
       Printf.eprintf "trace:\n%s%!" (Trace.render (Trace.finished ()));
       Trace.set_enabled false
+    end
     end
   in
   Cmd.v
@@ -468,6 +548,93 @@ let view_cmd =
     Term.(const run $ file_arg $ path_arg)
 
 (* ------------------------------------------------------------------ *)
+(* add / remove / compact / live                                       *)
+
+let dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Live-store directory (created by the first $(b,add)).")
+
+let add_cmd =
+  let xml_file =
+    Arg.(
+      required & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"XML document to add.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME" ~doc:"Member name (default: $(i,FILE)'s basename).")
+  in
+  let run dir file name =
+    let name = match name with Some n -> n | None -> Filename.basename file in
+    let xml = read_whole_file file in
+    let store = open_live dir in
+    live_guard dir (fun () -> Live.add store ~name ~xml);
+    let members = List.length (Live.member_names (Live.view store)) in
+    Live.close store;
+    Printf.printf "added %s to %s (%d member(s))\n" name dir members
+  in
+  Cmd.v
+    (Cmd.info "add"
+       ~doc:
+         "Add (or replace) a document in a live-store directory. The update is journalled \
+          and fsync'd before it is acknowledged: a crash at any instant leaves the store \
+          recoverable to the state before or after the add, never in between.")
+    Term.(const run $ dir_arg $ xml_file $ name_arg)
+
+let remove_cmd =
+  let name_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME" ~doc:"Member name.")
+  in
+  let run dir name =
+    let store = open_live dir in
+    let removed = live_guard dir (fun () -> Live.remove store name) in
+    Live.close store;
+    if removed then Printf.printf "removed %s from %s\n" name dir
+    else begin
+      Printf.eprintf "error: %s has no member %S\n%!" dir name;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "remove" ~doc:"Remove a document from a live-store directory (journalled).")
+    Term.(const run $ dir_arg $ name_arg)
+
+let compact_cmd =
+  let run dir =
+    let store = open_live dir in
+    let generation = live_guard dir (fun () -> Live.compact store) in
+    let members = List.length (Live.member_names (Live.view store)) in
+    Live.close store;
+    Printf.printf "compacted %s to generation %d (%d member(s))\n" dir generation members
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Fold a live store's journalled updates into a fresh snapshot generation \
+          (atomic temp+fsync+rename) and reset the journal to a checkpoint.")
+    Term.(const run $ dir_arg)
+
+let live_cmd =
+  let run dir =
+    let store = live_guard dir (fun () -> Live.open_dir ~read_only:true ~on_warning:live_warning dir) in
+    let view = Live.view store in
+    let records, _ = live_guard dir (fun () -> Extract_store.Journal.read (Live.journal_path dir)) in
+    let pending = List.length (Extract_store.Journal.records_after_checkpoint records) in
+    Printf.printf "generation %d, %d member(s), %d journalled update(s) since last compact\n"
+      view.Live.generation
+      (List.length (Live.member_names view))
+      pending;
+    List.iter (fun name -> Printf.printf "  %s\n" name) (Live.member_names view);
+    Live.close store
+  in
+  Cmd.v
+    (Cmd.info "live" ~doc:"Show a live-store directory's generation, members and journal depth.")
+    Term.(const run $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
 let check_cmd =
@@ -496,6 +663,22 @@ let check_cmd =
     exit 1
   in
   let run file index queries =
+    if Sys.is_directory file then begin
+      (* a directory is a live store: validate journal/snapshot agreement
+         and the recovered content instead of a single artifact *)
+      ignore queries;
+      (match index with
+      | Some _ -> prerr_endline "note: --index is ignored for live-store directories"
+      | None -> ());
+      let issues, notes = Check.check_live file in
+      List.iter (fun n -> Printf.printf "note: %s\n" n) notes;
+      match issues with
+      | [] ->
+        Printf.printf "ok: live store %s is consistent%s\n" file
+          (if notes = [] then "" else " (benign crash leftovers pending repair)")
+      | issues -> fail issues
+    end
+    else begin
     (match index with
     | None -> ()
     | Some index -> (
@@ -505,6 +688,8 @@ let check_cmd =
     match load_db_raw file with
     | exception Extract_store.Codec.Corrupt msg ->
       fail [ { Check.area = "persist"; what = Printf.sprintf "%s: %s" file msg } ]
+    | exception Extract_store.Codec.Truncated msg ->
+      fail [ { Check.area = "persist"; what = Printf.sprintf "%s: truncated: %s" file msg } ]
     | exception Extract_xml.Error.Parse_error (pos, msg) ->
       fail
         [ { Check.area = "xml"; what = Printf.sprintf "%s: %s" file (Extract_xml.Error.to_string pos msg) } ]
@@ -523,6 +708,7 @@ let check_cmd =
       match Check.all ~queries db with
       | [] -> print_endline "ok: all invariants hold"
       | issues -> fail issues)
+    end
   in
   Cmd.v
     (Cmd.info "check"
@@ -538,7 +724,17 @@ let check_cmd =
 
 let serve_cmd =
   let files =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML files to serve.")
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML files to serve.")
+  in
+  let live_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live" ] ~docv:"DIR"
+          ~doc:
+            "Also serve the live-store directory $(docv): enables the POST \
+             /admin/add|remove|compact update routes and GET /live, /live/search. \
+             Updates are journalled and fsync'd before they are acknowledged.")
   in
   let port =
     Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = pick one).")
@@ -582,8 +778,13 @@ let serve_cmd =
             "Accepted connections allowed to wait for a worker; beyond K the acceptor sheds \
              with 503 + Retry-After.")
   in
-  let run files port timeout_ms deadline_ms workers queue_depth log_level =
+  let run files live port timeout_ms deadline_ms workers queue_depth log_level =
     apply_log_level log_level;
+    if files = [] && live = None then begin
+      prerr_endline "error: nothing to serve (give XML files, --live DIR, or both)";
+      exit 2
+    end;
+    let live = Option.map open_live_corpus live in
     let corpus =
       List.fold_left
         (fun corpus file ->
@@ -600,12 +801,14 @@ let serve_cmd =
         queue_depth;
       }
     in
-    Extract_server.Demo_server.serve ~config (Extract_server.Demo_server.create corpus) ~port
+    Extract_server.Demo_server.serve ~config
+      (Extract_server.Demo_server.create ?live corpus)
+      ~port
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the demo web service (the paper's Fig. 5 site) over XML files.")
     Term.(
-      const run $ files $ port $ timeout_ms $ deadline_ms $ workers $ queue_depth
+      const run $ files $ live_arg $ port $ timeout_ms $ deadline_ms $ workers $ queue_depth
       $ log_level_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -614,6 +817,6 @@ let main_cmd =
   let doc = "snippet generation for XML keyword search (eXtract, VLDB'08)" in
   Cmd.group (Cmd.info "extract" ~version:Extract_obs.Registry.version ~doc)
     [ gen_cmd; stats_cmd; search_cmd; snippet_cmd; explain_cmd; save_cmd; demo_cmd; view_cmd;
-      check_cmd; serve_cmd ]
+      add_cmd; remove_cmd; compact_cmd; live_cmd; check_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -367,6 +367,9 @@ let check_pair ~arena ~index =
     | Codec.Corrupt msg ->
       report c "arena %s: %s" arena msg;
       None
+    | Codec.Truncated msg ->
+      report c "arena %s: truncated: %s" arena msg;
+      None
     | Extract_xml.Error.Parse_error (pos, msg) ->
       report c "arena %s: %s" arena (Extract_xml.Error.to_string pos msg);
       None
@@ -376,8 +379,85 @@ let check_pair ~arena ~index =
   | Some doc -> (
     match Persist.load_index index ~doc with
     | _ -> ()
-    | exception Codec.Corrupt msg -> report c "index %s: %s" index msg));
+    | exception Codec.Corrupt msg -> report c "index %s: %s" index msg
+    | exception Codec.Truncated msg -> report c "index %s: truncated: %s" index msg));
   close c
+
+(* ------------------------------------------------------------------ *)
+(* Live store directories                                              *)
+
+module Journal = Extract_store.Journal
+module Live = Extract_store.Live
+
+(* fsck for a live-store directory. Issues are real damage; notes are
+   the benign crash leftovers recovery repairs on the next writable open
+   (torn journal tail, stale checkpoint, stray temp files). *)
+let check_live dir =
+  let c = collector "live" in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  (match Journal.read (Live.journal_path dir) with
+  | records, tail ->
+    (match tail with
+    | Journal.Complete -> ()
+    | Journal.Torn { offset; reason } ->
+      note "journal: torn tail at byte %d (%s); truncated on next writable open" offset reason);
+    let newest = match List.rev (Live.generations dir) with [] -> 0 | g :: _ -> g in
+    (match Journal.last_checkpoint records with
+    | Some g when g > newest ->
+      report c "journal checkpoint references generation %d but newest snapshot is %d" g
+        newest
+    | Some g when g < newest ->
+      note "journal checkpoint %d predates snapshot generation %d; healed on next writable \
+            open"
+        g newest
+    | Some _ | None -> ())
+  | exception Codec.Corrupt msg -> report c "journal: %s" msg
+  | exception Codec.Truncated msg -> report c "journal: truncated: %s" msg);
+  let content_issues =
+    match Live.open_dir ~read_only:true ~on_warning:(fun w -> note "recovery: %s" w) dir with
+    | store ->
+      let view = Live.view store in
+      let doc = view.Live.doc in
+      let n = Document.node_count doc in
+      (* member table sanity: ascending disjoint element subtrees, and
+         every tombstone names a base member *)
+      let last_end = ref 0 in
+      List.iter
+        (fun (name, root) ->
+          if root <= 0 || root >= n then
+            report c "member %S root %d outside the arena (0,%d)" name root n
+          else begin
+            if not (Document.is_element doc root) then
+              report c "member %S root %d is not an element" name root;
+            if root <= !last_end then
+              report c "member %S subtree overlaps the previous member" name;
+            last_end := Document.subtree_last doc root
+          end)
+        view.Live.members;
+      List.iter
+        (fun name ->
+          if not (List.exists (fun (m, _) -> String.equal m name) view.Live.members) then
+            report c "tombstone %S names no base member" name)
+        view.Live.tombstones;
+      let deltas =
+        List.concat_map
+          (fun (name, (d : Live.delta)) ->
+            List.map
+              (fun i -> { i with what = Printf.sprintf "delta %S: %s" name i.what } )
+              (check_document d.Live.delta_doc @ check_index d.Live.delta_index))
+          view.Live.deltas
+      in
+      Live.close store;
+      check_document doc @ check_index view.Live.index @ deltas
+    | exception Codec.Corrupt msg ->
+      report c "recovery failed: %s" msg;
+      []
+    | exception Codec.Truncated msg ->
+      report c "recovery failed: truncated: %s" msg;
+      []
+  in
+  close c @ content_issues, List.rev !notes
 
 (* ------------------------------------------------------------------ *)
 (* Whole database + query probes                                       *)

@@ -82,6 +82,17 @@ val check_pair : arena:string -> index:string -> issue list
     {!Extract_snippet.Corpus.load_file} this reports corruption instead
     of rebuilding around it — fsck's job is to say the artifact is bad. *)
 
+val check_live : string -> issue list * string list
+(** fsck for a live-store directory (area ["live"]): journal readability
+    and checkpoint/snapshot-generation agreement, read-only recovery
+    (snapshot seals, generation fallback, replay), member-table sanity
+    (ascending disjoint element subtrees, tombstones that name base
+    members), and {!check_document}/{!check_index} over the recovered
+    base and every delta segment. Returns [(issues, notes)]: issues are
+    real damage; notes are benign crash leftovers — a torn journal tail,
+    a stale checkpoint, stray temp files — that the next writable
+    {!Extract_store.Live.open_dir} repairs. *)
+
 (** {1 Whole-database checks} *)
 
 val check_db : Pipeline.t -> issue list

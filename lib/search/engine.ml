@@ -47,8 +47,8 @@ let run_ctx ?(semantics = Xseek) ?(shape = Full_subtree) ?limit ctx kinds =
       in
       List.map (shape_root ctx shape doc) (take limit roots)
 
-let run ?semantics ?shape ?limit index kinds query =
-  run_ctx ?semantics ?shape ?limit (Eval_ctx.make index query) kinds
+let run ?semantics ?shape ?limit ?mask index kinds query =
+  run_ctx ?semantics ?shape ?limit (Eval_ctx.make ?mask index query) kinds
 
 let semantics_of_string = function
   | "slca" -> Some Slca
@@ -68,9 +68,9 @@ let all_semantics = [ Slca; Elca; Xseek; Xsearch ]
 (* Conjunctive semantics returns nothing when any keyword is missing; the
    demo UI wants "did you mean fewer words". Drop the rarest keyword (the
    most likely typo or over-specification) until something matches. *)
-let run_relaxed ?semantics ?shape ?limit index kinds query =
+let run_relaxed ?semantics ?shape ?limit ?mask index kinds query =
   let rec attempt query dropped =
-    match run ?semantics ?shape ?limit index kinds query with
+    match run ?semantics ?shape ?limit ?mask index kinds query with
     | [] when Query.size query > 1 ->
       let keywords = Query.keywords query in
       let rarest =

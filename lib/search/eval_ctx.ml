@@ -10,8 +10,41 @@ module Jsonv = Extract_obs.Jsonv
 type t = {
   index : Inverted_index.t;
   query : Query.t;
+  mask : (int * int) array option;
   resolved : (string * Document.node array) list; (* query-keyword order *)
 }
+
+(* Two-pointer intersection of an ascending posting list with sorted
+   disjoint inclusive intervals. Returns the input array unchanged when
+   nothing is filtered out, so the common no-tombstone case allocates
+   nothing. *)
+let apply_mask mask arr =
+  let m = Array.length mask in
+  let n = Array.length arr in
+  if m = 0 then [||]
+  else begin
+    let buf = Array.make n 0 in
+    let k = ref 0 in
+    let i = ref 0 in
+    let j = ref 0 in
+    while !i < n && !j < m do
+      let node = arr.(!i) in
+      let lo, hi = mask.(!j) in
+      if node < lo then incr i
+      else if node > hi then incr j
+      else begin
+        buf.(!k) <- node;
+        incr k;
+        incr i
+      end
+    done;
+    if !k = n then arr else Array.sub buf 0 !k
+  end
+
+let masked mask arr =
+  match mask with
+  | None -> arr
+  | Some intervals -> apply_mask intervals arr
 
 let lists_resolved_total =
   Registry.counter ~help:"Posting lists resolved into evaluation contexts"
@@ -21,10 +54,12 @@ let entries_resolved_total =
   Registry.counter ~help:"Posting entries in lists resolved into evaluation contexts"
     "extract_posting_entries_resolved_total"
 
-let make index query =
+let make ?mask index query =
   let resolved =
     Trace.with_span "eval_ctx.resolve" (fun () ->
-        List.map (fun k -> k, Inverted_index.lookup index k) (Query.keywords query))
+        List.map
+          (fun k -> k, masked mask (Inverted_index.lookup index k))
+          (Query.keywords query))
   in
   Registry.add lists_resolved_total (List.length resolved);
   Registry.add entries_resolved_total
@@ -34,7 +69,7 @@ let make index query =
     Log.debug "eval_ctx.resolve" counts;
     Capture.record "postings" (fun () -> Jsonv.Obj counts)
   end;
-  { index; query; resolved }
+  { index; query; mask; resolved }
 
 let index t = t.index
 
@@ -45,7 +80,7 @@ let document t = Inverted_index.document t.index
 let postings t keyword =
   match List.assoc_opt keyword t.resolved with
   | Some arr -> arr
-  | None -> Inverted_index.lookup t.index keyword
+  | None -> masked t.mask (Inverted_index.lookup t.index keyword)
 
 let lists t = List.map snd t.resolved
 

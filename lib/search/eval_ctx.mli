@@ -13,8 +13,14 @@ module Document = Extract_store.Document
 
 type t
 
-val make : Extract_store.Inverted_index.t -> Query.t -> t
-(** Resolve every keyword of the query against the index, once. *)
+val make : ?mask:(int * int) array -> Extract_store.Inverted_index.t -> Query.t -> t
+(** Resolve every keyword of the query against the index, once. [mask],
+    when given, is a sorted array of disjoint inclusive node-id
+    intervals: postings outside every interval are dropped during
+    resolution, so all downstream algorithms see only visible nodes.
+    The live store uses this to hide tombstoned member subtrees (and
+    its synthetic corpus root) without rebuilding the index. An empty
+    mask hides everything. *)
 
 val index : t -> Extract_store.Inverted_index.t
 

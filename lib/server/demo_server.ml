@@ -1,4 +1,5 @@
 module Corpus = Extract_snippet.Corpus
+module Live_corpus = Extract_snippet.Live_corpus
 module Pipeline = Extract_snippet.Pipeline
 module Html_view = Extract_snippet.Html_view
 module Snippet_cache = Extract_snippet.Snippet_cache
@@ -40,7 +41,13 @@ let response_counter status =
 let () =
   List.iter
     (fun s -> ignore (response_counter s))
-    [ 200; 400; 404; 408; 413; 431; 500; 503 ]
+    [ 200; 400; 404; 405; 408; 413; 431; 500; 503 ]
+
+let admin_updates_total op =
+  Registry.counter ~help:"Live-store updates applied via /admin, by operation"
+    ~labels:[ "op", op ] "extract_admin_updates_total"
+
+let () = List.iter (fun op -> ignore (admin_updates_total op)) [ "add"; "remove"; "compact" ]
 
 let transport_error_counter kind =
   Registry.counter ~help:"Connections dropped while writing the response"
@@ -76,14 +83,16 @@ let accept_queue_depth =
 
 type t = {
   corpus : Corpus.t;
+  live : Live_corpus.t option; (* crash-safe updatable corpus, when serving one *)
   pages : (string, string) Sharded_lru.t; (* request target -> rendered body *)
   snippets : Snippet_cache.t; (* (db, query, bound, …) -> snippet results *)
   degraded_served : int Atomic.t; (* deadline-degraded snippets sent so far *)
 }
 
-let create ?(cache_size = 64) ?(shards = 8) corpus =
+let create ?(cache_size = 64) ?(shards = 8) ?live corpus =
   {
     corpus;
+    live;
     pages = Sharded_lru.create ~shards ~capacity:cache_size ();
     snippets = Snippet_cache.create ~capacity:(4 * cache_size) ~shards ();
     degraded_served = Atomic.make 0;
@@ -452,26 +461,138 @@ let stats_page t params =
           (Format.asprintf "data set: %s@.%a@.%s" name Extract_store.Doc_stats.pp stats
              (cache_report t)))
 
+(* ------------------------------------------------------------------ *)
+(* Live corpus: online updates over POST, searches that bypass both
+   caches. The page cache keys on the raw target and the snippet cache
+   on a pipeline identity — neither key encodes the live store's
+   generation, so a cached live page could survive the update that
+   invalidated it. The query view swap inside Live_corpus is the cache:
+   unchanged segments keep their analyzed pipelines. *)
+
+type meth = Get | Post
+
+let meth_name = function Get -> "GET" | Post -> "POST"
+
+let with_live t f =
+  match t.live with
+  | None ->
+    error 404 "Not Found" "no live store attached (start the server with --live DIR)"
+  | Some live -> f live
+
+let name_param params f =
+  match List.assoc_opt "name" params with
+  | None | Some "" -> error 400 "Bad Request" "missing ?name= parameter"
+  | Some name -> f name
+
+(* update errors are the client's fault: unparsable XML or a bad member
+   name answers 400 with the parser's own message, and the journal never
+   sees the record (Live validates before appending) *)
+let admin_add t params body =
+  with_live t (fun live ->
+      name_param params (fun name ->
+          if body = "" then error 400 "Bad Request" "empty request body (expected XML)"
+          else
+            match Live_corpus.add live ~name ~xml:body with
+            | () ->
+              Registry.incr (admin_updates_total "add");
+              text_ok
+                (Printf.sprintf "added %s (generation %d, %d member(s))\n" name
+                   (Live_corpus.generation live)
+                   (List.length (Live_corpus.names live)))
+            | exception Extract_xml.Error.Parse_error (pos, msg) ->
+              error 400 "Bad Request" (Extract_xml.Error.to_string pos msg)
+            | exception Invalid_argument msg -> error 400 "Bad Request" msg))
+
+let admin_remove t params =
+  with_live t (fun live ->
+      name_param params (fun name ->
+          match Live_corpus.remove live name with
+          | true ->
+            Registry.incr (admin_updates_total "remove");
+            text_ok (Printf.sprintf "removed %s (%d member(s) left)\n" name
+                       (List.length (Live_corpus.names live)))
+          | false -> error 404 "Not Found" (Printf.sprintf "no member %S" name)
+          | exception Invalid_argument msg -> error 400 "Bad Request" msg))
+
+let admin_compact t =
+  with_live t (fun live ->
+      let generation = Live_corpus.compact live in
+      Registry.incr (admin_updates_total "compact");
+      text_ok (Printf.sprintf "compacted to generation %d\n" generation))
+
+let live_status t =
+  with_live t (fun live ->
+      let names = Live_corpus.names live in
+      text_ok
+        (Printf.sprintf "generation %d, %d member(s)\n%s" (Live_corpus.generation live)
+           (List.length names)
+           (String.concat "" (List.map (fun n -> Printf.sprintf "%s\n" n) names))))
+
+let live_search_page t ~deadline params =
+  with_live t (fun live ->
+      match List.assoc_opt "q" params with
+      | None | Some "" -> error 400 "Bad Request" "missing ?q= parameter"
+      | Some q ->
+        if Deadline.expired deadline then begin
+          Registry.incr shed_total;
+          overloaded "per-request budget exhausted before search started"
+        end
+        else begin
+          let bound = bound_param params in
+          let limit =
+            match Option.bind (List.assoc_opt "limit" params) int_of_string_opt with
+            | Some n when n > 0 -> n
+            | Some _ | None -> 25
+          in
+          let hits =
+            slowlogged ~query:q (fun () ->
+                List.map
+                  (fun (h : Live_corpus.hit) -> h.Live_corpus.snippet)
+                  (Live_corpus.run ~bound ~limit ~deadline live q))
+          in
+          let results =
+            Html_view.result_page
+              ~title:(Printf.sprintf "eXtract — live (generation %d)"
+                        (Live_corpus.generation live))
+              ~query:q ~bound hits
+          in
+          ok results
+        end)
+
 (* Every request runs under a fresh request id: the access-log line, the
    pipeline's event-log lines, the trace spans and the slowlog entry of
    one request all carry the same id. *)
-let handle ?(deadline = Deadline.never) t target =
+let handle_request ?(deadline = Deadline.never) ?(meth = Get) ?(body = "") t target =
   Reqid.ensure (fun _rid ->
       let t0 = Deadline.now () in
+      let method_not_allowed allow =
+        error
+          ~headers:[ "Allow", allow ]
+          405 "Method Not Allowed"
+          (Printf.sprintf "%s is not supported on this route" (meth_name meth))
+      in
       let response =
         match parse_target target with
         | exception _ -> error 400 "Bad Request" "unparsable target"
         | path, params -> begin
           try
-            match path with
-            | "/" | "/index.html" -> ok (home_page t)
-            | "/search" -> search_page t ~deadline target params
-            | "/explain" -> explain_page t ~deadline params
-            | "/complete" -> complete_page t params
-            | "/stats" -> stats_page t params
-            | "/metrics" -> metrics_page t
-            | "/debug/slowlog" -> slowlog_page ()
-            | _ -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
+            match path, meth with
+            | "/admin/add", Post -> admin_add t params body
+            | "/admin/remove", Post -> admin_remove t params
+            | "/admin/compact", Post -> admin_compact t
+            | ("/admin/add" | "/admin/remove" | "/admin/compact"), Get ->
+              method_not_allowed "POST"
+            | _, Post -> method_not_allowed "GET"
+            | "/", Get | "/index.html", Get -> ok (home_page t)
+            | "/search", Get -> search_page t ~deadline target params
+            | "/explain", Get -> explain_page t ~deadline params
+            | "/complete", Get -> complete_page t params
+            | "/stats", Get -> stats_page t params
+            | "/metrics", Get -> metrics_page t
+            | "/live", Get -> live_status t
+            | "/live/search", Get -> live_search_page t ~deadline params
+            | "/debug/slowlog", Get -> slowlog_page ()
+            | _, Get -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
           with
           | Faults.Injected (point, _) ->
             overloaded (Printf.sprintf "transient fault at %s" point)
@@ -479,10 +600,13 @@ let handle ?(deadline = Deadline.never) t target =
         end
       in
       Log.info "http.access"
-        [ "target", Jsonv.Str target;
+        [ "method", Jsonv.Str (meth_name meth);
+          "target", Jsonv.Str target;
           "status", Jsonv.Int response.status;
           "seconds", Jsonv.Float (Deadline.now () -. t0) ];
       response)
+
+let handle ?deadline t target = handle_request ?deadline ~meth:Get t target
 
 let cache_stats t = Sharded_lru.stats t.pages
 
@@ -679,6 +803,27 @@ let drain_body ~length fd =
   in
   loop length
 
+(* POST bodies are captured rather than drained — same bound, same
+   timeout discipline. A peer that closes mid-body gets 400, not a
+   request served from a silently truncated payload. *)
+let read_body ~length fd =
+  if length = 0 then `Body ""
+  else begin
+    let buf = Bytes.create length in
+    let rec loop off =
+      if off >= length then `Body (Bytes.unsafe_to_string buf)
+      else
+        match Unix.read fd buf off (length - off) with
+        | 0 -> `Eof
+        | n -> loop (off + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+          ->
+          `Timeout
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
+    in
+    loop 0
+  end
+
 (* The response echoes the request's HTTP version (an HTTP/1.0 client
    gets an HTTP/1.0 status line) and always carries Content-Length and
    an explicit Connection header — keep-alive framing depends on both,
@@ -751,7 +896,8 @@ let handle_connection ?(worker = 0) ~config ~max_requests t fd =
         (error 400 "Bad Request" "bare CR in request line")
     | Line line -> begin
       match String.split_on_char ' ' line with
-      | "GET" :: target :: rest -> begin
+      | (("GET" | "POST") as meth_str) :: target :: rest -> begin
+        let meth = if meth_str = "POST" then Post else Get in
         let http11 = List.mem "HTTP/1.1" rest in
         match read_headers ~max_bytes:config.max_header_bytes fd with
         | Header_overflow ->
@@ -772,9 +918,17 @@ let handle_connection ?(worker = 0) ~config ~max_requests t fd =
           in
           let body =
             match h.content_length with
-            | None | Some 0 -> `Drained
+            | None | Some 0 -> `Body ""
             | Some n when n > max_body_bytes -> `Too_big
-            | Some n -> drain_body ~length:n fd
+            | Some n ->
+              if meth = Post then read_body ~length:n fd
+              else begin
+                (* a GET body is dead weight: consume it for keep-alive
+                   framing, never hand it to the routes *)
+                match drain_body ~length:n fd with
+                | `Drained -> `Body ""
+                | (`Eof | `Timeout) as r -> r
+              end
           in
           match body with
           | `Too_big ->
@@ -785,13 +939,20 @@ let handle_connection ?(worker = 0) ~config ~max_requests t fd =
             finish ~http11 ~may_continue:false
               (error 408 "Request Timeout"
                  "request body not finished within the read timeout")
-          | (`Eof | `Drained) as b ->
+          | `Eof when meth = Post ->
+            finish ~http11 ~may_continue:false
+              (error 400 "Bad Request" "request body truncated (peer closed mid-body)")
+          | (`Eof | `Body _) as b ->
             (* the budget clock starts once the request is fully read *)
+            let body = match b with `Body s -> s | `Eof -> "" in
             let may_continue =
-              wants_keepalive && (not h.headers_eof) && b = `Drained
+              wants_keepalive && (not h.headers_eof)
+              && (match b with `Body _ -> true | `Eof -> false)
             in
             finish ~http11 ~may_continue
-              (handle ~deadline:(Deadline.of_ms_opt config.deadline_ms) t target)
+              (handle_request
+                 ~deadline:(Deadline.of_ms_opt config.deadline_ms)
+                 ~meth ~body t target)
         end
       end
       | _ ->

@@ -33,6 +33,29 @@
       slowest queries plus every recent degraded/faulted query, JSON;
     - anything else — 404.
 
+    When created with a live corpus ([create ?live], the CLI's
+    [serve --live DIR]), four more routes serve online updates:
+
+    - [POST /admin/add?name=NAME] (body: the XML document) — journalled
+      add/replace via {!Extract_snippet.Live_corpus.add}; unparsable XML
+      or a bad name answers 400 and never reaches the journal;
+    - [POST /admin/remove?name=NAME] — journalled remove (404 when the
+      member does not exist);
+    - [POST /admin/compact] — fold journalled updates into a fresh
+      snapshot generation, plain-text reply names it;
+    - [GET /live] — generation and member names, plain text;
+    - [GET /live/search?q=QUERY&bound=N&limit=K] — search the live
+      corpus (base + deltas, HTML like [/search]). Live pages bypass
+      both the page and snippet caches: neither cache key encodes the
+      store generation, and the query-view swap inside
+      {!Extract_snippet.Live_corpus} already reuses every unchanged
+      analyzed segment.
+
+    Updates serialise on the live corpus's writer lock; searches read one
+    atomic query-view snapshot and never block behind a writer. [GET] on
+    an admin route (and [POST] anywhere else) answers 405 with an
+    [Allow] header; admin routes without a live corpus answer 404.
+
     Every request runs under a fresh {!Extract_obs.Reqid}; with
     [EXTRACT_LOG] (or the CLI's [--log-level]) enabled, each request
     emits an [http.access] event whose [rid] matches the pipeline's
@@ -69,12 +92,18 @@
 
 type t
 
-val create : ?cache_size:int -> ?shards:int -> Extract_snippet.Corpus.t -> t
+val create :
+  ?cache_size:int ->
+  ?shards:int ->
+  ?live:Extract_snippet.Live_corpus.t ->
+  Extract_snippet.Corpus.t ->
+  t
 (** [cache_size] bounds the rendered-page LRU (default 64 pages); the
     query-level snippet cache underneath holds [4 × cache_size]
     entries. Both caches are sharded [shards] ways (default 8,
     {!Extract_util.Sharded_lru}) so pool workers contend only on hash
-    collisions. *)
+    collisions. [live] attaches a crash-safe updatable corpus and
+    enables the [/admin] and [/live] routes. *)
 
 type response = {
   status : int;
@@ -84,14 +113,24 @@ type response = {
   body : string;
 }
 
-val handle : ?deadline:Extract_util.Deadline.t -> t -> string -> response
-(** [handle t target] serves a request target (path + optional query
-    string, e.g. ["/search?data=retail&q=store+texas&bound=6"]). Never
+type meth = Get | Post
+
+val handle_request :
+  ?deadline:Extract_util.Deadline.t -> ?meth:meth -> ?body:string -> t -> string -> response
+(** [handle_request t target] serves one request (path + optional query
+    string, e.g. ["/search?data=retail&q=store+texas&bound=6"]). [meth]
+    (default [Get]) selects the route table; [body] (default [""]) is
+    the captured request body, consumed only by [POST /admin/add]. Never
     raises: errors become 4xx/5xx responses — an injected transient fault
     ({!Extract_util.Faults.Injected}) maps to 503 + [Retry-After], any
     other escape to 500. An already-expired [deadline] sheds the search
-    route with 503 before any pipeline work; one that expires mid-request
-    degrades the remaining snippets instead (a 200, never a timeout). *)
+    routes with 503 before any pipeline work; one that expires
+    mid-request degrades the remaining snippets instead (a 200, never a
+    timeout). *)
+
+val handle : ?deadline:Extract_util.Deadline.t -> t -> string -> response
+(** [handle_request] with [~meth:Get ~body:""] — the pre-update entry
+    point, kept for GET-only callers. *)
 
 val cache_stats : t -> int * int
 (** (hits, misses) of the page cache. *)

@@ -55,19 +55,23 @@ let xml_siblings path =
   List.filter (fun p -> p <> path && Sys.file_exists p) [ base ^ ".xml"; base ]
 
 let load_file ?(on_warning = fun _ -> ()) path =
+  let rebuild_or_reraise reason original =
+    match xml_siblings path with
+    | source :: _ ->
+      on_warning
+        (Printf.sprintf "corrupt artifact %s (%s); rebuilding from %s" path reason source);
+      Pipeline.of_file source
+    | [] -> raise original
+  in
   match sniff path with
   | None -> Pipeline.of_file path
   | Some magic -> (
     match load_artifact path magic with
     | None -> Pipeline.of_file path
     | Some db -> db
-    | exception Extract_store.Codec.Corrupt reason -> (
-      match xml_siblings path with
-      | source :: _ ->
-        on_warning
-          (Printf.sprintf "corrupt artifact %s (%s); rebuilding from %s" path reason source);
-        Pipeline.of_file source
-      | [] -> raise (Extract_store.Codec.Corrupt reason)))
+    | exception (Extract_store.Codec.Corrupt reason as e) -> rebuild_or_reraise reason e
+    | exception (Extract_store.Codec.Truncated reason as e) ->
+      rebuild_or_reraise ("truncated: " ^ reason) e)
 
 let run ?semantics ?config ?bound ?limit ?deadline t query_string =
   let hits =

@@ -204,29 +204,29 @@ let want_degraded deadline =
 let snippet_of ?config ?(bound = default_bound) t result query =
   snippet_with ?config ~bound ~ctx:(Eval_ctx.make t.index query) t result
 
-let context_of t query_string =
+let context_of ?mask t query_string =
   Faults.hit "pipeline.search";
-  Eval_ctx.make t.index (Query.of_string query_string)
+  Eval_ctx.make ?mask t.index (Query.of_string query_string)
 
 (* Search stage shared by every run variant: one evaluation context, one
    engine pass, one histogram observation and trace span. *)
-let searched ?semantics ?limit t query_string =
+let searched ?semantics ?limit ?mask t query_string =
   Registry.incr queries_total;
   timed search_seconds "pipeline.search" (fun () ->
-      let ctx = context_of t query_string in
+      let ctx = context_of ?mask t query_string in
       ctx, notify_results t (Engine.run_ctx ?semantics ?limit ctx t.kinds))
 
-let search ?semantics ?limit t query_string =
+let search ?semantics ?limit ?mask t query_string =
   query_scope "search.done" query_string
     ~count:(fun rs -> List.length rs, 0)
     (fun () ->
-      let _, results = searched ?semantics ?limit t query_string in
+      let _, results = searched ?semantics ?limit ?mask t query_string in
       results)
 
 let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
-    ?(deadline = Deadline.never) t query_string =
+    ?(deadline = Deadline.never) ?mask t query_string =
   query_scope "query.done" query_string ~count:count_snippets @@ fun () ->
-  let ctx, results = searched ?semantics ?limit t query_string in
+  let ctx, results = searched ?semantics ?limit ?mask t query_string in
   timed snippet_seconds "pipeline.snippet" (fun () ->
       (* one analysis per result, shared between the differentiator and each
          result's IList construction; a result whose analysis would start
@@ -266,11 +266,11 @@ let run_differentiated ?semantics ?config ?(bound = default_bound) ?limit
            analyses))
 
 let run_ranked ?semantics ?config ?(bound = default_bound) ?limit
-    ?(deadline = Deadline.never) t query_string =
+    ?(deadline = Deadline.never) ?mask t query_string =
   query_scope "query.done" query_string
     ~count:(fun scored -> count_snippets (List.map snd scored))
   @@ fun () ->
-  let ctx, results = searched ?semantics t query_string in
+  let ctx, results = searched ?semantics ?mask t query_string in
   let ranker = Extract_search.Ranker.make t.index in
   let ranked =
     Extract_search.Ranker.rank ranker (Eval_ctx.query ctx) results
@@ -291,10 +291,10 @@ let run_ranked ?semantics ?config ?(bound = default_bound) ?limit
   ignore (notify_snippets t (List.map snd scored));
   scored
 
-let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline.never) t
-    query_string =
+let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline.never)
+    ?mask t query_string =
   query_scope "query.done" query_string ~count:count_snippets @@ fun () ->
-  let ctx, results = searched ?semantics ?limit t query_string in
+  let ctx, results = searched ?semantics ?limit ?mask t query_string in
   timed snippet_seconds "pipeline.snippet" (fun () ->
       results
       |> List.map (fun result ->
@@ -308,9 +308,9 @@ let run ?semantics ?config ?(bound = default_bound) ?limit ?(deadline = Deadline
    Results are dealt round-robin across domains and reassembled in
    order. *)
 let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 4)
-    ?(deadline = Deadline.never) t query_string =
+    ?(deadline = Deadline.never) ?mask t query_string =
   query_scope "query.done" query_string ~count:count_snippets @@ fun () ->
-  let ctx, result_list = searched ?semantics ?limit t query_string in
+  let ctx, result_list = searched ?semantics ?limit ?mask t query_string in
   let results = Array.of_list result_list in
   let snippet result =
     if want_degraded deadline then degraded_snippet ~bound result

@@ -27,6 +27,11 @@ val load : string -> t
 (** Load a bundle written by {!save}.
     @raise Extract_store.Codec.Corrupt on malformed input. *)
 
+val of_parts : Document.t -> Extract_store.Inverted_index.t -> t
+(** Analyze an arena that already has its index (what {!load} does after
+    decoding, and how {!Live_corpus} wraps the live store's segments):
+    classification and keys are derived, the given index is reused. *)
+
 val id : t -> int
 (** Unique id of this analyzed database (process-wide, assigned at
     {!build}/{!load}). {!Snippet_cache} keys embed it so one cache can
@@ -93,6 +98,7 @@ val run :
   ?bound:int ->
   ?limit:int ->
   ?deadline:Extract_util.Deadline.t ->
+  ?mask:(int * int) array ->
   t ->
   string ->
   snippet_result list
@@ -100,7 +106,10 @@ val run :
     XSeek semantics, [default_bound], no result limit, no deadline. One
     {!Extract_search.Eval_ctx} is built per call: every keyword's posting
     list is resolved exactly once and shared by the engine, IList
-    construction and query-biased scoring. *)
+    construction and query-biased scoring. [mask] (here and on every run
+    variant) restricts evaluation to visible node-id intervals — see
+    {!Extract_search.Eval_ctx.make}; the live corpus passes the interval
+    set that hides tombstoned members. *)
 
 val run_parallel :
   ?semantics:Extract_search.Engine.semantics ->
@@ -109,6 +118,7 @@ val run_parallel :
   ?limit:int ->
   ?domains:int ->
   ?deadline:Extract_util.Deadline.t ->
+  ?mask:(int * int) array ->
   t ->
   string ->
   snippet_result list
@@ -124,6 +134,7 @@ val run_ranked :
   ?bound:int ->
   ?limit:int ->
   ?deadline:Extract_util.Deadline.t ->
+  ?mask:(int * int) array ->
   t ->
   string ->
   (float * snippet_result) list
@@ -137,6 +148,7 @@ val run_differentiated :
   ?bound:int ->
   ?limit:int ->
   ?deadline:Extract_util.Deadline.t ->
+  ?mask:(int * int) array ->
   t ->
   string ->
   snippet_result list
@@ -150,6 +162,7 @@ val run_differentiated :
 val search :
   ?semantics:Extract_search.Engine.semantics ->
   ?limit:int ->
+  ?mask:(int * int) array ->
   t ->
   string ->
   Extract_search.Result_tree.t list

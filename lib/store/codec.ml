@@ -1,5 +1,7 @@
 exception Corrupt of string
 
+exception Truncated of string
+
 type writer = { buf : Buffer.t }
 
 let writer () = { buf = Buffer.create 4096 }
@@ -36,7 +38,7 @@ type reader = {
 let reader data = { data; pos = 0 }
 
 let byte r =
-  if r.pos >= String.length r.data then raise (Corrupt "unexpected end of input");
+  if r.pos >= String.length r.data then raise (Truncated "unexpected end of input");
   let c = Char.code r.data.[r.pos] in
   r.pos <- r.pos + 1;
   c
@@ -56,7 +58,7 @@ let read_int r =
 
 let read_string r =
   let n = read_varint r in
-  if r.pos + n > String.length r.data then raise (Corrupt "string overruns input");
+  if r.pos + n > String.length r.data then raise (Truncated "string overruns input");
   let s = String.sub r.data r.pos n in
   r.pos <- r.pos + n;
   s

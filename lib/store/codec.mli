@@ -38,4 +38,13 @@ val read_bytes_raw : reader -> bytes
 val at_end : reader -> bool
 
 exception Corrupt of string
-(** Raised on truncated or malformed input. *)
+(** Raised on malformed input: bad magic, checksum mismatch, overlong
+    varints, inconsistent structure. The data is there but wrong. *)
+
+exception Truncated of string
+(** Raised when the input ends before the value being read is complete —
+    the signature of an interrupted write rather than bit rot. Recovery
+    code ({!Journal}) treats truncation of the {e final} record of a
+    journal as benign (a torn tail to discard), while {!Corrupt} mid-file
+    is always fatal; whole-file readers ({!Persist}) treat both as a bad
+    artifact. *)

@@ -46,10 +46,17 @@ let unseal ~magic:expected ~kind data =
   if not (Codec.at_end r) then
     raise (Codec.Corrupt (Printf.sprintf "trailing bytes after %s" kind));
   if Digest.string payload <> sum then
-    raise
-      (Codec.Corrupt
-         (Printf.sprintf "%s checksum mismatch (file corrupt or truncated)" kind));
+    raise (Codec.Corrupt (Printf.sprintf "%s checksum mismatch (payload damaged)" kind));
   payload
+
+(* The sealed-envelope primitive, exposed for sibling persistence formats
+   (the live store's snapshot files, the journal's self-description) so
+   every artifact kind shares one corruption-detection story. *)
+module Envelope = struct
+  let seal = seal
+
+  let unseal = unseal
+end
 
 let write_int_array w arr =
   Codec.write_varint w (Array.length arr);
@@ -288,4 +295,4 @@ let load_bundle path = decode_bundle (read_file ~what:"bundle" path)
 let sniff_magic data =
   match Codec.read_string (Codec.reader data) with
   | magic -> Some magic
-  | exception Codec.Corrupt _ -> None
+  | exception (Codec.Corrupt _ | Codec.Truncated _) -> None

@@ -6,8 +6,14 @@
     measures the speedup). The format is versioned and self-describing:
     every artifact is a sealed envelope — magic, format version, an MD5
     checksum of the payload, then the {!Codec} payload — so a corrupt or
-    truncated file is rejected up front with {!Codec.Corrupt} instead of
-    surfacing later as nonsense data.
+    truncated file is rejected up front instead of surfacing later as
+    nonsense data. Damage is reported with two distinct errors: a file
+    that ends prematurely raises {!Codec.Truncated} (the signature of an
+    interrupted write — the live store's recovery treats a truncated
+    {e final} journal record as benign), while structural damage — wrong
+    magic, bad version, checksum mismatch, trailing bytes — raises
+    {!Codec.Corrupt} and is always fatal. Whole-file consumers treat both
+    as a bad artifact.
 
     Files are not portable across architectures with different [int]
     widths (varints cap at 63 bits — every platform OCaml 5 supports).
@@ -27,14 +33,16 @@ val encode : Document.t -> string
 
 val decode : string -> Document.t
 (** @raise Codec.Corrupt on malformed input, wrong magic, unsupported
-    version or checksum mismatch. *)
+    version or checksum mismatch.
+    @raise Codec.Truncated when the data ends prematurely. *)
 
 val save : string -> Document.t -> unit
 (** Write to a file. @raise Sys_error on IO failure. *)
 
 val load : string -> Document.t
 (** Read from a file.
-    @raise Codec.Corrupt or [Sys_error] as appropriate. *)
+    @raise Codec.Corrupt, [Codec.Truncated] or [Sys_error] as
+    appropriate. *)
 
 val fingerprint : Document.t -> string
 (** Hex digest of the arena's serialized payload — the identity an index
@@ -85,3 +93,18 @@ val sniff_magic : string -> string option
 (** The leading magic of any Persist-produced byte string ({!magic},
     {!index_magic} or {!bundle_magic}), or [None] / an arbitrary string
     for foreign data — used to dispatch file kinds. *)
+
+(** {1 Envelopes}
+
+    The sealed-envelope primitive itself — magic · version · MD5(payload)
+    · payload — exposed so sibling persistence formats (the live store's
+    snapshot generations, {!Journal}'s reset files) share one
+    corruption-detection story with the arena/index/bundle artifacts. *)
+
+module Envelope : sig
+  val seal : magic:string -> string -> string
+
+  val unseal : magic:string -> kind:string -> string -> string
+  (** @raise Codec.Corrupt on wrong magic, version, checksum or trailing
+      bytes; [Codec.Truncated] when the data ends prematurely. *)
+end

@@ -12,10 +12,19 @@ type mode =
   | Nth of int
   | Prob of float * Prng.t
 
+(* What happens when the point fires: [Fail] is the classic injected
+   error (should_fail returns true / hit raises); [Crash] simulates a
+   power cut — the process dies on the spot via [Unix._exit 137], no
+   at_exit handlers, no buffer flushes, exactly like kill -9. *)
+type action =
+  | Fail
+  | Crash
+
 (* guarded-by: lock — hits/fired (and the Prng inside Prob) are bumped
    from every worker domain once faults are armed *)
 type state = {
   mode : mode;
+  action : action;
   spec : string; (* the spec as configured, for reporting *)
   mutable hits : int;
   mutable fired : int;
@@ -56,11 +65,17 @@ let parse_mode spec =
       parts
   in
   match assoc with
-  | [ ("fail", "") ] -> Ok Always
-  | [ ("once", "") ] -> Ok Once
+  | [ ("fail", "") ] -> Ok (Always, Fail)
+  | [ ("once", "") ] -> Ok (Once, Fail)
+  | [ ("crash", "") ] -> Ok (Always, Crash)
+  | [ ("crash", k) ] -> begin
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Nth k, Crash)
+    | _ -> Error (Printf.sprintf "bad occurrence %S (want crash or crash=K, K >= 1)" k)
+  end
   | [ ("nth", k) ] -> begin
     match int_of_string_opt k with
-    | Some k when k >= 1 -> Ok (Nth k)
+    | Some k when k >= 1 -> Ok (Nth k, Fail)
     | _ -> Error (Printf.sprintf "bad occurrence %S (want nth=K, K >= 1)" k)
   end
   | ("p", p) :: rest -> begin
@@ -75,11 +90,12 @@ let parse_mode spec =
       | _ -> Error "bad probability spec (want p=F or p=F;seed=N)"
     in
     match float_of_string_opt p, seed with
-    | Some p, Ok seed when p >= 0. && p <= 1. -> Ok (Prob (p, Prng.create seed))
+    | Some p, Ok seed when p >= 0. && p <= 1. -> Ok (Prob (p, Prng.create seed), Fail)
     | _, Error e -> Error e
     | _, Ok _ -> Error (Printf.sprintf "bad probability %S (want 0 <= p <= 1)" p)
   end
-  | _ -> Error (Printf.sprintf "unknown fault spec %S (fail|once|nth=K|p=F;seed=N)" spec)
+  | _ ->
+    Error (Printf.sprintf "unknown fault spec %S (fail|once|nth=K|crash|crash=K|p=F;seed=N)" spec)
 
 let configure config =
   clear ();
@@ -98,7 +114,7 @@ let configure config =
         let spec = String.sub entry (i + 1) (String.length entry - i - 1) in
         match parse_mode spec with
         | Error e -> Error (Printf.sprintf "%s: %s" point e)
-        | Ok mode -> parse_entries ((point, mode, spec) :: acc) rest
+        | Ok (mode, action) -> parse_entries ((point, mode, action, spec) :: acc) rest
       end
     end
   in
@@ -106,8 +122,8 @@ let configure config =
   | Ok parsed ->
     with_lock (fun () ->
         List.iter
-          (fun (point, mode, spec) ->
-            Hashtbl.replace table point { mode; spec; hits = 0; fired = 0 })
+          (fun (point, mode, action, spec) ->
+            Hashtbl.replace table point { mode; action; spec; hits = 0; fired = 0 })
           parsed);
     Atomic.set armed (parsed <> []);
     Ok ()
@@ -128,22 +144,43 @@ let install_from_env () =
 
 let active () = Atomic.get armed
 
+(* One pass through a fault point: advance the counters and decide.
+   [`Crash] is acted on outside the lock — the process is about to die,
+   but exiting with the table mutex held would be gratuitously rude to
+   any test harness running in-process. *)
+let consult point =
+  if not (Atomic.get armed) then `Pass
+  else
+    with_lock (fun () ->
+        match Hashtbl.find_opt table point with
+        | None -> `Pass
+        | Some st ->
+          st.hits <- st.hits + 1;
+          let fire =
+            match st.mode with
+            | Always -> true
+            | Once -> st.hits = 1
+            | Nth k -> st.hits = k
+            | Prob (p, prng) -> Prng.float prng 1.0 < p
+          in
+          if fire then st.fired <- st.fired + 1;
+          if not fire then `Pass
+          else
+            match st.action with
+            | Fail -> `Fail
+            | Crash -> `Crash)
+
+let crash_exit_code = 137
+
 let should_fail point =
-  Atomic.get armed
-  && with_lock (fun () ->
-         match Hashtbl.find_opt table point with
-         | None -> false
-         | Some st ->
-           st.hits <- st.hits + 1;
-           let fire =
-             match st.mode with
-             | Always -> true
-             | Once -> st.hits = 1
-             | Nth k -> st.hits = k
-             | Prob (p, prng) -> Prng.float prng 1.0 < p
-           in
-           if fire then st.fired <- st.fired + 1;
-           fire)
+  match consult point with
+  | `Pass -> false
+  | `Fail -> true
+  | `Crash ->
+    (* simulated power cut: no at_exit, no flushes — the closest a
+       process can get to kill -9 from the inside. 137 = 128 + SIGKILL,
+       the code a shell reports for the real thing. *)
+    Unix._exit crash_exit_code
 
 let spec_of point =
   with_lock (fun () ->

@@ -14,7 +14,13 @@
     - [once] — only the first pass fails;
     - [nth=K] — only the [K]-th pass fails (1-based);
     - [p=F] or [p=F;seed=N] — each pass fails with probability [F],
-      decided by a dedicated {!Prng} stream (deterministic per seed).
+      decided by a dedicated {!Prng} stream (deterministic per seed);
+    - [crash] or [crash=K] — instead of failing, the process dies on the
+      spot with [Unix._exit 137] (every pass, or only the [K]-th): a
+      simulated power cut, with no [at_exit] handlers and no buffer
+      flushes, indistinguishable from [kill -9] to whatever the process
+      was writing. The crash harness and [--chaos] use this to cut power
+      mid-update at a named point deterministically.
 
     Unarmed, a fault point costs a single flag read. Consumers either call
     {!hit} (raise {!Injected} at the point — used where the surrounding
@@ -51,7 +57,14 @@ val active : unit -> bool
 
 val should_fail : string -> bool
 (** [should_fail point] — consult and advance the point's state: [true]
-    when this pass should fail. Always [false] for unarmed points. *)
+    when this pass should fail. Always [false] for unarmed points. When
+    the point is armed with a [crash] spec and due, this call does not
+    return: the process exits with {!crash_exit_code} immediately. *)
+
+val crash_exit_code : int
+(** [137] (= 128 + SIGKILL): what a [crash]-spec'd point exits with, and
+    what a shell reports for a real [kill -9]. Crash harnesses accept
+    exactly this status from a child that died at an armed point. *)
 
 val hit : string -> unit
 (** Like {!should_fail} but raises {!Injected} when due. *)

@@ -13,7 +13,7 @@ A malformed EXTRACT_FAULTS spec is rejected up front, not at the first
 fault point:
 
   $ EXTRACT_FAULTS="persist.read:nonsense" extract gen paper -o paper.xml
-  EXTRACT_FAULTS: persist.read: unknown fault spec "nonsense" (fail|once|nth=K|p=F;seed=N)
+  EXTRACT_FAULTS: persist.read: unknown fault spec "nonsense" (fail|once|nth=K|crash|crash=K|p=F;seed=N)
   [2]
 
 Build the running example and persist it:
@@ -42,7 +42,7 @@ warning, instead of failing the query:
   $ cp paper.bundle corrupt.bundle && cp paper.xml corrupt.xml
   $ dd if=/dev/zero of=corrupt.bundle bs=1 seek=60 count=8 conv=notrunc status=none
   $ extract search corrupt.bundle "Texas apparel retailer"
-  warning: corrupt artifact corrupt.bundle (bundle checksum mismatch (file corrupt or truncated)); rebuilding from corrupt.xml
+  warning: corrupt artifact corrupt.bundle (bundle checksum mismatch (payload damaged)); rebuilding from corrupt.xml
   1 result(s)
    1. <retailer> (7295 nodes)
 
@@ -50,7 +50,7 @@ With no source to rebuild from, the corruption is fatal but clean:
 
   $ rm corrupt.xml
   $ extract search corrupt.bundle "Texas apparel retailer"
-  error: corrupt.bundle: bundle checksum mismatch (file corrupt or truncated)
+  error: corrupt.bundle: bundle checksum mismatch (payload damaged)
   [1]
 
 Arena + index pairs are fingerprinted; extract check validates a pair:

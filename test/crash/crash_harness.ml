@@ -1,0 +1,209 @@
+(* Crash harness for the live store: the real kill-9 matrix.
+
+   For every (operation × fault point) pair, a forked child performs the
+   operation with a crash fault armed at that point. The fault engine
+   dies with [Unix._exit 137] — no at_exit handlers, no buffered flushes,
+   the honest power-cut approximation available inside one process. The
+   parent then reopens the directory and asserts the crash contract:
+
+   - fsck ([Check.check_live]) reports no damage (benign leftovers —
+     a torn tail, a stale checkpoint, stray temp files — are notes);
+   - the recovered member set is the pre-state or the post-state of the
+     interrupted operation, never a third state;
+   - a query over the recovered corpus runs;
+   - a second recovery is a fixed point (the first one healed).
+
+   Forking happens before any Domain.spawn, so the children never
+   inherit a domain's world. In-process fault tests (test_live.ml) cover
+   the same windows without fork; this harness is the end-to-end check
+   that a whole process dying mid-syscall-sequence recovers. *)
+
+module Live = Extract_store.Live
+module Live_corpus = Extract_snippet.Live_corpus
+module Journal = Extract_store.Journal
+module Check = Extract_check.Check
+module Faults = Extract_util.Faults
+
+let failures = ref 0
+
+let fail scenario fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %-28s %s\n%!" scenario msg)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Scratch stores *)
+
+let temp_dir () =
+  let path = Filename.temp_file "extract_crash" "" in
+  Sys.remove path;
+  path
+
+let doc tag city name =
+  Printf.sprintf "<%s><city>%s</city><name>%s</name></%s>" tag city name tag
+
+(* Seed: two compacted members plus one journalled (uncompacted) member,
+   so every crash scenario runs over a store with both a snapshot and a
+   live journal tail. *)
+let seed dir =
+  let s = Live.open_dir dir in
+  Live.add s ~name:"a.xml" ~xml:(doc "store" "Houston" "Soccer West");
+  Live.add s ~name:"b.xml" ~xml:(doc "store" "Dallas" "Galleria");
+  ignore (Live.compact s);
+  Live.add s ~name:"c.xml" ~xml:(doc "store" "Austin" "Riverside");
+  Live.close s
+
+let member_names dir =
+  let s = Live.open_dir dir in
+  let names = List.sort String.compare (Live.member_names (Live.view s)) in
+  Live.close s;
+  names
+
+let string_of_names names = "[" ^ String.concat " " names ^ "]"
+
+(* The recovered state is compared by observable content, not just the
+   member list: every probe keyword's hit sources. A replace or compact
+   interrupted mid-flight keeps the member list fixed — only the probes
+   can tell the pre- from the post-state. *)
+let probes = [ "soccer"; "galleria"; "riverside"; "etoile"; "houston"; "paris" ]
+
+let content_state dir =
+  let lc = Live_corpus.open_dir ~read_only:true dir in
+  let state =
+    List.map
+      (fun q ->
+        ( q,
+          List.sort String.compare
+            (List.map (fun (h : Live_corpus.hit) -> h.Live_corpus.source)
+               (Live_corpus.run lc q)) ))
+      probes
+  in
+  Live_corpus.close lc;
+  state
+
+let state_of dir = member_names dir, content_state dir
+
+let string_of_state (names, content) =
+  Printf.sprintf "%s {%s}" (string_of_names names)
+    (String.concat "; "
+       (List.filter_map
+          (fun (q, sources) ->
+            if sources = [] then None
+            else Some (Printf.sprintf "%s->%s" q (String.concat "," sources)))
+          content))
+
+(* ------------------------------------------------------------------ *)
+(* Operations under test *)
+
+type operation = {
+  op_name : string;
+  perform : Live.t -> unit;
+}
+
+let op_add =
+  {
+    op_name = "add";
+    perform = (fun s -> Live.add s ~name:"d.xml" ~xml:(doc "store" "Paris" "Etoile"));
+  }
+
+let op_replace =
+  {
+    op_name = "replace";
+    perform = (fun s -> Live.add s ~name:"a.xml" ~xml:(doc "store" "Paris" "Etoile"));
+  }
+
+let op_remove = { op_name = "remove"; perform = (fun s -> ignore (Live.remove s "a.xml")) }
+
+let op_compact = { op_name = "compact"; perform = (fun s -> ignore (Live.compact s)) }
+
+(* every fault point on each operation's write path *)
+let scenarios =
+  [
+    op_add, [ "journal.append:crash"; "journal.torn:once"; "live.apply:crash" ];
+    op_replace, [ "journal.append:crash"; "journal.torn:once"; "live.apply:crash" ];
+    op_remove, [ "journal.append:crash"; "journal.torn:once"; "live.apply:crash" ];
+    ( op_compact,
+      [
+        "snapshot.write:crash";
+        "snapshot.rename:crash";
+        "journal.reset:crash";
+        "live.prune:crash";
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* One scenario: fork, crash, recover, verify *)
+
+let run_child dir op spec =
+  (match Faults.configure spec with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "child: bad fault spec %s: %s\n%!" spec msg;
+    Unix._exit 3);
+  let s = Live.open_dir dir in
+  (try op.perform s
+   with e ->
+     Printf.eprintf "child: %s raised %s\n%!" op.op_name (Printexc.to_string e);
+     Unix._exit 4);
+  Live.close s;
+  Unix._exit 0
+
+let run_scenario op spec =
+  let scenario = Printf.sprintf "%s/%s" op.op_name spec in
+  let failures_before = !failures in
+  let dir = temp_dir () in
+  seed dir;
+  let pre = state_of dir in
+  (* the reference post-state: the same seed with the operation run to
+     completion, no faults, in a second directory *)
+  let post =
+    let ref_dir = temp_dir () in
+    seed ref_dir;
+    let s = Live.open_dir ref_dir in
+    op.perform s;
+    Live.close s;
+    state_of ref_dir
+  in
+  match Unix.fork () with
+  | 0 -> run_child dir op spec
+  | pid -> begin
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+    | Unix.WEXITED n when n = Faults.crash_exit_code || n = 0 ->
+      (* 0 = the fault point was never reached on this path; the op then
+         completed and the state assertion below still applies *)
+      ()
+    | Unix.WEXITED n -> fail scenario "child exited %d (expected 137 or 0)" n
+    | Unix.WSIGNALED sg -> fail scenario "child killed by signal %d" sg
+    | Unix.WSTOPPED sg -> fail scenario "child stopped by signal %d" sg);
+    (* fsck before any writable open: recovery reads must already agree *)
+    let issues, _notes = Check.check_live dir in
+    List.iter (fun i -> fail scenario "fsck: %s" (Check.issue_to_string i)) issues;
+    (match state_of dir with
+    | recovered ->
+      if recovered <> pre && recovered <> post then
+        fail scenario "recovered to a third state %s (pre %s, post %s)"
+          (string_of_state recovered) (string_of_state pre) (string_of_state post);
+      (* recovery must be a fixed point: the first reopen healed, a
+         second one finds nothing left to repair *)
+      let again = state_of dir in
+      if again <> recovered then
+        fail scenario "second recovery changed the state: %s then %s"
+          (string_of_state recovered) (string_of_state again);
+      if !failures = failures_before then
+        Printf.printf "ok   %-28s recovered to %s\n%!" scenario
+          (if recovered = post && recovered <> pre then "post-state"
+           else if recovered = pre && recovered <> post then "pre-state"
+           else "pre=post state")
+    | exception e -> fail scenario "recovery raised %s" (Printexc.to_string e))
+  end
+
+let () =
+  List.iter (fun (op, specs) -> List.iter (run_scenario op) specs) scenarios;
+  if !failures > 0 then begin
+    Printf.printf "%d crash scenario(s) FAILED\n%!" !failures;
+    exit 1
+  end;
+  print_endline "all crash scenarios recovered cleanly"

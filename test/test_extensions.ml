@@ -357,12 +357,18 @@ let test_codec_roundtrip_strings () =
   List.iter (fun v -> check string "string roundtrip" v (Codec.read_string r)) values
 
 let test_codec_corrupt () =
+  (* premature end of input is Truncated (an interrupted write), not
+     Corrupt (damaged data): recovery code treats the two differently *)
   (match Codec.read_varint (Codec.reader "") with
+  | exception Codec.Truncated _ -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  (match Codec.read_string (Codec.reader "\x05ab") with
+  | exception Codec.Truncated _ -> ()
+  | _ -> Alcotest.fail "expected Truncated on truncated string");
+  (* an overlong varint is structural damage, hence Corrupt *)
+  match Codec.read_varint (Codec.reader (String.make 12 '\xff')) with
   | exception Codec.Corrupt _ -> ()
-  | _ -> Alcotest.fail "expected Corrupt");
-  match Codec.read_string (Codec.reader "\x05ab") with
-  | exception Codec.Corrupt _ -> ()
-  | _ -> Alcotest.fail "expected Corrupt on truncated string"
+  | _ -> Alcotest.fail "expected Corrupt on overlong varint"
 
 let test_codec_negative_varint () =
   let w = Codec.writer () in
@@ -403,7 +409,7 @@ let test_persist_file_roundtrip () =
 
 let test_persist_rejects_garbage () =
   (match Persist.decode "not an arena" with
-  | exception Codec.Corrupt _ -> ()
+  | exception (Codec.Corrupt _ | Codec.Truncated _) -> ()
   | _ -> Alcotest.fail "expected Corrupt");
   (* correct magic, wrong version *)
   let w = Codec.writer () in
@@ -448,7 +454,7 @@ let test_persist_index_file_and_search () =
 let test_persist_index_rejects_garbage () =
   let doc = Document.load_string "<r/>" in
   (match Persist.decode_index ~doc "garbage" with
-  | exception Codec.Corrupt _ -> ()
+  | exception (Codec.Corrupt _ | Codec.Truncated _) -> ()
   | _ -> Alcotest.fail "expected Corrupt");
   (* arena magic is not index magic *)
   match Persist.decode_index ~doc (Persist.encode doc) with

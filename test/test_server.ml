@@ -612,6 +612,96 @@ let test_courses_pipeline () =
         <= 6))
     results
 
+(* ------------------------------------------------------------------ *)
+(* Server: live-store admin routes *)
+
+let temp_live_dir () =
+  let path = Filename.temp_file "extract_live_srv" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let live_server () =
+  let db =
+    Pipeline.build (Document.of_document (Extract_datagen.Paper_example.document ()))
+  in
+  let live = Extract_snippet.Live_corpus.open_dir (temp_live_dir ()) in
+  Demo_server.create ~live (Corpus.of_list [ "paper", db ]), live
+
+let post ?(body = "") s target =
+  Demo_server.handle_request ~meth:Demo_server.Post ~body s target
+
+let store_xml city name =
+  Printf.sprintf "<store><city>%s</city><name>%s</name></store>" city name
+
+let test_admin_add_search_remove () =
+  let s, live = live_server () in
+  let r = post ~body:(store_xml "Houston" "Soccer West") s "/admin/add?name=a.xml" in
+  check int "add 200" 200 r.Demo_server.status;
+  check bool "names member" true (contains_substring r.Demo_server.body "a.xml");
+  let r = Demo_server.handle s "/live/search?q=soccer" in
+  check int "live search 200" 200 r.Demo_server.status;
+  check bool "hit content shows" true (contains_substring r.Demo_server.body "Soccer West");
+  let r = Demo_server.handle s "/live" in
+  check int "status 200" 200 r.Demo_server.status;
+  check bool "status lists member" true (contains_substring r.Demo_server.body "a.xml");
+  check int "remove 200" 200 (post s "/admin/remove?name=a.xml").Demo_server.status;
+  check int "remove again 404" 404 (post s "/admin/remove?name=a.xml").Demo_server.status;
+  Extract_snippet.Live_corpus.close live
+
+let test_admin_update_invalidates_search () =
+  (* live pages bypass the caches: a search after an update must see the
+     new member even though the same target was served before *)
+  let s, live = live_server () in
+  ignore (post ~body:(store_xml "Austin" "Shared Alpha") s "/admin/add?name=a.xml");
+  let before = Demo_server.handle s "/live/search?q=shared" in
+  check bool "first member found" true (contains_substring before.Demo_server.body "Alpha");
+  check bool "second member absent" false (contains_substring before.Demo_server.body "Beta");
+  ignore (post ~body:(store_xml "Austin" "Shared Beta") s "/admin/add?name=b.xml");
+  let after = Demo_server.handle s "/live/search?q=shared" in
+  check bool "update visible" true (contains_substring after.Demo_server.body "Beta");
+  Extract_snippet.Live_corpus.close live
+
+let test_admin_compact () =
+  let s, live = live_server () in
+  ignore (post ~body:(store_xml "Dallas" "Gamma") s "/admin/add?name=a.xml");
+  let r = post s "/admin/compact" in
+  check int "compact 200" 200 r.Demo_server.status;
+  check bool "names generation" true (contains_substring r.Demo_server.body "generation 1");
+  let r = Demo_server.handle s "/live/search?q=gamma" in
+  check bool "content survives compaction" true
+    (contains_substring r.Demo_server.body "Gamma");
+  Extract_snippet.Live_corpus.close live
+
+let test_admin_method_discipline () =
+  let s, live = live_server () in
+  check int "GET on admin route" 405 (Demo_server.handle s "/admin/add?name=a").Demo_server.status;
+  check int "POST on search" 405 (post s "/search?data=paper&q=x").Demo_server.status;
+  check int "POST on unknown route" 405 (post s "/nope").Demo_server.status;
+  check string "Allow header" "POST"
+    (Option.value ~default:"-"
+       (List.assoc_opt "Allow" (Demo_server.handle s "/admin/compact").Demo_server.headers));
+  Extract_snippet.Live_corpus.close live
+
+let test_admin_bad_input () =
+  let s, live = live_server () in
+  check int "missing name" 400 (post ~body:"<a/>" s "/admin/add").Demo_server.status;
+  check int "empty body" 400 (post s "/admin/add?name=a.xml").Demo_server.status;
+  check int "unparsable xml" 400
+    (post ~body:"<a><b></a>" s "/admin/add?name=a.xml").Demo_server.status;
+  check int "bad member name" 400
+    (post ~body:"<a/>" s "/admin/add?name=a/b").Demo_server.status;
+  (* none of the rejected updates may have reached the store *)
+  check bool "store untouched" true (Extract_snippet.Live_corpus.names live = []);
+  Extract_snippet.Live_corpus.close live
+
+let test_admin_without_live_store () =
+  let s = server () in
+  check int "add 404" 404 (post ~body:"<a/>" s "/admin/add?name=a").Demo_server.status;
+  check int "compact 404" 404 (post s "/admin/compact").Demo_server.status;
+  check int "live status 404" 404 (Demo_server.handle s "/live").Demo_server.status;
+  check int "live search 404" 404 (Demo_server.handle s "/live/search?q=x").Demo_server.status
+
 let suites =
   [
     ( "util.lru",
@@ -664,6 +754,16 @@ let suites =
         Alcotest.test_case "explain not page cached" `Quick test_explain_not_page_cached;
         Alcotest.test_case "slowlog route" `Quick test_slowlog_route_captures_degraded_and_faulted;
         Alcotest.test_case "request id propagation" `Quick test_request_id_propagation;
+      ] );
+    ( "server.live",
+      [
+        Alcotest.test_case "add/search/remove" `Quick test_admin_add_search_remove;
+        Alcotest.test_case "update visible to search" `Quick
+          test_admin_update_invalidates_search;
+        Alcotest.test_case "compact" `Quick test_admin_compact;
+        Alcotest.test_case "method discipline" `Quick test_admin_method_discipline;
+        Alcotest.test_case "bad input rejected" `Quick test_admin_bad_input;
+        Alcotest.test_case "no live store 404" `Quick test_admin_without_live_store;
       ] );
     ( "datagen.courses",
       [

@@ -24,6 +24,7 @@
 
 module Demo_server = Extract_server.Demo_server
 module Corpus = Extract_snippet.Corpus
+module Live_corpus = Extract_snippet.Live_corpus
 module Pipeline = Extract_snippet.Pipeline
 module Document = Extract_store.Document
 module Datagen = Extract_datagen
@@ -47,6 +48,7 @@ let seed = ref 42 (* init-only — set by Arg.parse before any client thread sta
 let out_path = ref "BENCH_load.json" (* init-only — set by Arg.parse before any client thread starts *)
 let floor_path = ref "" (* init-only — set by Arg.parse before any client thread starts *)
 let chaos_spec = ref "" (* init-only — set by Arg.parse before any client thread starts *)
+let update_mix = ref false (* init-only — set by Arg.parse before any client thread starts *)
 
 let spec =
   [
@@ -69,6 +71,11 @@ let spec =
     ( "--chaos",
       Arg.Set_string chaos_spec,
       "SPEC extra run with EXTRACT_FAULTS-style injection armed (self-host only)" );
+    ( "--update-mix",
+      Arg.Set update_mix,
+      " extra run with a writer thread POSTing /admin/add to a live store while \
+       readers mix /live/search into the query load (self-host only; excluded from \
+       the floor gate)" );
   ]
 
 let usage = "extract-load [options] — closed-loop load test of the demo server"
@@ -173,7 +180,7 @@ let read_response c =
 
 let encode_query q = String.map (fun ch -> if ch = ' ' then '+' else ch) q
 
-let build_targets db =
+let build_queries db =
   let queries =
     Datagen.Workload.generate
       { Datagen.Workload.default with Datagen.Workload.queries = !query_count; seed = !seed }
@@ -183,11 +190,22 @@ let build_targets db =
     prerr_endline "extract-load: workload generator produced no queries";
     exit 2
   end;
+  queries
+
+let search_target i q =
+  Printf.sprintf "/search?data=retail&q=%s&bound=%d" (encode_query q) (4 + (i mod 9))
+
+let build_targets queries = Array.of_list (List.mapi search_target queries)
+
+(* the update-mix read side: every fourth request reads the live store
+   (uncached, lock-free view snapshot), the rest the static corpus *)
+let build_mixed_targets queries =
   Array.of_list
     (List.mapi
        (fun i q ->
-         Printf.sprintf "/search?data=retail&q=%s&bound=%d" (encode_query q)
-           (4 + (i mod 9)))
+         if i mod 4 = 0 then
+           Printf.sprintf "/live/search?q=%s&bound=%d" (encode_query q) (4 + (i mod 9))
+         else search_target i q)
        queries)
 
 (* ------------------------------------------------------------------ *)
@@ -252,11 +270,62 @@ let client_loop ~port ~deadline ~targets ~zipf ~seed stats =
   drop ()
 
 (* ------------------------------------------------------------------ *)
+(* Update writer: one closed-loop thread POSTing journalled updates to
+   the live store while the read clients run — measures how much read
+   throughput a concurrent single-writer stream costs. The writer
+   paces itself (it models an operator feeding documents, not a read
+   storm) and folds the journal with a compact every 64th operation. *)
+
+let writer_loop ~port ~deadline updates =
+  let current = ref None in
+  let conn () =
+    match !current with
+    | Some c -> c
+    | None ->
+      let c = connect port in
+      current := Some c;
+      c
+  in
+  let drop () =
+    (match !current with
+    | Some c -> close_conn c
+    | None -> ());
+    current := None
+  in
+  let i = ref 0 in
+  while not (Deadline.expired deadline) do
+    (match
+       let c = conn () in
+       let target, body =
+         if !i mod 64 = 63 then "/admin/compact", ""
+         else
+           ( Printf.sprintf "/admin/add?name=w%d.xml" (!i mod 8),
+             Printf.sprintf
+               "<store><city>Update %d</city><name>Writer stock</name></store>" !i )
+       in
+       write_all c.fd
+         (Printf.sprintf
+            "POST %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %d\r\n\r\n%s"
+            target (String.length body) body);
+       let code, close = read_response c in
+       incr i;
+       if code = 200 then incr updates;
+       if close then drop ()
+     with
+    | () -> ()
+    | exception (End_of_file | Unix.Unix_error _) -> drop ());
+    Thread.delay 0.002
+  done;
+  drop ()
+
+(* ------------------------------------------------------------------ *)
 (* One measured run                                                    *)
 
 type run_result = {
   r_workers : int;
   r_chaos : bool;
+  r_update_mix : bool;
+  r_updates : int;
   r_elapsed : float;
   r_requests : int;
   r_ok : int;
@@ -297,11 +366,16 @@ let warmup ~port ~targets =
     targets;
   close_conn !c
 
-let run_load ~port ~workers ~chaos ~targets =
+let run_load ?(with_writer = false) ~port ~workers ~chaos ~targets () =
   let zipf = Zipf.create ~n:(Array.length targets) ~skew:!skew in
   let stats = Array.init !connections (fun _ -> fresh_stats ()) in
   let deadline = Deadline.after !duration in
+  let updates = ref 0 (* written by the single writer thread, read after join *) in
   let t0 = Deadline.now () in
+  let writer =
+    if with_writer then Some (Thread.create (fun () -> writer_loop ~port ~deadline updates) ())
+    else None
+  in
   let threads =
     Array.mapi
       (fun i s ->
@@ -312,6 +386,7 @@ let run_load ~port ~workers ~chaos ~targets =
       stats
   in
   Array.iter Thread.join threads;
+  Option.iter Thread.join writer;
   let elapsed = Deadline.now () -. t0 in
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
   let latencies =
@@ -323,6 +398,8 @@ let run_load ~port ~workers ~chaos ~targets =
   {
     r_workers = workers;
     r_chaos = chaos;
+    r_update_mix = with_writer;
+    r_updates = !updates;
     r_elapsed = elapsed;
     r_requests = requests;
     r_ok = sum (fun s -> s.ok);
@@ -373,12 +450,14 @@ let json_of_runs ~cores ~scaling runs =
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
-           "    { \"workers\": %d, \"chaos\": %b, \"elapsed_s\": %.3f, \"requests\": \
+           "    { \"workers\": %d, \"chaos\": %b, \"update_mix\": %b, \"updates\": %d, \
+            \"elapsed_s\": %.3f, \"requests\": \
             %d, \"ok\": %d, \"shed\": %d, \"other\": %d, \"reconnects\": %d, \
             \"transport_errors\": %d, \"throughput_rps\": %.1f, \
             \"throughput_per_core_rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
             \"p99_ms\": %.3f }%s\n"
-           r.r_workers r.r_chaos r.r_elapsed r.r_requests r.r_ok r.r_shed r.r_other
+           r.r_workers r.r_chaos r.r_update_mix r.r_updates r.r_elapsed r.r_requests
+           r.r_ok r.r_shed r.r_other
            r.r_reconnects r.r_transport_errors r.r_rps r.r_rps_per_core r.r_p50_ms
            r.r_p95_ms r.r_p99_ms
            (if i = List.length runs - 1 then "" else ",")))
@@ -401,6 +480,8 @@ let print_table runs =
       Table.add_row t
         [
           (if r.r_chaos then Printf.sprintf "%d (chaos)" r.r_workers
+           else if r.r_update_mix then
+             Printf.sprintf "%d (+%d upd)" r.r_workers r.r_updates
            else string_of_int r.r_workers);
           string_of_int r.r_requests;
           Printf.sprintf "%.0f" r.r_rps;
@@ -445,9 +526,11 @@ let parse_floor_number key contents =
     done;
     if !j > !i then float_of_string_opt (String.sub contents !i (!j - !i)) else None
 
-(* SLO gate over the last non-chaos run: throughput-per-core must stay
-   above a third of the floor, p99 below 3x its floor — generous bands
-   that absorb runner variance but catch real regressions. *)
+(* SLO gate over the last plain run (chaos and update-mix rows carry
+   injected failure or writer interference and are informational):
+   throughput-per-core must stay above a third of the floor, p99 below
+   3x its floor — generous bands that absorb runner variance but catch
+   real regressions. *)
 let floor_gate runs =
   if !floor_path <> "" then begin
     let contents =
@@ -469,7 +552,9 @@ let floor_gate runs =
           !floor_path;
         exit 1
       | Some floor_tpc, Some floor_p99 -> (
-        match List.rev (List.filter (fun r -> not r.r_chaos) runs) with
+        match
+          List.rev (List.filter (fun r -> (not r.r_chaos) && not r.r_update_mix) runs)
+        with
         | [] ->
           Printf.eprintf "floor gate: no non-chaos run to judge\n";
           exit 1
@@ -515,7 +600,8 @@ let main () =
   let db =
     Pipeline.build (Document.of_document (Datagen.Retail.generate Datagen.Retail.default))
   in
-  let targets = build_targets db in
+  let queries = build_queries db in
+  let targets = build_targets queries in
   Printf.printf "query mix: %d targets over retail, zipf skew %.2f\n%!"
     (Array.length targets) !skew;
   let runs =
@@ -524,7 +610,7 @@ let main () =
          value purely for the per-core arithmetic *)
       let workers = match worker_counts with w :: _ -> w | [] -> 1 in
       warmup ~port:!external_port ~targets;
-      [ run_load ~port:!external_port ~workers ~chaos:false ~targets ]
+      [ run_load ~port:!external_port ~workers ~chaos:false ~targets () ]
     end
     else begin
       let server = Demo_server.create (Corpus.add Corpus.empty ~name:"retail" db) in
@@ -533,7 +619,7 @@ let main () =
           (fun workers ->
             with_pool ~server ~workers (fun port ->
                 warmup ~port ~targets;
-                run_load ~port ~workers ~chaos:false ~targets))
+                run_load ~port ~workers ~chaos:false ~targets ()))
           worker_counts
       in
       let chaos_runs =
@@ -550,18 +636,47 @@ let main () =
             let workers = List.fold_left (fun _ w -> w) 1 worker_counts in
             let r =
               with_pool ~server ~workers (fun port ->
-                  run_load ~port ~workers ~chaos:true ~targets)
+                  run_load ~port ~workers ~chaos:true ~targets ())
             in
             Faults.clear ();
             [ r ]
         end
       in
-      measured @ chaos_runs
+      let mix_runs =
+        if not !update_mix then []
+        else begin
+          (* update-mix run: a scratch live store next to the static
+             corpus, one writer thread journalling adds (and periodic
+             compacts) while the readers run a mix of /search and
+             /live/search — read throughput under a concurrent
+             single-writer stream *)
+          let live_dir = Filename.temp_file "extract-load-live" "" in
+          Sys.remove live_dir;
+          let live = Live_corpus.open_dir live_dir in
+          Live_corpus.add live ~name:"seed.xml"
+            ~xml:"<store><city>Seed</city><name>Writer stock</name></store>";
+          let mix_server =
+            Demo_server.create ~live (Corpus.add Corpus.empty ~name:"retail" db)
+          in
+          let workers = List.fold_left (fun _ w -> w) 1 worker_counts in
+          let mixed = build_mixed_targets queries in
+          let r =
+            with_pool ~server:mix_server ~workers (fun port ->
+                warmup ~port ~targets:mixed;
+                run_load ~with_writer:true ~port ~workers ~chaos:false ~targets:mixed ())
+          in
+          Live_corpus.close live;
+          [ r ]
+        end
+      in
+      measured @ chaos_runs @ mix_runs
     end
   in
   let scaling =
     let rps_at w =
-      List.find_opt (fun r -> r.r_workers = w && not r.r_chaos) runs
+      List.find_opt
+        (fun r -> r.r_workers = w && (not r.r_chaos) && not r.r_update_mix)
+        runs
       |> Option.map (fun r -> r.r_rps)
     in
     match rps_at 1, rps_at 4 with
