@@ -1523,10 +1523,11 @@ let e20 () =
     t;
   m
 
-(* Pull the "e2e_mean_ns" value out of a floor file without a JSON parser:
-   locate the key, skip separators, take the longest number literal. *)
-let parse_floor_mean contents =
-  let key = "\"e2e_mean_ns\"" in
+(* Pull one numeric value out of a floor file without a JSON parser:
+   locate the quoted key, skip separators, take the longest number
+   literal. *)
+let parse_floor_key name contents =
+  let key = Printf.sprintf "%S" name in
   let klen = String.length key in
   let n = String.length contents in
   let rec find i =
@@ -1561,7 +1562,7 @@ let floor_gate m =
         Printf.eprintf "floor gate: cannot read %s: %s\n" path msg;
         None
     in
-    (match Option.bind contents parse_floor_mean with
+    (match Option.bind contents (parse_floor_key "e2e_mean_ns") with
     | None ->
       Printf.eprintf "floor gate: no \"e2e_mean_ns\" value in %s\n" path;
       exit 1
@@ -1639,4 +1640,178 @@ let main () =
   ignore (e20 ());
   print_endline "done."
 
-let () = if json_mode then hotpath_json_main () else main ()
+(* ================================================================== *)
+(* E22 — index scale-out (EXPERIMENTS.md): block-compressed postings
+   vs the plain arrays, v1 bundle decode vs v2 snapshot mapping, and
+   per-shard fan-out scaling. [index] mode runs only this experiment,
+   writes BENCH_index.json and applies the two-ratio floor gate CI pins
+   via bench/index_floor.json. *)
+
+let index_mode = Array.exists (fun a -> a = "index") Sys.argv
+
+module Shard_set = Extract_snippet.Shard_set
+
+type index_metrics = {
+  ix_clothes : int;
+  ix_nodes : int;
+  ix_tokens : int;
+  ix_plain_bytes : int;
+  ix_packed_bytes : int;
+  ix_ratio : float;
+  ix_pack_ns : float;
+  ix_v1_file_bytes : int;
+  ix_v2_file_bytes : int;
+  ix_v1_load_ns : float;
+  ix_v2_map_ns : float;
+  ix_speedup : float;
+  ix_shards : (int * float * float) list; (* shard count, sequential ns, parallel ns *)
+}
+
+let index_measure () =
+  (* ten times the default corpus (8 x 10 x 12 = 960 clothes) *)
+  let clothes = if quick then 2_400 else 9_600 in
+  let doc = Document.of_document (Datagen.Retail.scaled ~seed:7 clothes) in
+  let db = Pipeline.build doc in
+  let idx = Pipeline.index db in
+  let plain_bytes = Inverted_index.postings_bytes idx in
+  let packed, pack_ns = time_once (fun () -> Inverted_index.pack idx) in
+  let packed_bytes = Inverted_index.postings_bytes packed in
+  let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name in
+  let v1 = tmp "extract_bench_e22.bundle" in
+  let v2 = tmp "extract_bench_e22.snap" in
+  Pipeline.save v1 db;
+  Pipeline.save_snapshot v2 db;
+  let file_size path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  (* cold start = artifact -> queryable document + index; the analysis
+     stages after that (classification, key mining) are identical on
+     both paths, so they are excluded from the comparison *)
+  let v1_file_bytes = file_size v1 in
+  let v2_file_bytes = file_size v2 in
+  (* medians: mapping is sub-millisecond, a single sample is all jitter *)
+  let v1_load_ns =
+    time_median ~repeat:5 (fun () -> Extract_store.Persist.load_bundle v1)
+  in
+  let v2_map_ns = time_median ~repeat:5 (fun () -> Extract_store.Snapshot.load v2) in
+  let query = "store apparel" in
+  let shard_scaling =
+    List.map
+      (fun k ->
+        let t = Shard_set.split ~shards:k doc in
+        let seq_ns =
+          time_median ~repeat:3 (fun () -> Shard_set.run ~parallel:false ~limit:10 t query)
+        in
+        let par_ns =
+          time_median ~repeat:3 (fun () -> Shard_set.run ~parallel:true ~limit:10 t query)
+        in
+        k, seq_ns, par_ns)
+      [ 1; 2; 4 ]
+  in
+  Sys.remove v1;
+  Sys.remove v2;
+  {
+    ix_clothes = clothes;
+    ix_nodes = Document.node_count doc;
+    ix_tokens = Inverted_index.token_count idx;
+    ix_plain_bytes = plain_bytes;
+    ix_packed_bytes = packed_bytes;
+    ix_ratio = float_of_int plain_bytes /. float_of_int (max 1 packed_bytes);
+    ix_pack_ns = pack_ns;
+    ix_v1_file_bytes = v1_file_bytes;
+    ix_v2_file_bytes = v2_file_bytes;
+    ix_v1_load_ns = v1_load_ns;
+    ix_v2_map_ns = v2_map_ns;
+    ix_speedup = v1_load_ns /. Float.max 1.0 v2_map_ns;
+    ix_shards = shard_scaling;
+  }
+
+let index_json m =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"index\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"mode\": %S,\n" (if quick then "quick" else "full"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"dataset\": { \"name\": \"retail\", \"clothes\": %d, \"nodes\": %d, \"tokens\": %d },\n"
+       m.ix_clothes m.ix_nodes m.ix_tokens);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"compression\": { \"plain_postings_bytes\": %d, \"packed_postings_bytes\": %d, \
+        \"ratio\": %.2f, \"pack_ns\": %.0f },\n"
+       m.ix_plain_bytes m.ix_packed_bytes m.ix_ratio m.ix_pack_ns);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"files\": { \"v1_bundle_bytes\": %d, \"v2_snapshot_bytes\": %d },\n"
+       m.ix_v1_file_bytes m.ix_v2_file_bytes);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"coldstart\": { \"v1_load_ns\": %.0f, \"v2_map_ns\": %.0f, \"speedup\": %.1f },\n"
+       m.ix_v1_load_ns m.ix_v2_map_ns m.ix_speedup);
+  Buffer.add_string b "  \"shards\": [\n";
+  List.iteri
+    (fun i (k, seq_ns, par_ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    { \"shards\": %d, \"seq_ns\": %.0f, \"par_ns\": %.0f }%s\n" k
+           seq_ns par_ns
+           (if i = List.length m.ix_shards - 1 then "" else ",")))
+    m.ix_shards;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* The index gate pins floors, not ceilings: the measured compression
+   ratio and cold-start speedup must stay at or above the checked-in
+   minima. *)
+let index_floor_gate m =
+  match floor_path with
+  | None -> ()
+  | Some path ->
+    let contents =
+      match In_channel.with_open_bin path In_channel.input_all with
+      | c -> Some c
+      | exception Sys_error msg ->
+        Printf.eprintf "index floor gate: cannot read %s: %s\n" path msg;
+        None
+    in
+    let want key =
+      match Option.bind contents (parse_floor_key key) with
+      | Some v -> v
+      | None ->
+        Printf.eprintf "index floor gate: no %S value in %s\n" key path;
+        exit 1
+    in
+    let min_ratio = want "min_index_compression_ratio" in
+    let min_speedup = want "min_coldstart_speedup" in
+    Printf.printf
+      "index floor gate: compression %.2fx (floor %.2fx), cold start %.1fx (floor %.1fx)\n"
+      m.ix_ratio min_ratio m.ix_speedup min_speedup;
+    if m.ix_ratio < min_ratio then begin
+      print_endline
+        "index floor gate: FAILED — packed postings no longer beat the compression floor";
+      exit 1
+    end;
+    if m.ix_speedup < min_speedup then begin
+      print_endline
+        "index floor gate: FAILED — snapshot mapping no longer beats the cold-start floor";
+      exit 1
+    end;
+    print_endline "index floor gate: ok"
+
+let index_main () =
+  print_endline "eXtract index benchmark (E22)";
+  let m = index_measure () in
+  let out = open_out "BENCH_index.json" in
+  output_string out (index_json m);
+  close_out out;
+  print_endline "wrote BENCH_index.json";
+  index_floor_gate m
+
+let () =
+  if index_mode then index_main ()
+  else if json_mode then hotpath_json_main ()
+  else main ()

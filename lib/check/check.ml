@@ -384,6 +384,27 @@ let check_pair ~arena ~index =
   close c
 
 (* ------------------------------------------------------------------ *)
+(* v2 mmap snapshots                                                   *)
+
+module Snapshot = Extract_store.Snapshot
+
+(* The deep pass {!Snapshot.load} deliberately skips: spend every
+   recorded section digest, re-derive the arena fingerprint, then run
+   the structural document/index checks over the mapped database. *)
+let check_snapshot path =
+  let c = collector "snapshot" in
+  match Snapshot.verify path with
+  | _stats ->
+    let doc, index = Snapshot.load path in
+    close c @ check_document doc @ check_index index
+  | exception Codec.Corrupt msg ->
+    report c "snapshot %s: %s" path msg;
+    close c
+  | exception Codec.Truncated msg ->
+    report c "snapshot %s: truncated: %s" path msg;
+    close c
+
+(* ------------------------------------------------------------------ *)
 (* Live store directories                                              *)
 
 module Journal = Extract_store.Journal

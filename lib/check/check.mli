@@ -82,6 +82,14 @@ val check_pair : arena:string -> index:string -> issue list
     {!Extract_snippet.Corpus.load_file} this reports corruption instead
     of rebuilding around it — fsck's job is to say the artifact is bad. *)
 
+val check_snapshot : string -> issue list
+(** fsck for a v2 mmap snapshot (area ["snapshot"]): the deep pass
+    {!Extract_store.Snapshot.load} deliberately skips — every recorded
+    section digest is spent and the arena fingerprint re-derived
+    ({!Extract_store.Snapshot.verify}) — followed by
+    {!check_document}/{!check_index} over the mapped database. An empty
+    or truncated file is one issue naming the path and expected magic. *)
+
 val check_live : string -> issue list * string list
 (** fsck for a live-store directory (area ["live"]): journal readability
     and checkpoint/snapshot-generation agreement, read-only recovery

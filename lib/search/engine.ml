@@ -65,6 +65,41 @@ let string_of_semantics = function
 
 let all_semantics = [ Slca; Elca; Xseek; Xsearch ]
 
+(* K-way merge of per-source scored result lists (each already sorted
+   best-first) into one globally ranked list. Ties break toward the lower
+   source index, and order within a source is preserved — so the merge is
+   deterministic however the sources were produced (sequentially or one
+   domain per shard). *)
+let merge_scored ?limit (sources : (float * 'a) list array) : (float * (int * 'a)) list =
+  let heads = Array.map (fun l -> ref l) sources in
+  let pick () =
+    let best = ref None in
+    Array.iteri
+      (fun i l ->
+        match !l with
+        | [] -> ()
+        | (score, _) :: _ -> (
+          match !best with
+          | Some (best_score, _) when best_score >= score -> ()
+          | _ -> best := Some (score, i)))
+      heads;
+    !best
+  in
+  let budget = match limit with Some k -> k | None -> max_int in
+  let rec drain acc n =
+    if n >= budget then List.rev acc
+    else
+      match pick () with
+      | None -> List.rev acc
+      | Some (_, i) -> (
+        match !(heads.(i)) with
+        | [] -> assert false
+        | (score, x) :: rest ->
+          heads.(i) := rest;
+          drain ((score, (i, x)) :: acc) (n + 1))
+  in
+  drain [] 0
+
 (* Conjunctive semantics returns nothing when any keyword is missing; the
    demo UI wants "did you mean fewer words". Drop the rarest keyword (the
    most likely typo or over-specification) until something matches. *)

@@ -1,5 +1,6 @@
 module Corpus = Extract_snippet.Corpus
 module Live_corpus = Extract_snippet.Live_corpus
+module Shard_set = Extract_snippet.Shard_set
 module Pipeline = Extract_snippet.Pipeline
 module Html_view = Extract_snippet.Html_view
 module Snippet_cache = Extract_snippet.Snippet_cache
@@ -84,15 +85,17 @@ let accept_queue_depth =
 type t = {
   corpus : Corpus.t;
   live : Live_corpus.t option; (* crash-safe updatable corpus, when serving one *)
+  sharded : Shard_set.t option; (* split corpus with per-shard fan-out, when serving one *)
   pages : (string, string) Sharded_lru.t; (* request target -> rendered body *)
   snippets : Snippet_cache.t; (* (db, query, bound, …) -> snippet results *)
   degraded_served : int Atomic.t; (* deadline-degraded snippets sent so far *)
 }
 
-let create ?(cache_size = 64) ?(shards = 8) ?live corpus =
+let create ?(cache_size = 64) ?(shards = 8) ?live ?sharded corpus =
   {
     corpus;
     live;
+    sharded;
     pages = Sharded_lru.create ~shards ~capacity:cache_size ();
     snippets = Snippet_cache.create ~capacity:(4 * cache_size) ~shards ();
     degraded_served = Atomic.make 0;
@@ -559,6 +562,61 @@ let live_search_page t ~deadline params =
           ok results
         end)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded serving: the /shards routes mirror /live, backed by a
+   Shard_set — one domain per shard under each request, answers k-way
+   merged. The shard set is read-only; no admin routes. *)
+
+let with_sharded t f =
+  match t.sharded with
+  | None ->
+    error 404 "Not Found" "no shard set attached (start the server with --shards N)"
+  | Some s -> f s
+
+let shards_status t =
+  with_sharded t (fun s ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "%d shard(s)\n" (Shard_set.shard_count s));
+      for i = 0 to Shard_set.shard_count s - 1 do
+        let g0, g1 = Shard_set.provenance s i in
+        let db = Shard_set.shard_db s i in
+        Buffer.add_string buf
+          (Printf.sprintf "shard %d: nodes %d..%d (%d), %d tokens\n" i g0 g1 (g1 - g0 + 1)
+             (Extract_store.Inverted_index.token_count (Pipeline.index db)))
+      done;
+      text_ok (Buffer.contents buf))
+
+let shards_search_page t ~deadline params =
+  with_sharded t (fun s ->
+      match List.assoc_opt "q" params with
+      | None | Some "" -> error 400 "Bad Request" "missing ?q= parameter"
+      | Some q ->
+        if Deadline.expired deadline then begin
+          Registry.incr shed_total;
+          overloaded "per-request budget exhausted before search started"
+        end
+        else begin
+          let bound = bound_param params in
+          let limit =
+            match Option.bind (List.assoc_opt "limit" params) int_of_string_opt with
+            | Some n when n > 0 -> n
+            | Some _ | None -> 25
+          in
+          let hits =
+            slowlogged ~query:q (fun () ->
+                List.map
+                  (fun (h : Shard_set.hit) -> h.Shard_set.result)
+                  (Shard_set.run ~bound ~limit s q))
+          in
+          let results =
+            Html_view.result_page
+              ~title:(Printf.sprintf "eXtract — sharded (%d shards)"
+                        (Shard_set.shard_count s))
+              ~query:q ~bound hits
+          in
+          ok results
+        end)
+
 (* Every request runs under a fresh request id: the access-log line, the
    pipeline's event-log lines, the trace spans and the slowlog entry of
    one request all carry the same id. *)
@@ -591,6 +649,8 @@ let handle_request ?(deadline = Deadline.never) ?(meth = Get) ?(body = "") t tar
             | "/metrics", Get -> metrics_page t
             | "/live", Get -> live_status t
             | "/live/search", Get -> live_search_page t ~deadline params
+            | "/shards", Get -> shards_status t
+            | "/shards/search", Get -> shards_search_page t ~deadline params
             | "/debug/slowlog", Get -> slowlog_page ()
             | _, Get -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
           with

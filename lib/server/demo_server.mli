@@ -96,6 +96,7 @@ val create :
   ?cache_size:int ->
   ?shards:int ->
   ?live:Extract_snippet.Live_corpus.t ->
+  ?sharded:Extract_snippet.Shard_set.t ->
   Extract_snippet.Corpus.t ->
   t
 (** [cache_size] bounds the rendered-page LRU (default 64 pages); the
@@ -103,7 +104,10 @@ val create :
     entries. Both caches are sharded [shards] ways (default 8,
     {!Extract_util.Sharded_lru}) so pool workers contend only on hash
     collisions. [live] attaches a crash-safe updatable corpus and
-    enables the [/admin] and [/live] routes. *)
+    enables the [/admin] and [/live] routes. [sharded] attaches a
+    read-only split corpus ({!Extract_snippet.Shard_set}) and enables
+    the [/shards] (status) and [/shards/search] (per-shard fan-out,
+    k-way merged) routes — the CLI's [serve --shards]. *)
 
 type response = {
   status : int;

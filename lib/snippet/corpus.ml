@@ -46,6 +46,7 @@ let load_artifact path magic =
   if magic = Extract_store.Persist.bundle_magic then Some (Pipeline.load path)
   else if magic = Extract_store.Persist.magic then
     Some (Pipeline.build (Extract_store.Persist.load path))
+  else if magic = Extract_store.Snapshot.magic then Some (Pipeline.load_snapshot path)
   else None
 
 (* candidate XML sources for a corrupt artifact: `foo.bundle` → `foo.xml`,

@@ -32,8 +32,9 @@ val size : t -> int
 
 val load_file : ?on_warning:(string -> unit) -> string -> Pipeline.t
 (** Load one database from [path], whatever it holds: a bundle written by
-    [extract save], a bare binary arena, or XML (dispatch on the leading
-    magic; anything unrecognized is parsed as XML). A persisted artifact
+    [extract save], a v2 mmap snapshot written by [extract pack], a bare
+    binary arena, or XML (dispatch on the leading magic; anything
+    unrecognized is parsed as XML). A persisted artifact
     is only a cache of its XML source, so a corrupt one
     ({!Extract_store.Codec.Corrupt}: bad checksum, truncation, injected
     fault) is not fatal when a sibling XML source ([foo.xml] or [foo] next

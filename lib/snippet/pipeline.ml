@@ -156,6 +156,12 @@ let load path =
   let doc, index = Extract_store.Persist.load_bundle path in
   of_parts doc index
 
+let save_snapshot path t = Extract_store.Snapshot.save path t.doc t.index
+
+let load_snapshot path =
+  let doc, index = Extract_store.Snapshot.load path in
+  of_parts doc index
+
 let id t = t.id
 
 let document t = t.doc

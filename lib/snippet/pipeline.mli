@@ -32,6 +32,16 @@ val of_parts : Document.t -> Extract_store.Inverted_index.t -> t
     decoding, and how {!Live_corpus} wraps the live store's segments):
     classification and keys are derived, the given index is reused. *)
 
+val save_snapshot : string -> t -> unit
+(** Persist as a v2 mmap snapshot ({!Extract_store.Snapshot.save}) —
+    [extract pack]'s format. Unlike {!save}, {!load_snapshot} maps the
+    arena instead of decoding it, so cold-start is O(1) in the corpus. *)
+
+val load_snapshot : string -> t
+(** Map a snapshot written by {!save_snapshot}; the cheap analysis is
+    re-derived like {!load}.
+    @raise Extract_store.Codec.Corrupt on structural damage. *)
+
 val id : t -> int
 (** Unique id of this analyzed database (process-wide, assigned at
     {!build}/{!load}). {!Snippet_cache} keys embed it so one cache can

@@ -28,6 +28,11 @@ let write_bytes_raw w b =
   write_varint w (Bytes.length b);
   Buffer.add_bytes w.buf b
 
+(* fixed-width native-endian word: the {!Snapshot} header's endianness
+   probe — a varint is endian-agnostic, so it cannot detect a snapshot
+   written on a foreign-endian machine, but a raw word can *)
+let write_fixed64 w v = Buffer.add_int64_ne w.buf v
+
 let contents w = Buffer.contents w.buf
 
 type reader = {
@@ -65,4 +70,42 @@ let read_string r =
 
 let read_bytes_raw r = Bytes.of_string (read_string r)
 
+let read_fixed64 r =
+  if r.pos + 8 > String.length r.data then raise (Truncated "fixed64 overruns input");
+  let v = String.get_int64_ne r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let pos r = r.pos
+
+let seek r p =
+  if p < 0 || p > String.length r.data then
+    invalid_arg (Printf.sprintf "Codec.seek: position %d out of [0,%d]" p (String.length r.data));
+  r.pos <- p
+
 let at_end r = r.pos >= String.length r.data
+
+(* ------------------------------------------------------------------ *)
+(* Block-compressed sorted arrays: ascending ints stored gap-encoded in
+   fixed-size blocks. The per-block first values double as a skip table,
+   so consumers ({!Packed_postings}) can binary-search without decoding
+   more than one block. *)
+
+let block_size = 128
+
+let write_sorted_block w arr ~lo ~hi =
+  let prev = ref 0 in
+  for i = lo to hi - 1 do
+    if i = lo then write_varint w arr.(i) else write_varint w (arr.(i) - !prev);
+    prev := arr.(i)
+  done
+
+let read_sorted_block r out ~lo ~hi =
+  let prev = ref 0 in
+  for i = lo to hi - 1 do
+    let v = read_varint r in
+    let node = if i = lo then v else !prev + v in
+    if i > lo && v = 0 then raise (Corrupt "sorted block: zero delta (not strictly ascending)");
+    out.(i) <- node;
+    prev := node
+  done

@@ -20,6 +20,11 @@ val write_string : writer -> string -> unit
 val write_bytes_raw : writer -> bytes -> unit
 (** Length-prefixed raw bytes. *)
 
+val write_fixed64 : writer -> int64 -> unit
+(** A raw native-endian 64-bit word, no length prefix. Unlike a varint
+    this is {e not} endian-agnostic — which is exactly why the
+    {!Snapshot} header uses one as an endianness probe. *)
+
 val contents : writer -> string
 
 type reader
@@ -35,7 +40,32 @@ val read_string : reader -> string
 
 val read_bytes_raw : reader -> bytes
 
+val read_fixed64 : reader -> int64
+
+val pos : reader -> int
+(** Current byte position, for consumers that record offsets. *)
+
+val seek : reader -> int -> unit
+(** Jump to an absolute byte position (a previously recorded offset).
+    @raise Invalid_argument if the position is outside the buffer. *)
+
 val at_end : reader -> bool
+
+(** {1 Block-compressed sorted arrays}
+
+    Shared delta+varint block primitives for strictly ascending int
+    arrays ({!Packed_postings} block payloads): each block opens with its
+    absolute first value, then gaps. *)
+
+val block_size : int
+(** Entries per compression block (the skip-table granularity). *)
+
+val write_sorted_block : writer -> int array -> lo:int -> hi:int -> unit
+(** Encode [arr.(lo) .. arr.(hi-1)] (strictly ascending) as one block. *)
+
+val read_sorted_block : reader -> int array -> lo:int -> hi:int -> unit
+(** Decode one block into [out.(lo) .. out.(hi-1)].
+    @raise Corrupt on a zero gap (the input was not strictly ascending). *)
 
 exception Corrupt of string
 (** Raised on malformed input: bad magic, checksum mismatch, overlong

@@ -6,24 +6,54 @@ type node = int
 
 type kind = Element | Text
 
+type int_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type char_arr = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Texts come in two shapes: freshly built documents hold one string per
+   node ("" for elements); mapped snapshots hold a single flat blob with
+   an offset table and slice it on demand. Element slices are empty, so
+   both shapes answer identically. *)
+type text_store =
+  | Strings of string array
+  | Blob of {
+      offsets : int_arr; (* node_count + 1 entries *)
+      blob : char_arr;
+    }
+
 type t = {
   dtd : Extract_xml.Dtd.t option;
   dtd_source : string option; (* original internal subset, for persistence *)
   tags : Interner.t;
   kinds : Bytes.t;          (* 0 = element, 1 = text *)
-  tag : int array;          (* tag id, -1 for text nodes *)
-  parent : int array;       (* -1 for the root *)
-  depth : int array;
-  size : int array;         (* subtree size in nodes, including self *)
-  texts : string array;     (* "" for elements *)
+  tag : int_arr;            (* tag id, -1 for text nodes *)
+  parent : int_arr;         (* -1 for the root *)
+  depth : int_arr;
+  size : int_arr;           (* subtree size in nodes, including self *)
+  texts : text_store;
   element_count : int;
 }
 
-let node_count t = Array.length t.tag
+let ba_of_array (a : int array) : int_arr =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+  b
+
+let ba_to_array (b : int_arr) : int array =
+  Array.init (Bigarray.Array1.dim b) (fun i -> Bigarray.Array1.unsafe_get b i)
+
+let node_count t = Bigarray.Array1.dim t.tag
 
 let check t n =
   if n < 0 || n >= node_count t then
     invalid_arg (Printf.sprintf "Document: node %d out of range [0,%d)" n (node_count t))
+
+let text_at t n =
+  match t.texts with
+  | Strings a -> a.(n)
+  | Blob { offsets; blob } ->
+    let off = offsets.{n} and stop = offsets.{n + 1} in
+    String.init (stop - off) (fun i -> Bigarray.Array1.unsafe_get blob (off + i))
 
 (* Flattening: first convert XML attributes to leaf children, then a
    two-pass walk (count, fill) to allocate exact-size arrays. *)
@@ -74,11 +104,11 @@ let of_xml ?dtd xml =
     dtd_source = None;
     tags;
     kinds;
-    tag;
-    parent;
-    depth;
-    size;
-    texts;
+    tag = ba_of_array tag;
+    parent = ba_of_array parent;
+    depth = ba_of_array depth;
+    size = ba_of_array size;
+    texts = Strings texts;
     element_count = !elements;
   }
 
@@ -154,11 +184,11 @@ let of_string_streaming input =
     dtd_source;
     tags;
     kinds = Bytes.of_string (Buffer.contents kind_buf);
-    tag = Arraylist.to_array tag;
-    parent = Arraylist.to_array parent;
-    depth = Arraylist.to_array depth;
-    size = Arraylist.to_array size;
-    texts = Arraylist.to_array texts;
+    tag = ba_of_array (Arraylist.to_array tag);
+    parent = ba_of_array (Arraylist.to_array parent);
+    depth = ba_of_array (Arraylist.to_array depth);
+    size = ba_of_array (Arraylist.to_array size);
+    texts = Strings (Arraylist.to_array texts);
     element_count = !elements;
   }
 
@@ -191,7 +221,7 @@ let is_element t n =
 
 let tag_id t n =
   check t n;
-  let id = t.tag.(n) in
+  let id = t.tag.{n} in
   if id < 0 then invalid_arg (Printf.sprintf "Document.tag_id: node %d is a text node" n);
   id
 
@@ -205,11 +235,11 @@ let text t n =
   check t n;
   if Bytes.get t.kinds n <> '\001' then
     invalid_arg (Printf.sprintf "Document.text: node %d is an element" n);
-  t.texts.(n)
+  text_at t n
 
 let parent t n =
   check t n;
-  let p = t.parent.(n) in
+  let p = t.parent.{n} in
   if p < 0 then None else Some p
 
 let parent_exn t n =
@@ -219,11 +249,11 @@ let parent_exn t n =
 
 let depth t n =
   check t n;
-  t.depth.(n)
+  t.depth.{n}
 
 let subtree_size t n =
   check t n;
-  t.size.(n)
+  t.size.{n}
 
 let subtree_last t n = n + subtree_size t n - 1
 
@@ -233,7 +263,7 @@ let iter_children t n f =
   let c = ref (n + 1) in
   while !c <= stop do
     f !c;
-    c := !c + t.size.(!c)
+    c := !c + t.size.{!c}
   done
 
 let children t n =
@@ -243,14 +273,14 @@ let children t n =
 
 let first_child t n =
   check t n;
-  if t.size.(n) > 1 then Some (n + 1) else None
+  if t.size.{n} > 1 then Some (n + 1) else None
 
 let next_sibling t n =
   check t n;
-  let p = t.parent.(n) in
+  let p = t.parent.{n} in
   if p < 0 then None
   else begin
-    let candidate = n + t.size.(n) in
+    let candidate = n + t.size.{n} in
     if candidate <= subtree_last t p then Some candidate else None
   end
 
@@ -271,9 +301,9 @@ let is_ancestor t ~anc ~desc = anc <> desc && is_ancestor_or_self t ~anc ~desc
 
 let rec lca t a b =
   if a = b then a
-  else if t.depth.(a) > t.depth.(b) then lca t t.parent.(a) b
-  else if t.depth.(b) > t.depth.(a) then lca t a t.parent.(b)
-  else lca t t.parent.(a) t.parent.(b)
+  else if t.depth.{a} > t.depth.{b} then lca t t.parent.{a} b
+  else if t.depth.{b} > t.depth.{a} then lca t a t.parent.{b}
+  else lca t t.parent.{a} t.parent.{b}
 
 let lca t a b =
   check t a;
@@ -283,7 +313,7 @@ let lca t a b =
 let ancestors t n =
   check t n;
   let rec up acc n =
-    match t.parent.(n) with
+    match t.parent.{n} with
     | -1 -> List.rev acc
     | p -> up (p :: acc) p
   in
@@ -293,15 +323,15 @@ let ancestors t n =
 
 let ancestor_at_depth t n d =
   check t n;
-  if d < 0 || d > t.depth.(n) then
-    invalid_arg (Printf.sprintf "Document.ancestor_at_depth: depth %d vs node depth %d" d t.depth.(n));
-  let rec up n = if t.depth.(n) = d then n else up t.parent.(n) in
+  if d < 0 || d > t.depth.{n} then
+    invalid_arg (Printf.sprintf "Document.ancestor_at_depth: depth %d vs node depth %d" d t.depth.{n});
+  let rec up n = if t.depth.{n} = d then n else up t.parent.{n} in
   up n
 
 let immediate_text t n =
   let buf = Buffer.create 16 in
   iter_children t n (fun c ->
-      if Bytes.get t.kinds c = '\001' then Buffer.add_string buf t.texts.(c));
+      if Bytes.get t.kinds c = '\001' then Buffer.add_string buf (text_at t c));
   Buffer.contents buf
 
 let subtree_text t n =
@@ -310,14 +340,14 @@ let subtree_text t n =
   for i = n to subtree_last t n do
     if Bytes.get t.kinds i = '\001' then begin
       if Buffer.length buf > 0 then Buffer.add_char buf ' ';
-      Buffer.add_string buf t.texts.(i)
+      Buffer.add_string buf (text_at t i)
     end
   done;
   Buffer.contents buf
 
 let has_only_text_children t n =
   check t n;
-  if t.size.(n) <= 1 then false
+  if t.size.{n} <= 1 then false
   else begin
     let ok = ref true and any = ref false in
     iter_children t n (fun c ->
@@ -328,7 +358,7 @@ let has_only_text_children t n =
 
 let rec to_xml t n =
   check t n;
-  if Bytes.get t.kinds n = '\001' then Xml.Text t.texts.(n)
+  if Bytes.get t.kinds n = '\001' then Xml.Text (text_at t n)
   else begin
     let kids = List.map (to_xml t) (children t n) in
     Xml.Element { Xml.tag = tag_name t n; attrs = []; children = kids }
@@ -336,8 +366,8 @@ let rec to_xml t n =
 
 let pp_node t ppf n =
   check t n;
-  if Bytes.get t.kinds n = '\001' then Format.fprintf ppf "#%d text %S" n t.texts.(n)
-  else Format.fprintf ppf "#%d <%s> depth=%d size=%d" n (tag_name t n) t.depth.(n) t.size.(n)
+  if Bytes.get t.kinds n = '\001' then Format.fprintf ppf "#%d text %S" n (text_at t n)
+  else Format.fprintf ppf "#%d <%s> depth=%d size=%d" n (tag_name t n) t.depth.{n} t.size.{n}
 
 let dtd_source t =
   match t.dtd_source, t.dtd with
@@ -346,6 +376,17 @@ let dtd_source t =
     let rendered = Format.asprintf "%a" Extract_xml.Dtd.pp dtd in
     if rendered = "" then None else Some rendered
   | None, None -> None
+
+let tag_names t =
+  let names = Array.make (Interner.count t.tags) "" in
+  Interner.iter (fun id name -> names.(id) <- name) t.tags;
+  names
+
+let make ~dtd_source ~tag_names ~kinds ~tag ~parent ~depth ~size ~texts ~element_count =
+  let tags = Interner.create ~capacity:(Array.length tag_names) () in
+  Array.iter (fun name -> ignore (Interner.intern tags name)) tag_names;
+  let dtd = Option.map Extract_xml.Dtd.parse dtd_source in
+  { dtd; dtd_source; tags; kinds; tag; parent; depth; size; texts; element_count }
 
 module Internal = struct
   type repr = {
@@ -361,34 +402,99 @@ module Internal = struct
   }
 
   let to_repr t =
-    let tag_names = Array.make (Interner.count t.tags) "" in
-    Interner.iter (fun id name -> tag_names.(id) <- name) t.tags;
     {
       dtd_source = dtd_source t;
-      tag_names;
+      tag_names = tag_names t;
+      kinds = t.kinds;
+      tag = ba_to_array t.tag;
+      parent = ba_to_array t.parent;
+      depth = ba_to_array t.depth;
+      size = ba_to_array t.size;
+      texts =
+        (match t.texts with
+        | Strings a -> a
+        | Blob _ -> Array.init (node_count t) (fun n -> text_at t n));
+      element_count = t.element_count;
+    }
+
+  let of_repr (r : repr) =
+    make ~dtd_source:r.dtd_source ~tag_names:r.tag_names ~kinds:r.kinds
+      ~tag:(ba_of_array r.tag) ~parent:(ba_of_array r.parent)
+      ~depth:(ba_of_array r.depth) ~size:(ba_of_array r.size)
+      ~texts:(Strings r.texts) ~element_count:r.element_count
+end
+
+(* Flat column access: the zero-copy seam {!Snapshot} packs from and maps
+   into. [of_source] adopts the caller's bigarrays (possibly file-backed)
+   without copying; [to_source] flattens per-node strings into one blob
+   when needed. *)
+module Flat = struct
+  type source = {
+    dtd_source : string option;
+    tag_names : string array;
+    element_count : int;
+    kinds : Bytes.t;
+    tag : int_arr;
+    parent : int_arr;
+    depth : int_arr;
+    size : int_arr;
+    text_offsets : int_arr; (* node_count + 1 entries *)
+    text_blob : char_arr;
+  }
+
+  let of_source (s : source) =
+    let n = Bigarray.Array1.dim s.tag in
+    let dim what a =
+      if Bigarray.Array1.dim a <> n then
+        invalid_arg (Printf.sprintf "Document.Flat.of_source: %s has %d entries, expected %d"
+                       what (Bigarray.Array1.dim a) n)
+    in
+    dim "parent" s.parent;
+    dim "depth" s.depth;
+    dim "size" s.size;
+    if Bytes.length s.kinds <> n then
+      invalid_arg "Document.Flat.of_source: kinds length mismatch";
+    if Bigarray.Array1.dim s.text_offsets <> n + 1 then
+      invalid_arg "Document.Flat.of_source: text offset table must have node_count + 1 entries";
+    if s.text_offsets.{n} <> Bigarray.Array1.dim s.text_blob then
+      invalid_arg "Document.Flat.of_source: text offsets disagree with blob length";
+    make ~dtd_source:s.dtd_source ~tag_names:s.tag_names ~kinds:s.kinds ~tag:s.tag
+      ~parent:s.parent ~depth:s.depth ~size:s.size
+      ~texts:(Blob { offsets = s.text_offsets; blob = s.text_blob })
+      ~element_count:s.element_count
+
+  let to_source t : source =
+    let n = node_count t in
+    let text_offsets, text_blob =
+      match t.texts with
+      | Blob { offsets; blob } -> offsets, blob
+      | Strings a ->
+        let offsets = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (n + 1) in
+        let total = Array.fold_left (fun acc s -> acc + String.length s) 0 a in
+        let blob = Bigarray.Array1.create Bigarray.char Bigarray.c_layout total in
+        let off = ref 0 in
+        Array.iteri
+          (fun i s ->
+            offsets.{i} <- !off;
+            String.iter
+              (fun c ->
+                Bigarray.Array1.unsafe_set blob !off c;
+                incr off)
+              s)
+          a;
+        offsets.{n} <- !off;
+        offsets, blob
+    in
+    {
+      dtd_source = dtd_source t;
+      tag_names = tag_names t;
+      element_count = t.element_count;
       kinds = t.kinds;
       tag = t.tag;
       parent = t.parent;
       depth = t.depth;
       size = t.size;
-      texts = t.texts;
-      element_count = t.element_count;
-    }
-
-  let of_repr (r : repr) =
-    let tags = Interner.create ~capacity:(Array.length r.tag_names) () in
-    Array.iter (fun name -> ignore (Interner.intern tags name)) r.tag_names;
-    let dtd = Option.map Extract_xml.Dtd.parse r.dtd_source in
-    {
-      dtd;
-      dtd_source = r.dtd_source;
-      tags;
-      kinds = r.kinds;
-      tag = r.tag;
-      parent = r.parent;
-      depth = r.depth;
-      size = r.size;
-      texts = r.texts;
-      element_count = r.element_count;
+      text_offsets;
+      text_blob;
     }
 end

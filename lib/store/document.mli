@@ -16,6 +16,12 @@ type kind =
   | Element
   | Text
 
+type int_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Node columns are untagged-int bigarrays, so a {!Snapshot} can back
+    them directly with [Unix.map_file] — no per-node decode on load. *)
+
+type char_arr = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t
 
 val of_xml : ?dtd:Extract_xml.Dtd.t -> Extract_xml.Types.t -> t
@@ -129,6 +135,34 @@ val to_xml : t -> node -> Extract_xml.Types.t
 
 val pp_node : t -> Format.formatter -> node -> unit
 (** One-line description, for debugging and error messages. *)
+
+(** {1 Flat column access}
+
+    The zero-copy seam used by {!Snapshot}: a document as raw columns.
+    [of_source] adopts the given bigarrays without copying — they may be
+    file-backed mappings — and [to_source] exposes a built document's
+    columns (flattening per-node text strings into one blob + offset
+    table when needed). *)
+
+module Flat : sig
+  type source = {
+    dtd_source : string option;
+    tag_names : string array;
+    element_count : int;
+    kinds : Bytes.t;
+    tag : int_arr;
+    parent : int_arr;
+    depth : int_arr;
+    size : int_arr;
+    text_offsets : int_arr; (** [node_count + 1] entries; element slices are empty *)
+    text_blob : char_arr;
+  }
+
+  val of_source : source -> t
+  (** @raise Invalid_argument on mismatched column lengths. *)
+
+  val to_source : t -> source
+end
 
 (**/**)
 

@@ -1,10 +1,19 @@
 module Interner = Extract_util.Interner
 module Arraylist = Extract_util.Arraylist
 
+(* Posting lists come in two representations: plain sorted arrays (8
+   bytes per posting — what [build] produces) and block-compressed
+   {!Packed_postings} (1–2 bytes per posting — what {!Snapshot} maps).
+   Every query entry point answers identically on both; the equivalence
+   is property-tested in test_packed.ml. *)
+type lists =
+  | Plain of Document.node array array
+  | Packed of Packed_postings.t array
+
 type t = {
   doc : Document.t;
   tokens : Interner.t;
-  postings : Document.node array array;    (* token id -> sorted element ids *)
+  postings : lists;                         (* token id -> sorted element ids *)
   tag_tokens : (int * int, unit) Hashtbl.t; (* (token id, tag id) membership *)
   mutable sorted_tokens : (string * int) array option;
       (* (token, id) sorted by token, built lazily on the first [complete];
@@ -46,22 +55,59 @@ let build doc =
   done;
   let postings = Array.make (Arraylist.length lists) [||] in
   Arraylist.iteri (fun i list -> postings.(i) <- Arraylist.to_array list) lists;
-  { doc; tokens; postings; tag_tokens; sorted_tokens = None }
+  { doc; tokens; postings = Plain postings; tag_tokens; sorted_tokens = None }
 
 let document t = t.doc
 
 let token_count t = Interner.count t.tokens
 
-let postings_size t = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.postings
+let is_packed t =
+  match t.postings with
+  | Plain _ -> false
+  | Packed _ -> true
+
+let pack t =
+  match t.postings with
+  | Packed _ -> t
+  | Plain arrays ->
+    { t with postings = Packed (Array.map Packed_postings.of_array arrays) }
+
+let list_length t id =
+  match t.postings with
+  | Plain arrays -> Array.length arrays.(id)
+  | Packed packed -> Packed_postings.length packed.(id)
+
+let postings_size t =
+  let n = token_count t in
+  let acc = ref 0 in
+  for id = 0 to n - 1 do
+    acc := !acc + list_length t id
+  done;
+  !acc
+
+let postings_bytes t =
+  (* approximate resident bytes of the posting lists alone: one word per
+     posting plus a header word per plain array, vs the packed blocks'
+     compressed footprint — the numerator and denominator of E22's
+     compression ratio *)
+  match t.postings with
+  | Plain arrays -> Array.fold_left (fun acc l -> acc + (8 * (Array.length l + 1))) 0 arrays
+  | Packed packed -> Array.fold_left (fun acc p -> acc + Packed_postings.byte_size p) 0 packed
 
 let lookup t keyword =
   match Interner.find t.tokens (Tokenizer.normalize keyword) with
-  | Some id -> t.postings.(id)
+  | Some id -> (
+    match t.postings with
+    | Plain arrays -> arrays.(id)
+    | Packed packed -> Packed_postings.to_array packed.(id))
   | None -> [||]
 
 let matches t keyword = Array.to_list (lookup t keyword)
 
-let contains t keyword = Array.length (lookup t keyword) > 0
+let contains t keyword =
+  match Interner.find t.tokens (Tokenizer.normalize keyword) with
+  | Some id -> list_length t id > 0
+  | None -> false
 
 let vocabulary t =
   let acc = ref [] in
@@ -80,12 +126,17 @@ let mem_sorted list node =
   in
   search 0 (Array.length list - 1)
 
+let mem_posting t id node =
+  match t.postings with
+  | Plain arrays -> mem_sorted arrays.(id) node
+  | Packed packed -> Packed_postings.mem packed.(id) node
+
 let match_kind t ~keyword ~node =
   let tok = Tokenizer.normalize keyword in
   match Interner.find t.tokens tok with
   | None -> None
   | Some id ->
-    if not (mem_sorted t.postings.(id) node) then None
+    if not (mem_posting t id node) then None
     else begin
       let tag_match =
         Document.is_element t.doc node && Hashtbl.mem t.tag_tokens (id, Document.tag_id t.doc node)
@@ -136,7 +187,7 @@ let complete t ?(limit = 10) prefix =
     let i = ref !lo in
     while !i < n && has_prefix ~prefix (fst arr.(!i)) do
       let tok, id = arr.(!i) in
-      out := (tok, Array.length t.postings.(id)) :: !out;
+      out := (tok, list_length t id) :: !out;
       incr i
     done;
     List.sort
@@ -152,21 +203,43 @@ module Internal = struct
     tag_tokens : (int * int) array;
   }
 
-  let to_repr (idx : t) =
+  let token_names (idx : t) =
     let tokens = Array.make (Interner.count idx.tokens) "" in
     Interner.iter (fun id s -> tokens.(id) <- s) idx.tokens;
-    let tag_tokens =
-      Hashtbl.fold (fun pair () acc -> pair :: acc) idx.tag_tokens []
-      |> List.sort (fun (a1, a2) (b1, b2) ->
-             if a1 <> b1 then Int.compare a1 b1 else Int.compare a2 b2)
-      |> Array.of_list
+    tokens
+
+  let tag_token_pairs (idx : t) =
+    Hashtbl.fold (fun pair () acc -> pair :: acc) idx.tag_tokens []
+    |> List.sort (fun (a1, a2) (b1, b2) ->
+           if a1 <> b1 then Int.compare a1 b1 else Int.compare a2 b2)
+    |> Array.of_list
+
+  let to_repr (idx : t) =
+    let postings =
+      match idx.postings with
+      | Plain arrays -> arrays
+      | Packed packed -> Array.map Packed_postings.to_array packed
     in
-    { tokens; postings = idx.postings; tag_tokens }
+    { tokens = token_names idx; postings; tag_tokens = tag_token_pairs idx }
 
   let of_repr ~doc (r : repr) =
     let tokens = Interner.create ~capacity:(Array.length r.tokens) () in
     Array.iter (fun s -> ignore (Interner.intern tokens s)) r.tokens;
     let tag_tokens = Hashtbl.create (Array.length r.tag_tokens) in
     Array.iter (fun pair -> Hashtbl.replace tag_tokens pair ()) r.tag_tokens;
-    { doc; tokens; postings = r.postings; tag_tokens; sorted_tokens = None }
+    { doc; tokens; postings = Plain r.postings; tag_tokens; sorted_tokens = None }
+
+  let packed_lists (idx : t) =
+    match idx.postings with
+    | Packed packed -> packed
+    | Plain arrays -> Array.map Packed_postings.of_array arrays
+
+  let of_packed ~doc ~tokens:token_names ~packed ~tag_tokens:pairs =
+    if Array.length token_names <> Array.length packed then
+      invalid_arg "Inverted_index.Internal.of_packed: token/list count mismatch";
+    let tokens = Interner.create ~capacity:(Array.length token_names) () in
+    Array.iter (fun s -> ignore (Interner.intern tokens s)) token_names;
+    let tag_tokens = Hashtbl.create (max 16 (Array.length pairs)) in
+    Array.iter (fun pair -> Hashtbl.replace tag_tokens pair ()) pairs;
+    { doc; tokens; postings = Packed packed; tag_tokens; sorted_tokens = None }
 end

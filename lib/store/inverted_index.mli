@@ -18,6 +18,20 @@ val token_count : t -> int
 val postings_size : t -> int
 (** Total number of postings across all tokens (index "size"). *)
 
+val postings_bytes : t -> int
+(** Approximate resident bytes of the posting lists: 8 per posting when
+    plain, the compressed block footprint when packed. The E22
+    compression-ratio metric. *)
+
+val pack : t -> t
+(** Convert posting lists to block-compressed {!Packed_postings} sharing
+    the same document and vocabulary. All query entry points answer
+    identically on the packed form; [lookup] decodes (fresh array per
+    call), point probes ([contains], [match_kind], [complete] counts)
+    touch at most one block. Identity on an already-packed index. *)
+
+val is_packed : t -> bool
+
 val lookup : t -> string -> Document.node array
 (** [lookup t keyword] is the posting list for the normalized keyword —
     the shared array, do not mutate. Empty when the keyword is absent. *)
@@ -51,6 +65,26 @@ module Internal : sig
   }
 
   val to_repr : t -> repr
+  (** Decodes packed lists back to plain arrays when needed. *)
 
   val of_repr : doc:Document.t -> repr -> t
+
+  val packed_lists : t -> Packed_postings.t array
+  (** Per-token packed lists, packing on the fly for a plain index.
+      {!Snapshot}'s save path. *)
+
+  val token_names : t -> string array
+  (** Vocabulary in token-id order. *)
+
+  val tag_token_pairs : t -> (int * int) array
+  (** The (token id, tag id) membership set, sorted. *)
+
+  val of_packed :
+    doc:Document.t ->
+    tokens:string array ->
+    packed:Packed_postings.t array ->
+    tag_tokens:(int * int) array ->
+    t
+  (** Assemble a packed index from decoded sections ({!Snapshot}'s load
+      path). @raise Invalid_argument on token/list count mismatch. *)
 end

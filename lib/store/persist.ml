@@ -141,7 +141,7 @@ let decode data = decode_payload (unseal ~magic ~kind:"arena" data)
    sees; they fail as [Codec.Corrupt] so injected faults exercise exactly
    the recovery paths real corruption takes. *)
 
-let read_file ~what path =
+let read_file ~what ~magic:expected path =
   if Faults.should_fail "persist.read" then
     raise (Codec.Corrupt (Printf.sprintf "injected fault: persist.read (%s)" what));
   let ic = open_in_bin path in
@@ -152,6 +152,15 @@ let read_file ~what path =
       raise e
   in
   close_in ic;
+  (* a zero-length file used to surface as a bare "unexpected end of
+     input" from the envelope reader — no filename, no hint of what the
+     file was supposed to be. Name both up front: empty files are what
+     crashes-during-create and disk-full leave behind. *)
+  if String.length data = 0 then
+    raise
+      (Codec.Truncated
+         (Printf.sprintf "%s: empty file (expected a %s artifact with magic %S)" path what
+            expected));
   Registry.incr reads_total;
   Registry.add read_bytes_total (String.length data);
   data
@@ -170,7 +179,7 @@ let write_file ~what path data =
 
 let save path doc = write_file ~what:"arena" path (encode doc)
 
-let load path = decode (read_file ~what:"arena" path)
+let load path = decode (read_file ~what:"arena" ~magic path)
 
 (* ------------------------------------------------------------------ *)
 (* Index persistence: posting lists are sorted and ascending, so they are
@@ -256,7 +265,7 @@ let decode_index ~doc data =
 
 let save_index path index = write_file ~what:"index" path (encode_index index)
 
-let load_index path ~doc = decode_index ~doc (read_file ~what:"index" path)
+let load_index path ~doc = decode_index ~doc (read_file ~what:"index" ~magic:index_magic path)
 
 (* ------------------------------------------------------------------ *)
 (* Bundles: arena + index in one file, each as a length-prefixed sealed
@@ -288,7 +297,7 @@ let decode_bundle data =
 
 let save_bundle path doc index = write_file ~what:"bundle" path (encode_bundle doc index)
 
-let load_bundle path = decode_bundle (read_file ~what:"bundle" path)
+let load_bundle path = decode_bundle (read_file ~what:"bundle" ~magic:bundle_magic path)
 
 (* first bytes of any Persist file: a Codec string length then the magic;
    used by the CLI to sniff file kinds *)

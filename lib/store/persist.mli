@@ -42,7 +42,9 @@ val save : string -> Document.t -> unit
 val load : string -> Document.t
 (** Read from a file.
     @raise Codec.Corrupt, [Codec.Truncated] or [Sys_error] as
-    appropriate. *)
+    appropriate. A zero-length file (the residue of an interrupted
+    create) raises [Codec.Truncated] naming the path and the expected
+    magic, here and in every [load_*] below. *)
 
 val fingerprint : Document.t -> string
 (** Hex digest of the arena's serialized payload — the identity an index

@@ -39,3 +39,42 @@ An impossibly tight floor fails with exit 1:
   exit=1
   $ grep -c "floor gate: FAILED" out.txt
   1
+
+The index mode (E22) measures the v2 format: posting-list compression,
+bundle-decode vs snapshot-map cold start, and per-shard fan-out scaling.
+It writes BENCH_index.json with the same stable-shape contract:
+
+  $ extract-bench quick index
+  eXtract index benchmark (E22)
+  wrote BENCH_index.json
+  $ sed -E 's/([:,] )-?[0-9]+(\.[0-9]+)?/\1N/g' BENCH_index.json
+  {
+    "experiment": "index",
+    "mode": "quick",
+    "dataset": { "name": "retail", "clothes": N, "nodes": N, "tokens": N },
+    "compression": { "plain_postings_bytes": N, "packed_postings_bytes": N, "ratio": N, "pack_ns": N },
+    "files": { "v1_bundle_bytes": N, "v2_snapshot_bytes": N },
+    "coldstart": { "v1_load_ns": N, "v2_map_ns": N, "speedup": N },
+    "shards": [
+      { "shards": N, "seq_ns": N, "par_ns": N },
+      { "shards": N, "seq_ns": N, "par_ns": N },
+      { "shards": N, "seq_ns": N, "par_ns": N }
+    ]
+  }
+
+Its floor gate pins minima — ratios that must stay at or above the
+checked-in values. Trivial floors pass:
+
+  $ printf '{ "min_index_compression_ratio": 1.01, "min_coldstart_speedup": 1.01 }' > ixfloor.json
+  $ extract-bench quick index --floor=ixfloor.json > out.txt 2>&1; echo "exit=$?"
+  exit=0
+  $ tail -n 1 out.txt
+  index floor gate: ok
+
+Impossible floors fail with exit 1:
+
+  $ printf '{ "min_index_compression_ratio": 100000, "min_coldstart_speedup": 100000 }' > ixtight.json
+  $ extract-bench quick index --floor=ixtight.json > out.txt 2>&1; echo "exit=$?"
+  exit=1
+  $ grep -c "index floor gate: FAILED" out.txt
+  1

@@ -32,7 +32,7 @@
         (c) annotated [(* domain-local *)], [(* init-only *)] or
             [(* read-only *)] with a justification.
       Fields of internally synchronized types (Sharded_lru.t,
-      Snippet_cache.t) are accepted as safe. Annotations cover their own
+      Snippet_cache.t, Shard_set.t) are accepted as safe. Annotations cover their own
       line and the next, so they can trail the site or sit above it; a
       type-level annotation covers every field of the declaration.
 
@@ -105,7 +105,12 @@ let bearing_roster = [ "Lru"; "Snippet_cache" ]
 
 let safe_field_types = [ "Atomic.t"; "Domain.DLS.key" ]
 
-let internal_sync_types = [ "Sharded_lru.t"; "Snippet_cache.t" ]
+(* Shard_set.t is on the roster because its synchronization story is
+   internal to the module: the shard array is built once and never
+   mutated, and the query fan-out spawns/joins its domains inside
+   [Shard_set.run] — holders of a shard set need no locking of their
+   own. *)
+let internal_sync_types = [ "Sharded_lru.t"; "Snippet_cache.t"; "Shard_set.t" ]
 
 let container_field_types =
   [ "ref"; "array"; "bytes"; "Hashtbl.t"; "Queue.t"; "Buffer.t"; "Bytes.t"; "Stack.t"; "Lru.t" ]
@@ -533,7 +538,8 @@ let domain_safety =
        declaration line, which covers every field of the record. A\n\
        trailing justification after the keyword is encouraged and\n\
        ignored. Fields of internally synchronized types (Sharded_lru.t,\n\
-       Snippet_cache.t) are safe as-is. The catalogue is rendered by\n\
+       Snippet_cache.t, Shard_set.t) are safe as-is. The catalogue is\n\
+       rendered by\n\
        --concurrency-doc and checked in as doc/CONCURRENCY.md; the @lint\n\
        alias fails on drift (regenerate with dune promote).";
     run =
