@@ -38,6 +38,10 @@ let () =
     prerr_endline msg;
     exit 2
 
+(* Opt-in trace sampling: EXTRACT_TRACE_SAMPLE=1/N records one request in
+   every N (see extract_obs.Trace); malformed values are ignored. *)
+let () = Extract_obs.Trace.install_from_env ()
+
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
@@ -347,6 +351,16 @@ let snippet_cmd =
                "Record spans around load, search and snippet generation and print the \
                 span tree (with wall-clock durations) to stderr after the results.")
   in
+  let trace_out_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:
+               "Record spans (implies tracing) and write them to $(docv) as Chrome \
+                trace-event JSON, loadable in Perfetto or chrome://tracing. Child-domain \
+                spans (per-shard runs, parallel-pipeline workers) appear with their own \
+                thread ids under the query span.")
+  in
   let differentiate_flag =
     Arg.(value & flag
          & info [ "differentiate" ]
@@ -369,15 +383,37 @@ let snippet_cmd =
              or text (appended after the snippets; the default when $(docv) is omitted).")
   in
   let run file query semantics bound limit compare_baselines differentiate order trace
-      explain log_level =
+      trace_out explain log_level =
     let module Trace = Extract_obs.Trace in
     let module Explain = Extract_snippet.Explain in
     apply_log_level log_level;
+    let tracing = trace || trace_out <> None in
+    if tracing then Trace.set_enabled true;
+    (* Flush collected spans at the end of whichever branch ran: the tree
+       to stderr for --trace, Chrome trace-event JSON for --trace-out. *)
+    let emit_trace () =
+      if tracing then begin
+        let spans = Trace.finished () in
+        if trace then Printf.eprintf "trace:\n%s%!" (Trace.render spans);
+        (match trace_out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Extract_obs.Trace_export.render spans);
+          output_char oc '\n';
+          close_out oc
+        | None -> ());
+        Trace.set_enabled false
+      end
+    in
     if Shard_set.is_shard_dir file then begin
       (* a shard directory: per-shard snippets, globally merged *)
-      ignore (compare_baselines, differentiate, order, trace, explain);
+      ignore (compare_baselines, differentiate, order, explain);
       let t = open_shards file in
-      let hits = Shard_set.run ~semantics ~bound ?limit t query in
+      let hits =
+        Extract_obs.Reqid.ensure (fun _rid ->
+            Trace.with_span "cli.run" (fun () ->
+                Shard_set.run ~semantics ~bound ?limit t query))
+      in
       Printf.printf "%d hit(s) for %S, bound %d edges\n\n" (List.length hits) query bound;
       List.iteri
         (fun i (h : Shard_set.hit) ->
@@ -389,14 +425,19 @@ let snippet_cmd =
             (Selector.covered_count s.Pipeline.selection)
             (Ilist.length s.Pipeline.ilist)
             (Snippet_tree.edge_count s.Pipeline.selection.Selector.snippet))
-        hits
+        hits;
+      emit_trace ()
     end
     else if Sys.is_directory file then begin
       (* a directory is a live store; the flags tied to single-database
          explain plumbing do not apply there *)
-      ignore (compare_baselines, differentiate, order, trace, explain);
+      ignore (compare_baselines, differentiate, order, explain);
       let lc = open_live_corpus ~read_only:true file in
-      let hits = Live_corpus.run ~semantics ~bound ?limit lc query in
+      let hits =
+        Extract_obs.Reqid.ensure (fun _rid ->
+            Trace.with_span "cli.run" (fun () ->
+                Live_corpus.run ~semantics ~bound ?limit lc query))
+      in
       Printf.printf "%d hit(s) for %S, bound %d edges\n\n" (List.length hits) query bound;
       List.iteri
         (fun i (h : Live_corpus.hit) ->
@@ -409,10 +450,10 @@ let snippet_cmd =
             (Ilist.length s.Pipeline.ilist)
             (Snippet_tree.edge_count s.Pipeline.selection.Selector.snippet))
         hits;
-      Live_corpus.close lc
+      Live_corpus.close lc;
+      emit_trace ()
     end
     else begin
-    if trace then Trace.set_enabled true;
     let db = Trace.with_span "cli.load" (fun () -> load_db file) in
     let config = { Extract_snippet.Config.default with Extract_snippet.Config.feature_order = order } in
     let print_results results =
@@ -463,17 +504,15 @@ let snippet_cmd =
           | `Text ->
             print_results results;
             print_string (Explain.to_text bundle)));
-    if trace then begin
-      Printf.eprintf "trace:\n%s%!" (Trace.render (Trace.finished ()));
-      Trace.set_enabled false
-    end
+    emit_trace ()
     end
   in
   Cmd.v
     (Cmd.info "snippet" ~doc:"Generate snippets for a keyword query (the demo flow).")
     Term.(
       const run $ file_arg $ query_arg $ semantics_arg $ bound_arg $ limit_arg $ compare_flag
-      $ differentiate_flag $ order_arg $ trace_flag $ explain_arg $ log_level_arg)
+      $ differentiate_flag $ order_arg $ trace_flag $ trace_out_arg $ explain_arg
+      $ log_level_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)

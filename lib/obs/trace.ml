@@ -5,7 +5,16 @@ type span = {
   start : float;
   duration : float;
   rid : string option;
+  dom : int;
+  args : (string * string) list;
   children : span list;
+}
+
+(* Spans finished on a child domain, waiting to be adopted by the parent
+   span that captured the context. *)
+type collector = {
+  c_lock : Mutex.t;
+  mutable c_spans : span list; (* guarded-by: c_lock *)
 }
 
 (* an open span being built; children accumulate reversed *)
@@ -14,7 +23,9 @@ type building = {
   b_name : string;
   b_start : float;
   b_rid : string option;
+  b_args : (string * string) list;
   mutable b_children : span list;
+  mutable b_adopt : collector option;
 }
 
 let on = Atomic.make false
@@ -23,42 +34,121 @@ let set_enabled v = Atomic.set on v
 
 let enabled () = Atomic.get on
 
+(* Per-scope recording: lets the server sample individual requests while
+   process-wide tracing stays off. *)
+let recording_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let recording () = Atomic.get on || !(Domain.DLS.get recording_key)
+
+let with_recording f =
+  let r = Domain.DLS.get recording_key in
+  let saved = !r in
+  r := true;
+  match f () with
+  | x ->
+    r := saved;
+    x
+  | exception e ->
+    r := saved;
+    raise e
+
 (* Per-domain open-span stack: parallel snippet workers each trace their
    own subtree without interleaving. *)
 let stack_key : building list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
-(* Completed roots, across all domains, oldest first (kept reversed). *)
+(* Where completed roots on this domain go: a parent span's collector
+   when running under with_context, else the global buffer. *)
+let sink_key : collector option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* Completed roots, across all domains, newest first, bounded. *)
 let roots_lock = Mutex.create ()
 
 let roots : span list ref = ref [] (* guarded-by: roots_lock *)
 
+let roots_len = ref 0 (* guarded-by: roots_lock *)
+
+let default_capacity = 512
+
+let capacity = Atomic.make default_capacity
+
+let set_buffer_capacity n = Atomic.set capacity (max 1 n)
+
+let buffer_capacity () = Atomic.get capacity
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
 let push_root s =
-  Mutex.lock roots_lock;
-  roots := s :: !roots;
-  Mutex.unlock roots_lock
+  match !(Domain.DLS.get sink_key) with
+  | Some c ->
+    Mutex.lock c.c_lock;
+    c.c_spans <- s :: c.c_spans;
+    Mutex.unlock c.c_lock
+  | None ->
+    Mutex.lock roots_lock;
+    roots := s :: !roots;
+    incr roots_len;
+    let cap = Atomic.get capacity in
+    if !roots_len > cap then begin
+      roots := take cap !roots;
+      roots_len := cap
+    end;
+    Mutex.unlock roots_lock
 
 let finished () =
   Mutex.lock roots_lock;
   let out = List.rev !roots in
   roots := [];
+  roots_len := 0;
   Mutex.unlock roots_lock;
   out
+
+let recent ?last () =
+  Mutex.lock roots_lock;
+  let all = !roots in
+  Mutex.unlock roots_lock;
+  let sel = match last with None -> all | Some n -> take (max 0 n) all in
+  List.rev sel
 
 let clear () =
   Mutex.lock roots_lock;
   roots := [];
+  roots_len := 0;
   Mutex.unlock roots_lock;
   Domain.DLS.get stack_key := []
 
 let close_span stack b =
+  let adopted =
+    match b.b_adopt with
+    | None -> []
+    | Some c ->
+      Mutex.lock c.c_lock;
+      let s = c.c_spans in
+      c.c_spans <- [];
+      Mutex.unlock c.c_lock;
+      s
+  in
+  let children =
+    match adopted with
+    | [] -> List.rev b.b_children
+    | _ ->
+      List.sort
+        (fun a b -> Float.compare a.start b.start)
+        (List.rev_append b.b_children adopted)
+  in
   let finished_span =
     {
       name = b.b_name;
       start = b.b_start;
       duration = Deadline.now () -. b.b_start;
       rid = b.b_rid;
-      children = List.rev b.b_children;
+      dom = (Domain.self () :> int);
+      args = b.b_args;
+      children;
     }
   in
   (match !stack with
@@ -66,15 +156,17 @@ let close_span stack b =
   | [] -> push_root finished_span);
   finished_span
 
-let with_span name f =
-  if not (Atomic.get on) then f ()
+let with_span ?(args = []) name f =
+  if not (recording ()) then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
     let b =
       { b_name = name;
         b_start = Deadline.now ();
         b_rid = Reqid.current ();
-        b_children = [] }
+        b_args = args;
+        b_children = [];
+        b_adopt = None }
     in
     stack := b :: !stack;
     let pop () =
@@ -94,6 +186,109 @@ let with_span name f =
       raise e
   end
 
+let add_span ?(args = []) ?rid name ~start ~duration =
+  if recording () then begin
+    let rid = match rid with Some _ as r -> r | None -> Reqid.current () in
+    let s =
+      {
+        name;
+        start;
+        duration = Float.max 0.0 duration;
+        rid;
+        dom = (Domain.self () :> int);
+        args;
+        children = [];
+      }
+    in
+    match !(Domain.DLS.get stack_key) with
+    | top :: _ -> top.b_children <- s :: top.b_children
+    | [] -> push_root s
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain context propagation                                    *)
+
+type context = {
+  ctx_rid : string option;
+  ctx_sink : collector option;
+  ctx_record : bool;
+}
+
+let capture () =
+  let record = recording () in
+  let sink =
+    if not record then None
+    else
+      match !(Domain.DLS.get stack_key) with
+      | [] -> !(Domain.DLS.get sink_key)
+      | top :: _ -> (
+        match top.b_adopt with
+        | Some _ as c -> c
+        | None ->
+          let c = { c_lock = Mutex.create (); c_spans = [] } in
+          top.b_adopt <- Some c;
+          Some c)
+  in
+  { ctx_rid = Reqid.current (); ctx_sink = sink; ctx_record = record }
+
+let with_context ctx f =
+  let run () =
+    let sink = Domain.DLS.get sink_key in
+    let saved_sink = !sink in
+    sink := ctx.ctx_sink;
+    let r = Domain.DLS.get recording_key in
+    let saved_rec = !r in
+    if ctx.ctx_record then r := true;
+    let restore () =
+      sink := saved_sink;
+      r := saved_rec
+    in
+    match f () with
+    | x ->
+      restore ();
+      x
+    | exception e ->
+      restore ();
+      raise e
+  in
+  match ctx.ctx_rid with
+  | Some rid when Reqid.current () <> Some rid -> Reqid.with_id rid run
+  | _ -> run ()
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+
+let sample_n = Atomic.make 0
+
+let sample_counter = Atomic.make 0
+
+let set_sample_interval n =
+  Atomic.set sample_n (max 0 n);
+  Atomic.set sample_counter 0
+
+let sample_interval () = Atomic.get sample_n
+
+let sampled () =
+  let n = Atomic.get sample_n in
+  n > 0 && Atomic.fetch_and_add sample_counter 1 mod n = 0
+
+let install_from_env () =
+  match Sys.getenv_opt "EXTRACT_TRACE_SAMPLE" with
+  | None -> ()
+  | Some v -> (
+    let v = String.trim v in
+    let tail =
+      match String.index_opt v '/' with
+      | Some i -> String.sub v (i + 1) (String.length v - i - 1)
+      | None -> v
+    in
+    match int_of_string_opt (String.trim tail) with
+    | Some n when n > 0 -> set_sample_interval n
+    | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
 let pp_duration s =
   let ns = s *. 1e9 in
   if Float.is_nan ns || ns < 0.0 then "n/a"
@@ -105,9 +300,16 @@ let pp_duration s =
 let render spans =
   let buf = Buffer.create 256 in
   let rec go depth s =
+    let args =
+      match s.args with
+      | [] -> ""
+      | kvs ->
+        "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "}"
+    in
     let label =
       String.make (2 * depth) ' '
       ^ s.name
+      ^ args
       ^ (match s.rid with Some rid -> " [" ^ rid ^ "]" | None -> "")
     in
     let pad = max 1 (44 - String.length label) in

@@ -7,12 +7,25 @@
     {!Extract_util.Deadline} clock (so the injected test clock drives
     deterministic traces too).
 
-    Tracing is {b off by default} and costs one atomic read per
-    {!with_span} when off. When on, each span allocates a small record;
-    the current-span stack is per-domain (domain-local storage), so
-    {!Extract_snippet.Pipeline.run_parallel} workers trace independently
-    without interleaving; completed root spans are collected globally
-    under a mutex, in completion order. *)
+    Tracing is {b off by default} and costs one atomic read plus one
+    domain-local read per {!with_span} when off. When on, each span
+    allocates a small record; the current-span stack is per-domain
+    (domain-local storage), so {!Extract_snippet.Pipeline.run_parallel}
+    workers trace independently without interleaving. Completed root
+    spans land in a bounded global buffer (newest kept, oldest dropped;
+    see {!set_buffer_capacity}) under a mutex, in completion order.
+
+    {b Cross-domain propagation.} Spans completing on a spawned domain
+    would otherwise surface as unrelated roots with no request id. A
+    parent {!capture}s its context before spawning; the child wraps its
+    work in {!with_context}, which (a) re-establishes the parent's
+    {!Reqid} so child spans render with the same rid, and (b) routes the
+    child's root spans into the parent span's adoption buffer, so when
+    the parent span closes they appear as its children (merged in start
+    order). Adoption requires the parent span to close {e after} the
+    child finishes — the spawn/join structure of [Shard_set.run],
+    [Pipeline.run_parallel] and the server pool guarantees this; spans
+    finishing after the parent closed are dropped. *)
 
 type span = {
   name : string;
@@ -21,6 +34,10 @@ type span = {
   rid : string option;
       (** the {!Reqid} current when the span opened, so a span tree
           correlates with the same query's log lines and slowlog entry *)
+  dom : int; (** id of the domain the span ran on (Chrome-trace tid) *)
+  args : (string * string) list;
+      (** structured labels ([("shard", "2")]), rendered inline and
+          exported to the Chrome trace [args] object *)
   children : span list; (** in start order *)
 }
 
@@ -30,17 +47,81 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
-val with_span : string -> (unit -> 'a) -> 'a
-(** [with_span name f] runs [f], recording a span when tracing is
-    enabled. The span is recorded (and the stack unwound) even when [f]
-    raises. *)
+val recording : unit -> bool
+(** True when spans opened now would be recorded: tracing is enabled
+    process-wide {e or} this domain is inside {!with_recording} /
+    a recording {!with_context}. *)
+
+val with_recording : (unit -> 'a) -> 'a
+(** [with_recording f] records spans opened by [f] on this domain even
+    while process-wide tracing is off — the per-request sampling hook
+    ({!sampled}) used by the server. Restores the previous state, also
+    on exceptions. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording a span when {!recording}. The
+    span is recorded (and the stack unwound) even when [f] raises. *)
+
+val add_span :
+  ?args:(string * string) list ->
+  ?rid:string ->
+  string ->
+  start:float ->
+  duration:float ->
+  unit
+(** Record an already-measured interval as a span — work that happened
+    before any span could be opened, like the time a connection sat in
+    the accept queue. Attaches to the currently open span on this domain
+    (or becomes a root). [rid] defaults to the current {!Reqid};
+    negative durations clamp to [0.]. No-op unless {!recording}. *)
+
+type context
+(** A parent's tracing context, captured before spawning. *)
+
+val capture : unit -> context
+(** Snapshot the current request id, recording state, and open span (the
+    adoption point for child roots) on this domain. Cheap when not
+    recording. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** [with_context ctx f], on a spawned domain: runs [f] under the
+    captured request id, with recording forced if the parent was
+    recording, routing root spans into the captured parent span.
+    Restores this domain's previous state afterwards. *)
 
 val finished : unit -> span list
 (** The root spans completed so far, oldest first, and clears them. Spans
     still open are not included. *)
 
+val recent : ?last:int -> unit -> span list
+(** Like {!finished} but non-destructive: the buffered roots, oldest
+    first, optionally only the newest [last]. *)
+
 val clear : unit -> unit
 (** Drop collected roots and this domain's open-span stack. *)
+
+val set_buffer_capacity : int -> unit
+(** Cap the root buffer at [n] (≥ 1) spans; older roots are dropped as
+    new ones complete. Default 512 — a server under sampling keeps a
+    bounded window instead of leaking. *)
+
+val buffer_capacity : unit -> int
+
+val set_sample_interval : int -> unit
+(** [set_sample_interval n]: make {!sampled} return true once every [n]
+    calls ([0] disables sampling, the default). Resets the phase so the
+    next call samples. *)
+
+val sample_interval : unit -> int
+
+val sampled : unit -> bool
+(** Deterministic 1-in-N sampling decision (atomic counter, so exactly
+    one of every [n] calls across all domains returns true). Always
+    false while the interval is 0. *)
+
+val install_from_env : unit -> unit
+(** Read [EXTRACT_TRACE_SAMPLE] ("1/N" or plain "N") and set the sample
+    interval. Malformed or missing values leave it unchanged. *)
 
 val pp_duration : float -> string
 (** Human form of a duration in seconds: ["1.24ms"], ["16.0us"],
@@ -48,6 +129,6 @@ val pp_duration : float -> string
 
 val render : span list -> string
 (** The span forest as an indented tree, one line per span: two spaces
-    per depth, the name (suffixed [" [rid]"] when the span carries a
-    request id), then the duration right-padded — the shape printed by
-    [extract snippet --trace]. *)
+    per depth, the name (suffixed ["{k=v}"] when the span carries args,
+    [" [rid]"] when it carries a request id), then the duration
+    right-padded — the shape printed by [extract snippet --trace]. *)

@@ -1,0 +1,43 @@
+(* Chrome trace-event export: a span forest as the JSON Array Format
+   understood by chrome://tracing and Perfetto. Each span becomes one
+   complete event ("ph": "X") with microsecond ts/dur; the recording
+   domain id becomes the tid, so each domain renders as its own track
+   and cross-domain children line up under the parent query span by
+   time. *)
+
+let event ~epoch span =
+  let args =
+    (match span.Trace.rid with Some rid -> [ ("rid", Jsonv.Str rid) ] | None -> [])
+    @ List.map (fun (k, v) -> (k, Jsonv.Str v)) span.Trace.args
+  in
+  Jsonv.Obj
+    [
+      ("name", Jsonv.Str span.Trace.name);
+      ("cat", Jsonv.Str "extract");
+      ("ph", Jsonv.Str "X");
+      ("ts", Jsonv.Float ((span.Trace.start -. epoch) *. 1e6));
+      ("dur", Jsonv.Float (span.Trace.duration *. 1e6));
+      ("pid", Jsonv.Int 0);
+      ("tid", Jsonv.Int span.Trace.dom);
+      ("args", Jsonv.Obj args);
+    ]
+
+let events spans =
+  (* Rebase timestamps on the earliest span: absolute Deadline.now values
+     are large enough that float printing would round away microseconds,
+     and trace viewers only care about relative time. *)
+  let rec min_start acc s =
+    List.fold_left min_start (Float.min acc s.Trace.start) s.Trace.children
+  in
+  let epoch = List.fold_left min_start infinity spans in
+  let epoch = if Float.is_finite epoch then epoch else 0. in
+  let rec flatten acc s =
+    List.fold_left flatten (event ~epoch s :: acc) s.Trace.children
+  in
+  List.rev (List.fold_left flatten [] spans)
+
+let json spans =
+  Jsonv.Obj
+    [ ("traceEvents", Jsonv.Arr (events spans)); ("displayTimeUnit", Jsonv.Str "ms") ]
+
+let render spans = Jsonv.to_string (json spans)

@@ -13,6 +13,10 @@ module Log = Extract_obs.Log
 module Reqid = Extract_obs.Reqid
 module Slowlog = Extract_obs.Slowlog
 module Jsonv = Extract_obs.Jsonv
+module Trace = Extract_obs.Trace
+module Trace_export = Extract_obs.Trace_export
+module Runtime = Extract_obs.Runtime
+module Live_store = Extract_store.Live
 
 (* ------------------------------------------------------------------ *)
 (* Server metrics: cache behaviour, shed load and per-connection
@@ -82,6 +86,19 @@ let accept_queue_depth =
   Registry.gauge ~help:"Connections waiting in the accept queue"
     "extract_accept_queue_depth"
 
+let accept_queue_depth_peak =
+  Registry.gauge ~help:"Deepest accept-queue occupancy observed"
+    "extract_accept_queue_depth_peak"
+
+let queue_wait_seconds =
+  Registry.histogram ~help:"Seconds accepted connections waited for a pool worker"
+    "extract_queue_wait_seconds"
+
+let live_journal_lag =
+  Registry.gauge
+    ~help:"Journal records applied since the last checkpoint (compaction resets to 0)"
+    "extract_live_journal_lag"
+
 type t = {
   corpus : Corpus.t;
   live : Live_corpus.t option; (* crash-safe updatable corpus, when serving one *)
@@ -89,17 +106,10 @@ type t = {
   pages : (string, string) Sharded_lru.t; (* request target -> rendered body *)
   snippets : Snippet_cache.t; (* (db, query, bound, …) -> snippet results *)
   degraded_served : int Atomic.t; (* deadline-degraded snippets sent so far *)
+  ready : bool Atomic.t; (* readiness latch: set once serving starts *)
+  queue_probe : (unit -> int * int) option Atomic.t;
+      (* (depth, capacity) of the accept queue while a pool runs *)
 }
-
-let create ?(cache_size = 64) ?(shards = 8) ?live ?sharded corpus =
-  {
-    corpus;
-    live;
-    sharded;
-    pages = Sharded_lru.create ~shards ~capacity:cache_size ();
-    snippets = Snippet_cache.create ~capacity:(4 * cache_size) ~shards ();
-    degraded_served = Atomic.make 0;
-  }
 
 type response = {
   status : int;
@@ -422,6 +432,34 @@ let refresh_cache_gauges t =
        "extract_degraded_snippets_served")
     (float_of_int (Atomic.get t.degraded_served))
 
+let refresh_live_gauges live =
+  Registry.set live_journal_lag
+    (float_of_int (Live_store.pending_updates (Live_corpus.store live)))
+
+let create ?(cache_size = 64) ?(shards = 8) ?live ?sharded corpus =
+  let t =
+    {
+      corpus;
+      live;
+      sharded;
+      pages = Sharded_lru.create ~shards ~capacity:cache_size ();
+      snippets = Snippet_cache.create ~capacity:(4 * cache_size) ~shards ();
+      degraded_served = Atomic.make 0;
+      ready = Atomic.make false;
+      queue_probe = Atomic.make None;
+    }
+  in
+  (* runtime-collector hooks: named registration replaces the previous
+     server's closure, so repeatedly created servers don't stack *)
+  Runtime.register_collector "server.caches" (fun () -> refresh_cache_gauges t);
+  (match live with
+  | Some lv ->
+    Runtime.register_collector "server.live" (fun () -> refresh_live_gauges lv)
+  | None -> ());
+  t
+
+let mark_ready t = Atomic.set t.ready true
+
 let metrics_page t =
   refresh_cache_gauges t;
   ok ~content_type:"text/plain; version=0.0.4; charset=utf-8" (Registry.render_prometheus ())
@@ -606,7 +644,7 @@ let shards_search_page t ~deadline params =
             slowlogged ~query:q (fun () ->
                 List.map
                   (fun (h : Shard_set.hit) -> h.Shard_set.result)
-                  (Shard_set.run ~bound ~limit s q))
+                  (Shard_set.run ~bound ~limit ~deadline s q))
           in
           let results =
             Html_view.result_page
@@ -617,12 +655,91 @@ let shards_search_page t ~deadline params =
           ok results
         end)
 
+(* ------------------------------------------------------------------ *)
+(* Health surface: /healthz answers 200 whenever the process routes
+   requests at all (liveness — a hung process answers nothing); /readyz
+   is the load-balancer gate: 503 until serving has started (corpus
+   built, any journal recovered, pool accepting) and whenever the
+   accept queue has reached its shed threshold, 200 otherwise. *)
+
+let health_page () = text_ok "ok\n"
+
+let readiness t =
+  let queue_ok, queue_depth, queue_capacity =
+    match Atomic.get t.queue_probe with
+    | None -> true, 0, 0
+    | Some probe ->
+      let depth, capacity = probe () in
+      depth < capacity, depth, capacity
+  in
+  let serving = Atomic.get t.ready in
+  let ready = serving && queue_ok in
+  let body =
+    Jsonv.Obj
+      [
+        ("ready", Jsonv.Bool ready);
+        ( "components",
+          Jsonv.Obj
+            [
+              ("serving", Jsonv.Bool serving);
+              ("accept_queue", Jsonv.Bool queue_ok);
+              ("journal_recovered", Jsonv.Bool (t.live <> None));
+              ("shards_mapped", Jsonv.Bool (t.sharded <> None));
+            ] );
+        ("corpus_members", Jsonv.Int (List.length (Corpus.names t.corpus)));
+        ( "live_generation",
+          match t.live with
+          | Some lv -> Jsonv.Int (Live_corpus.generation lv)
+          | None -> Jsonv.Null );
+        ( "shards",
+          match t.sharded with
+          | Some s -> Jsonv.Int (Shard_set.shard_count s)
+          | None -> Jsonv.Null );
+        ( "queue",
+          Jsonv.Obj
+            [ ("depth", Jsonv.Int queue_depth); ("capacity", Jsonv.Int queue_capacity) ]
+        );
+      ]
+  in
+  ready, Jsonv.to_string body ^ "\n"
+
+let ready_page t =
+  let ready, body = readiness t in
+  let content_type = "application/json; charset=utf-8" in
+  if ready then ok ~content_type body
+  else
+    {
+      status = 503;
+      reason = "Service Unavailable";
+      content_type;
+      headers = [ "Retry-After", "1" ];
+      body;
+    }
+
+let trace_page params =
+  let last = Option.bind (List.assoc_opt "last" params) int_of_string_opt in
+  ok ~content_type:"application/json; charset=utf-8"
+    (Trace_export.render (Trace.recent ?last ()) ^ "\n")
+
+let runtime_page () =
+  ok ~content_type:"application/json; charset=utf-8" (Runtime.render_json () ^ "\n")
+
 (* Every request runs under a fresh request id: the access-log line, the
    pipeline's event-log lines, the trace spans and the slowlog entry of
-   one request all carry the same id. *)
-let handle_request ?(deadline = Deadline.never) ?(meth = Get) ?(body = "") t target =
+   one request all carry the same id. Requests picked by the trace
+   sampler (EXTRACT_TRACE_SAMPLE) record an [http.request] span tree —
+   including the time the connection waited for a worker — even while
+   process-wide tracing is off. *)
+let handle_request ?(deadline = Deadline.never) ?(meth = Get) ?(body = "")
+    ?(queue_wait = 0.) t target =
+  let sampled = Trace.sampled () in
+  let in_scope f = if sampled then Trace.with_recording f else f () in
+  in_scope @@ fun () ->
   Reqid.ensure (fun _rid ->
+      Trace.with_span ~args:[ ("target", target) ] "http.request" @@ fun () ->
       let t0 = Deadline.now () in
+      if queue_wait > 0. then
+        Trace.add_span "queue.wait" ~start:(t0 -. queue_wait) ~duration:queue_wait;
       let method_not_allowed allow =
         error
           ~headers:[ "Allow", allow ]
@@ -651,7 +768,11 @@ let handle_request ?(deadline = Deadline.never) ?(meth = Get) ?(body = "") t tar
             | "/live/search", Get -> live_search_page t ~deadline params
             | "/shards", Get -> shards_status t
             | "/shards/search", Get -> shards_search_page t ~deadline params
+            | "/healthz", Get -> health_page ()
+            | "/readyz", Get -> ready_page t
             | "/debug/slowlog", Get -> slowlog_page ()
+            | "/debug/trace", Get -> trace_page params
+            | "/debug/runtime", Get -> runtime_page ()
             | _, Get -> error 404 "Not Found" (Printf.sprintf "no route for %s" path)
           with
           | Faults.Injected (point, _) ->
@@ -915,7 +1036,7 @@ let write_response ~http11 ~keep_alive fd r =
    the budget protects a request, not a connection. Errors (≥ 400)
    always close: a client that just sent a malformed request cannot be
    trusted to have framed the rest of the stream correctly. *)
-let handle_connection ?(worker = 0) ~config ~max_requests t fd =
+let handle_connection ?(worker = 0) ?(queue_wait = 0.) ~config ~max_requests t fd =
   set_socket_timeouts fd config.timeout_ms;
   let requests = worker_requests_total worker in
   let rec loop served =
@@ -1012,7 +1133,11 @@ let handle_connection ?(worker = 0) ~config ~max_requests t fd =
             finish ~http11 ~may_continue
               (handle_request
                  ~deadline:(Deadline.of_ms_opt config.deadline_ms)
-                 ~meth ~body t target)
+                 ~meth ~body
+                 (* the queue wait belongs to the first request only: a
+                    keep-alive reuse never sat in the accept queue *)
+                 ~queue_wait:(if served = 0 then queue_wait else 0.)
+                 t target)
         end
       end
       | _ ->
@@ -1024,6 +1149,7 @@ let handle_connection ?(worker = 0) ~config ~max_requests t fd =
 
 let serve_once ?(config = default_config) t listening =
   ensure_sigpipe_ignored ();
+  mark_ready t;
   let fd, _ = Unix.accept listening in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -1039,8 +1165,9 @@ let serve_once ?(config = default_config) t listening =
 type conn_queue = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  items : Unix.file_descr Queue.t; (* guarded-by: lock *)
+  items : (Unix.file_descr * float) Queue.t; (* guarded-by: lock — fd, enqueue time *)
   depth : int;
+  mutable peak : int; (* guarded-by: lock — deepest occupancy seen *)
   mutable closed : bool; (* guarded-by: lock *)
 }
 
@@ -1050,6 +1177,7 @@ let queue_create depth =
     nonempty = Condition.create ();
     items = Queue.create ();
     depth;
+    peak = 0;
     closed = false;
   }
 
@@ -1057,22 +1185,35 @@ let queue_try_push q fd =
   Mutex.lock q.lock;
   let accepted = (not q.closed) && Queue.length q.items < q.depth in
   if accepted then begin
-    Queue.add fd q.items;
-    Registry.set accept_queue_depth (float_of_int (Queue.length q.items));
+    Queue.add (fd, Deadline.now ()) q.items;
+    let len = Queue.length q.items in
+    Registry.set accept_queue_depth (float_of_int len);
+    if len > q.peak then begin
+      q.peak <- len;
+      Registry.set accept_queue_depth_peak (float_of_int len)
+    end;
     Condition.signal q.nonempty
   end;
   Mutex.unlock q.lock;
   accepted
 
+let queue_stat q =
+  Mutex.lock q.lock;
+  let s = Queue.length q.items, q.depth in
+  Mutex.unlock q.lock;
+  s
+
 (* blocks until an item or close; after close, drains remaining items
-   so no accepted connection is leaked *)
+   so no accepted connection is leaked. Returns the fd and how long it
+   sat in the queue — the saturation signal exported as the
+   queue-wait histogram and span. *)
 let queue_pop q =
   Mutex.lock q.lock;
   let rec wait () =
     if not (Queue.is_empty q.items) then begin
-      let fd = Queue.take q.items in
+      let fd, enqueued = Queue.take q.items in
       Registry.set accept_queue_depth (float_of_int (Queue.length q.items));
-      Some fd
+      Some (fd, Float.max 0. (Deadline.now () -. enqueued))
     end
     else if q.closed then None
     else begin
@@ -1132,14 +1273,15 @@ let worker_loop ~config queue t w =
   let rec loop () =
     match queue_pop queue with
     | None -> ()
-    | Some fd ->
+    | Some (fd, waited) ->
       Registry.incr connections;
+      Registry.observe queue_wait_seconds waited;
       (* nothing a single connection does may stop a worker *)
       (match
          Fun.protect
            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
            (fun () ->
-             handle_connection ~worker:w ~config
+             handle_connection ~worker:w ~queue_wait:waited ~config
                ~max_requests:config.max_requests_per_conn t fd)
        with
       | () -> ()
@@ -1164,6 +1306,10 @@ let start_pool ?(config = default_config) t listening =
   let pool_workers =
     List.init workers (fun w -> Domain.spawn (fun () -> worker_loop ~config queue t w))
   in
+  (* the pool is accepting: flip the readiness latch and expose the
+     queue's saturation state to /readyz *)
+  Atomic.set t.queue_probe (Some (fun () -> queue_stat queue));
+  mark_ready t;
   { pool_listening = listening; pool_queue = queue; acceptor; pool_workers; stopping }
 
 let stop_pool pool =
@@ -1201,6 +1347,8 @@ let install_sigterm_dump config =
 let serve ?(config = default_config) t ~port =
   ensure_sigpipe_ignored ();
   install_sigterm_dump config;
+  (* background GC/subsystem sampler feeding /metrics and /debug/runtime *)
+  ignore (Runtime.start ());
   let sock = listen ~port in
   let workers = max 1 config.workers in
   Printf.printf "eXtract demo server on http://127.0.0.1:%d/ (%d worker%s)\n%!"

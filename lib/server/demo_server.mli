@@ -31,6 +31,18 @@
       never page-cached);
     - [GET /debug/slowlog] — the {!Extract_obs.Slowlog} snapshot: the
       slowest queries plus every recent degraded/faulted query, JSON;
+    - [GET /debug/trace?last=N] — the newest buffered trace roots (all
+      when [last] is absent) as Chrome trace-event JSON
+      ({!Extract_obs.Trace_export}), Perfetto-loadable;
+    - [GET /debug/runtime] — the {!Extract_obs.Runtime} sample: GC
+      stats, domain counts and the collector inventory, JSON;
+    - [GET /healthz] — liveness: [200 ok] whenever requests are being
+      routed at all;
+    - [GET /readyz] — readiness: [503] + [Retry-After] until serving
+      has started ({!mark_ready}, done by {!start_pool}/{!serve}) and
+      whenever the accept queue has reached its shed threshold, [200]
+      otherwise, with a JSON component breakdown either way — the
+      load-balancer gate;
     - anything else — 404.
 
     When created with a live corpus ([create ?live], the CLI's
@@ -107,7 +119,17 @@ val create :
     enables the [/admin] and [/live] routes. [sharded] attaches a
     read-only split corpus ({!Extract_snippet.Shard_set}) and enables
     the [/shards] (status) and [/shards/search] (per-shard fan-out,
-    k-way merged) routes — the CLI's [serve --shards]. *)
+    k-way merged) routes — the CLI's [serve --shards].
+
+    Creation also (re-)registers the server's runtime collectors
+    ({!Extract_obs.Runtime.register_collector}): cache-occupancy gauges
+    and, with [live], the journal-lag gauge. *)
+
+val mark_ready : t -> unit
+(** Flip the readiness latch: [/readyz] answers 200 (queue permitting)
+    from now on. {!start_pool}, {!serve} and {!serve_once} call this
+    when they start accepting; embedders driving {!handle_request}
+    directly call it themselves once their corpus is in place. *)
 
 type response = {
   status : int;
@@ -120,7 +142,13 @@ type response = {
 type meth = Get | Post
 
 val handle_request :
-  ?deadline:Extract_util.Deadline.t -> ?meth:meth -> ?body:string -> t -> string -> response
+  ?deadline:Extract_util.Deadline.t ->
+  ?meth:meth ->
+  ?body:string ->
+  ?queue_wait:float ->
+  t ->
+  string ->
+  response
 (** [handle_request t target] serves one request (path + optional query
     string, e.g. ["/search?data=retail&q=store+texas&bound=6"]). [meth]
     (default [Get]) selects the route table; [body] (default [""]) is
@@ -130,7 +158,14 @@ val handle_request :
     other escape to 500. An already-expired [deadline] sheds the search
     routes with 503 before any pipeline work; one that expires
     mid-request degrades the remaining snippets instead (a 200, never a
-    timeout). *)
+    timeout).
+
+    When the request is picked by the trace sampler
+    ([EXTRACT_TRACE_SAMPLE], {!Extract_obs.Trace.sampled}) — or tracing
+    is enabled process-wide — the whole request records an
+    [http.request] span tree, including a [queue.wait] child covering
+    [queue_wait] seconds (how long the connection sat in the accept
+    queue before a worker picked it up; default [0.], omitted). *)
 
 val handle : ?deadline:Extract_util.Deadline.t -> t -> string -> response
 (** [handle_request] with [~meth:Get ~body:""] — the pre-update entry

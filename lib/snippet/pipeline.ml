@@ -330,13 +330,21 @@ let run_parallel ?semantics ?config ?(bound = default_bound) ?limit ?(domains = 
       else begin
         let out = Array.make n None in
         let worker d () =
-          let i = ref d in
-          while !i < n do
-            out.(!i) <- Some (snippet results.(!i));
-            i := !i + domains
-          done
+          Trace.with_span ~args:[ ("worker", string_of_int d) ] "pipeline.worker"
+            (fun () ->
+              let i = ref d in
+              while !i < n do
+                out.(!i) <- Some (snippet results.(!i));
+                i := !i + domains
+              done)
         in
-        let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+        (* spawned workers adopt the caller's span/rid so their spans
+           stitch under this query instead of surfacing as orphan roots *)
+        let ctx = Trace.capture () in
+        let spawned =
+          List.init (domains - 1) (fun d ->
+              Domain.spawn (fun () -> Trace.with_context ctx (worker (d + 1))))
+        in
         worker 0 ();
         List.iter Domain.join spawned;
         notify_snippets t (Array.to_list out |> List.filter_map Fun.id)

@@ -5,6 +5,7 @@ module Snapshot = Extract_store.Snapshot
 module Engine = Extract_search.Engine
 module Result_tree = Extract_search.Result_tree
 module Registry = Extract_obs.Registry
+module Trace = Extract_obs.Trace
 
 let queries_total =
   Registry.counter ~help:"Sharded queries executed" "extract_shard_queries_total"
@@ -156,24 +157,32 @@ type hit = {
 (* Run [f] once per shard, one domain per shard beyond the first (the
    caller's domain takes shard 0) — the {!Pipeline.run_parallel}
    pattern. Each [out] slot is written by exactly one domain and the
-   joins publish the writes. *)
+   joins publish the writes. Spawned shards run under the caller's
+   captured trace context, so their [shard.run] spans adopt into the
+   parent query span with the caller's rid. *)
 let map_shards ~parallel f t =
   let k = Array.length t.shards in
   let out = Array.make k [] in (* domain-local until joined: slot i owned by worker i *)
+  let traced i s =
+    Trace.with_span ~args:[ ("shard", string_of_int i) ] "shard.run" (fun () ->
+        f i s)
+  in
   if (not parallel) || k <= 1 then
-    Array.iteri (fun i s -> out.(i) <- f i s) t.shards
+    Array.iteri (fun i s -> out.(i) <- traced i s) t.shards
   else begin
+    let ctx = Trace.capture () in
     let spawned =
       List.init (k - 1) (fun d ->
           let i = d + 1 in
-          Domain.spawn (fun () -> out.(i) <- f i t.shards.(i)))
+          Domain.spawn (fun () ->
+              Trace.with_context ctx (fun () -> out.(i) <- traced i t.shards.(i))))
     in
-    out.(0) <- f 0 t.shards.(0);
+    out.(0) <- traced 0 t.shards.(0);
     List.iter Domain.join spawned
   end;
   out
 
-let run ?semantics ?config ?bound ?limit ?mask ?(parallel = true) t query =
+let run ?semantics ?config ?bound ?limit ?mask ?deadline ?(parallel = true) t query =
   Registry.incr queries_total;
   let per_shard =
     map_shards ~parallel
@@ -182,7 +191,8 @@ let run ?semantics ?config ?bound ?limit ?mask ?(parallel = true) t query =
         (* results rooted at the shard-local root are dropped: they have
            no counterpart in the unsharded evaluation (documented in the
            mli) *)
-        Pipeline.run_ranked ?semantics ?config ?bound ?limit ?mask s.db query
+        Pipeline.run_ranked ?semantics ?config ?bound ?limit ?mask ?deadline s.db
+          query
         |> List.filter (fun (_, r) -> Result_tree.root r.Pipeline.result <> 0))
       t
   in

@@ -65,6 +65,7 @@ val run :
   ?bound:int ->
   ?limit:int ->
   ?mask:(int * int) array ->
+  ?deadline:Extract_util.Deadline.t ->
   ?parallel:bool ->
   t ->
   string ->
@@ -75,7 +76,11 @@ val run :
     ({!Extract_search.Engine.merge_scored}): best first, ties toward
     the lower shard index, identical output sequential or parallel.
     [mask] is a global-id mask, translated per shard. [limit] bounds
-    both each shard's work and the merged answer. *)
+    both each shard's work and the merged answer. [deadline] is passed
+    to every shard's pipeline run, so a sharded query degrades on
+    budget exhaustion exactly like a flat one. When tracing, each shard
+    records a [shard.run{shard=i}] span adopted under the caller's open
+    span with the caller's request id ({!Extract_obs.Trace.capture}). *)
 
 (** {1 Persistence} *)
 

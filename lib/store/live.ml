@@ -38,6 +38,9 @@ type t = {
   state : view Atomic.t;
   (* guarded-by: lock *)
   mutable journal : Journal.writer option;
+  (* journal records applied since the last checkpoint — the replay cost
+     of a crash right now, published as the journal-lag gauge *)
+  pending : int Atomic.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -272,15 +275,24 @@ let recover ~read_only ~on_warning dir =
   in
   if heal && not read_only then Journal.reset jpath [ Journal.Checkpoint base_view.generation ];
   if not read_only then prune_strays ~on_warning dir;
-  view
+  view, List.length replay
 
 let open_dir ?(read_only = false) ?(on_warning = fun _ -> ()) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Live.open_dir: %s is not a directory" dir);
-  let view = recover ~read_only ~on_warning dir in
+  let view, replayed = recover ~read_only ~on_warning dir in
   Registry.set generation_gauge (float_of_int view.generation);
-  { dir; read_only; lock = Mutex.create (); state = Atomic.make view; journal = None }
+  {
+    dir;
+    read_only;
+    lock = Mutex.create ();
+    state = Atomic.make view;
+    journal = None;
+    pending = Atomic.make replayed;
+  }
+
+let pending_updates t = Atomic.get t.pending
 
 let dir t = t.dir
 
@@ -334,6 +346,7 @@ let add t ~name ~xml =
          post-add state. *)
       Faults.hit "live.apply";
       Atomic.set t.state (apply_add (Atomic.get t.state) ~name ~doc ~index);
+      ignore (Atomic.fetch_and_add t.pending 1);
       Registry.incr adds_total)
 
 let remove t name =
@@ -344,6 +357,7 @@ let remove t name =
         Journal.append (writer t) (Journal.Remove_doc name);
         Faults.hit "live.apply";
         Atomic.set t.state (apply_remove view name);
+        ignore (Atomic.fetch_and_add t.pending 1);
         Registry.incr removes_total;
         true
       end)
@@ -405,6 +419,7 @@ let compact t =
       | None -> ());
       prune_old_generations t.dir next.generation;
       Atomic.set t.state next;
+      Atomic.set t.pending 0;
       Registry.incr compactions_total;
       Registry.set generation_gauge (float_of_int next.generation);
       next.generation)

@@ -67,6 +67,13 @@ val dir : t -> string
 val view : t -> view
 (** The current view — one atomic read, safe from any domain. *)
 
+val pending_updates : t -> int
+(** Journal records applied since the last checkpoint: the records a
+    crash right now would replay on recovery. Starts at the recovery
+    replay count, grows with {!add}/{!remove}, returns to 0 on
+    {!compact}. The runtime collector publishes it as the
+    [extract_live_journal_lag] gauge. *)
+
 val mask : view -> (int * int) array
 (** Sorted, disjoint, inclusive node-id intervals of the {e visible}
     base subtrees — the argument for [Eval_ctx.make ~mask] that hides

@@ -7,6 +7,15 @@ let packs_total =
 let maps_total =
   Registry.counter ~help:"Snapshots mapped" "extract_snapshot_maps_total"
 
+(* residency proxy: bytes this process has mmap'd from snapshots since
+   start (mappings live until the bigarrays are collected, so this is an
+   upper bound on snapshot-backed address space, not RSS) *)
+let mapped_bytes = Atomic.make 0
+
+let mapped_bytes_gauge =
+  Registry.gauge ~help:"Bytes of snapshot sections mapped since process start"
+    "extract_snapshot_mapped_bytes"
+
 let magic = "XTRSNAP2"
 
 let version = 1
@@ -342,6 +351,9 @@ let load path =
           (read_at ic ~offset:index_s.offset ~length:index_s.length)
       in
       Registry.incr maps_total;
+      let mapped = (((4 * n) + (n + 1)) * 8) + textblob_s.length in
+      Registry.set mapped_bytes_gauge
+        (float_of_int (Atomic.fetch_and_add mapped_bytes mapped + mapped));
       doc, index)
 
 (* ------------------------------------------------------------------ *)

@@ -6,6 +6,8 @@
 
 module Registry = Extract_obs.Registry
 module Trace = Extract_obs.Trace
+module Trace_export = Extract_obs.Trace_export
+module Runtime = Extract_obs.Runtime
 module Jsonv = Extract_obs.Jsonv
 module Reqid = Extract_obs.Reqid
 module Log = Extract_obs.Log
@@ -251,6 +253,222 @@ let test_trace_rid () =
   | spans -> Alcotest.failf "expected two root spans, got %d" (List.length spans)
 
 (* ------------------------------------------------------------------ *)
+(* Tracer: cross-domain propagation, sampling, the bounded buffer *)
+
+let span_names spans = List.map (fun s -> s.Trace.name) spans
+
+(* Four concurrent queries, each fanning out to three spawned domains:
+   every child span must land under its own query's root with that
+   query's rid — never another query's — and keep its subtree intact. *)
+let test_trace_propagation_hammer () =
+  Trace.clear ();
+  let parent p =
+    Reqid.with_id (Printf.sprintf "q%06d" (100 + p)) (fun () ->
+        Trace.with_recording (fun () ->
+            Trace.with_span ~args:[ ("query", string_of_int p) ] "query" (fun () ->
+                let ctx = Trace.capture () in
+                let children =
+                  List.init 3 (fun d ->
+                      Domain.spawn (fun () ->
+                          Trace.with_context ctx (fun () ->
+                              Trace.with_span
+                                ~args:[ ("worker", string_of_int d) ]
+                                "child"
+                                (fun () -> Trace.with_span "grandchild" (fun () -> ())))))
+                in
+                List.iter Domain.join children)))
+  in
+  let parents = List.init 4 (fun p -> Domain.spawn (fun () -> parent p)) in
+  List.iter Domain.join parents;
+  let roots = Trace.finished () in
+  check int "one root per query" 4 (List.length roots);
+  let rids =
+    List.map
+      (fun root ->
+        check Alcotest.(string) "root is the query span" "query" root.Trace.name;
+        let rid =
+          match root.Trace.rid with
+          | Some rid -> rid
+          | None -> Alcotest.fail "query root lost its rid"
+        in
+        (* the rid must match the query number the root carries *)
+        let p = int_of_string (List.assoc "query" root.Trace.args) in
+        check Alcotest.(string) "rid belongs to this query"
+          (Printf.sprintf "q%06d" (100 + p)) rid;
+        check int "all three child-domain spans adopted" 3
+          (List.length root.Trace.children);
+        let workers =
+          List.map
+            (fun c ->
+              check Alcotest.(string) "adopted span name" "child" c.Trace.name;
+              check bool "child carries the parent's rid, not another query's" true
+                (c.Trace.rid = Some rid);
+              check (Alcotest.list Alcotest.string) "child subtree intact"
+                [ "grandchild" ] (span_names c.Trace.children);
+              check bool "grandchild rid propagated too" true
+                (List.for_all (fun g -> g.Trace.rid = Some rid) c.Trace.children);
+              int_of_string (List.assoc "worker" c.Trace.args))
+            root.Trace.children
+        in
+        check (Alcotest.list int) "one span per worker, merged in start order"
+          [ 0; 1; 2 ]
+          (List.sort compare workers);
+        let starts = List.map (fun c -> c.Trace.start) root.Trace.children in
+        check bool "children sorted by start" true
+          (List.sort Float.compare starts = starts);
+        rid)
+      roots
+  in
+  check int "no rid shared between queries" 4
+    (List.length (List.sort_uniq String.compare rids))
+
+(* Regression: spans recorded on a spawned domain used to come out as
+   unrelated roots with no request id — the render must now show the
+   child under the query with the parent's [q%06d] suffix. *)
+let test_trace_spawned_domain_rid_render () =
+  Trace.clear ();
+  Reqid.reset_counter ();
+  Reqid.ensure (fun _rid ->
+      Trace.with_recording (fun () ->
+          Trace.with_span "query" (fun () ->
+              let ctx = Trace.capture () in
+              let d =
+                Domain.spawn (fun () ->
+                    Trace.with_context ctx (fun () ->
+                        Trace.with_span ~args:[ ("shard", "0") ] "shard.run"
+                          (fun () -> ())))
+              in
+              Domain.join d)));
+  match Trace.finished () with
+  | [ root ] ->
+    let rendered = Trace.render [ root ] in
+    check bool "child span rendered under the root" true
+      (contains rendered "  shard.run");
+    check bool "child span renders label and parent rid" true
+      (contains rendered "shard.run{shard=0} [q000001]");
+    check bool "root carries the same rid" true (contains rendered "query [q000001]")
+  | roots ->
+    Alcotest.failf "expected the child adopted into one root, got %d roots"
+      (List.length roots)
+
+let test_trace_sampling_determinism () =
+  Trace.set_sample_interval 3;
+  let picks = List.init 9 (fun _ -> Trace.sampled ()) in
+  check (Alcotest.list bool) "phase resets, then exactly one in three"
+    [ true; false; false; true; false; false; true; false; false ]
+    picks;
+  Trace.set_sample_interval 0;
+  check bool "interval 0 never samples" false (Trace.sampled ());
+  Unix.putenv "EXTRACT_TRACE_SAMPLE" "1/8";
+  Trace.install_from_env ();
+  check int "EXTRACT_TRACE_SAMPLE=1/8 installs 8" 8 (Trace.sample_interval ());
+  Unix.putenv "EXTRACT_TRACE_SAMPLE" "nonsense";
+  Trace.install_from_env ();
+  check int "malformed env leaves the interval alone" 8 (Trace.sample_interval ());
+  Trace.set_sample_interval 0
+
+let test_trace_buffer_cap () =
+  Trace.clear ();
+  let old = Trace.buffer_capacity () in
+  Trace.set_buffer_capacity 4;
+  Trace.with_recording (fun () ->
+      for i = 0 to 9 do
+        Trace.with_span (Printf.sprintf "r%d" i) (fun () -> ())
+      done);
+  check (Alcotest.list Alcotest.string) "newest roots kept, oldest first"
+    [ "r6"; "r7"; "r8"; "r9" ]
+    (span_names (Trace.recent ()));
+  check (Alcotest.list Alcotest.string) "recent ~last trims from the old end"
+    [ "r8"; "r9" ]
+    (span_names (Trace.recent ~last:2 ()));
+  check (Alcotest.list Alcotest.string) "recent is non-destructive"
+    [ "r6"; "r7"; "r8"; "r9" ]
+    (span_names (Trace.recent ()));
+  check (Alcotest.list Alcotest.string) "finished drains the same window"
+    [ "r6"; "r7"; "r8"; "r9" ]
+    (span_names (Trace.finished ()));
+  check int "buffer empty after finished" 0 (List.length (Trace.recent ()));
+  Trace.set_buffer_capacity old
+
+let test_trace_add_span () =
+  Trace.clear ();
+  Trace.with_recording (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.add_span "queue.wait" ~start:1.0 ~duration:0.5;
+          Trace.add_span "clamped" ~start:2.0 ~duration:(-1.0)));
+  match Trace.finished () with
+  | [ root ] ->
+    check (Alcotest.list Alcotest.string) "synthetic spans attach as children"
+      [ "queue.wait"; "clamped" ]
+      (span_names root.Trace.children);
+    let clamped = List.nth root.Trace.children 1 in
+    feq "negative duration clamps to zero" 0.0 clamped.Trace.duration
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_trace_export_json () =
+  Trace.clear ();
+  Reqid.with_id "q000042" (fun () ->
+      Trace.with_recording (fun () ->
+          Trace.with_span "query" (fun () ->
+              Trace.with_span ~args:[ ("shard", "1") ] "shard.run" (fun () -> ()))));
+  let spans = Trace.finished () in
+  let json = Trace_export.render spans in
+  check bool "trace-event envelope" true
+    (contains json "\"traceEvents\"" && contains json "\"displayTimeUnit\": \"ms\"");
+  check bool "complete events" true (contains json "\"ph\": \"X\"");
+  check bool "rid exported in args" true (contains json "\"rid\": \"q000042\"");
+  check bool "labels exported in args" true (contains json "\"shard\": \"1\"");
+  check bool "domain id exported as tid" true (contains json "\"tid\": 0");
+  (* timestamps are rebased on the earliest span, so the root's ts is 0
+     and microsecond precision survives float rendering *)
+  check bool "timestamps rebased to the trace start" true (contains json "\"ts\": 0")
+
+(* ------------------------------------------------------------------ *)
+(* Runtime collector *)
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_runtime_collector_idempotent () =
+  let hits = ref [] in
+  Runtime.register_collector "obs.test.hits" (fun () -> hits := "old" :: !hits);
+  Runtime.register_collector "obs.test.hits" (fun () -> hits := "new" :: !hits);
+  Runtime.register_collector "obs.test.boom" (fun () -> failwith "collector bug");
+  Runtime.sample ();
+  check (Alcotest.list Alcotest.string)
+    "re-registration replaces the callback instead of stacking" [ "new" ] !hits;
+  check int "name registered once" 1
+    (List.length
+       (List.filter (fun n -> n = "obs.test.hits") (Runtime.collector_names ())));
+  (* the raising collector was swallowed and the sampler keeps going *)
+  Runtime.sample ();
+  check int "sampler survives a failing collector" 2 (List.length !hits)
+
+let test_runtime_gauges_and_json () =
+  Registry.reset ();
+  Runtime.sample ();
+  Runtime.sample ();
+  let text = Registry.render_prometheus () in
+  check bool "gc gauges published" true
+    (contains text "extract_gc_heap_words"
+    && contains text "extract_gc_minor_collections");
+  check int "repeated sampling registers each family once" 1
+    (count_substring text "# TYPE extract_gc_heap_words gauge");
+  let json = Runtime.render_json () in
+  check bool "json carries the gc block" true
+    (contains json "\"gc\"" && contains json "\"heap_words\"");
+  check bool "json carries domain counts" true
+    (contains json "\"domains\"" && contains json "\"recommended\"");
+  check bool "json carries the collector inventory" true
+    (contains json "\"collector\"" && contains json "\"obs.test.hits\"")
+
+(* ------------------------------------------------------------------ *)
 (* Jsonv: escaping, number formatting, renders *)
 
 let test_jsonv_escaping () =
@@ -462,6 +680,19 @@ let suites =
         Alcotest.test_case "disabled is free" `Quick test_trace_disabled_is_free;
         Alcotest.test_case "exception safety" `Quick test_trace_exception;
         Alcotest.test_case "request id on spans" `Quick test_trace_rid;
+        Alcotest.test_case "cross-domain propagation hammer" `Quick
+          test_trace_propagation_hammer;
+        Alcotest.test_case "spawned-domain rid render" `Quick
+          test_trace_spawned_domain_rid_render;
+        Alcotest.test_case "sampling determinism" `Quick test_trace_sampling_determinism;
+        Alcotest.test_case "bounded buffer" `Quick test_trace_buffer_cap;
+        Alcotest.test_case "synthetic spans" `Quick test_trace_add_span;
+        Alcotest.test_case "chrome export" `Quick test_trace_export_json;
+      ] );
+    ( "obs.runtime",
+      [
+        Alcotest.test_case "collector idempotence" `Quick test_runtime_collector_idempotent;
+        Alcotest.test_case "gauges and json" `Quick test_runtime_gauges_and_json;
       ] );
     ( "obs.jsonv",
       [

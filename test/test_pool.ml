@@ -467,6 +467,83 @@ let test_pool_deadline_sheds_search () =
       Unix.close ok)
 
 (* ------------------------------------------------------------------ *)
+(* Health surface: /healthz liveness, /readyz readiness transitions *)
+
+let test_health_endpoints_before_serving () =
+  let srv = server () in
+  let r = Demo_server.handle srv "/healthz" in
+  check int "healthz is liveness: 200 even before serving" 200 r.Demo_server.status;
+  let r = Demo_server.handle srv "/readyz" in
+  check int "readyz 503 before any pool starts" 503 r.Demo_server.status;
+  check bool "not-ready carries Retry-After" true
+    (List.mem_assoc "Retry-After" r.Demo_server.headers);
+  check bool "serving component blamed" true
+    (contains_substring r.Demo_server.body "\"serving\": false");
+  Demo_server.mark_ready srv;
+  let r = Demo_server.handle srv "/readyz" in
+  check int "readyz 200 once serving" 200 r.Demo_server.status;
+  check bool "body reports ready" true
+    (contains_substring r.Demo_server.body "\"ready\": true")
+
+let test_readyz_reflects_queue_saturation () =
+  let srv = server () in
+  let config =
+    { quiet_config with Demo_server.workers = 1; queue_depth = 1; timeout_ms = 3_000 }
+  in
+  with_pool ~config srv (fun port ->
+      (* once the pool accepts, readiness is green over the wire *)
+      let fd = connect port in
+      write_all fd "GET /readyz HTTP/1.1\r\n\r\n";
+      let head, body = recv_response fd in
+      check bool "readyz 200 once the pool accepts" true (contains_substring head " 200 ");
+      check bool "wire body reports ready" true
+        (contains_substring body "\"ready\": true");
+      Unix.close fd;
+      (* pin the single worker and fill the 1-deep queue: the readiness
+         probe must go red before the acceptor even starts shedding *)
+      let pinned = connect port in
+      write_all pinned "GET /st";
+      Unix.sleepf 0.2;
+      let queued = connect port in
+      Unix.sleepf 0.1;
+      let r = Demo_server.handle srv "/readyz" in
+      check int "queue at shed threshold -> 503" 503 r.Demo_server.status;
+      check bool "accept_queue component blamed" true
+        (contains_substring r.Demo_server.body "\"accept_queue\": false");
+      Unix.close queued;
+      Unix.close pinned)
+
+(* Per-request sampling: a sampled request records an http.request root
+   carrying a rid and the synthetic queue.wait child measuring how long
+   the connection sat in the accept queue. *)
+let test_request_span_sampled_with_queue_wait () =
+  let module Trace = Extract_obs.Trace in
+  let srv = server () in
+  Trace.clear ();
+  Trace.set_sample_interval 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_sample_interval 0;
+      Trace.clear ())
+    (fun () ->
+      let r = Demo_server.handle_request ~queue_wait:0.002 srv "/stats?data=paper" in
+      check int "sampled request served" 200 r.Demo_server.status;
+      match Trace.finished () with
+      | [ root ] ->
+        check Alcotest.string "root is the request span" "http.request"
+          root.Extract_obs.Trace.name;
+        check bool "request span carries a rid" true (root.Extract_obs.Trace.rid <> None);
+        (match
+           List.filter
+             (fun s -> s.Extract_obs.Trace.name = "queue.wait")
+             root.Extract_obs.Trace.children
+         with
+        | [ w ] ->
+          check bool "queue wait measured" true (w.Extract_obs.Trace.duration > 0.)
+        | l -> Alcotest.failf "expected one queue.wait child, got %d" (List.length l))
+      | roots -> Alcotest.failf "expected one sampled root, got %d" (List.length roots))
+
+(* ------------------------------------------------------------------ *)
 (* Reqid + Slowlog under domains *)
 
 let test_reqid_slowlog_concurrent () =
@@ -544,6 +621,15 @@ let suites =
         Alcotest.test_case "queue overflow sheds 503" `Quick
           test_accept_queue_overflow_sheds_503;
         Alcotest.test_case "deadline sheds search" `Quick test_pool_deadline_sheds_search;
+      ] );
+    ( "pool.health",
+      [
+        Alcotest.test_case "readiness latch transitions" `Quick
+          test_health_endpoints_before_serving;
+        Alcotest.test_case "queue saturation turns readyz red" `Quick
+          test_readyz_reflects_queue_saturation;
+        Alcotest.test_case "sampled request span + queue wait" `Quick
+          test_request_span_sampled_with_queue_wait;
       ] );
     ( "pool.obs_concurrency",
       [ Alcotest.test_case "reqid + slowlog, four domains" `Quick test_reqid_slowlog_concurrent ] );

@@ -702,6 +702,45 @@ let test_admin_without_live_store () =
   check int "live status 404" 404 (Demo_server.handle s "/live").Demo_server.status;
   check int "live search 404" 404 (Demo_server.handle s "/live/search?q=x").Demo_server.status
 
+(* ------------------------------------------------------------------ *)
+(* Server: per-request observability on the fan-out routes *)
+
+(* Regression: /shards/search and /live/search must flow through the
+   same per-request observability as /search — every served request
+   emits one http.access line stamped with its request id. *)
+let test_fanout_routes_access_logged () =
+  let module Log = Extract_obs.Log in
+  let doc = Document.of_document (Extract_datagen.Paper_example.document ()) in
+  let sharded_srv =
+    Demo_server.create
+      ~sharded:(Extract_snippet.Shard_set.split ~shards:2 doc)
+      (Corpus.of_list [ "paper", Pipeline.build doc ])
+  in
+  let live_srv, live = live_server () in
+  ignore (post ~body:(store_xml "Austin" "Logged Store") live_srv "/admin/add?name=a.xml");
+  let lines = ref [] in
+  Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Log.set_level (Some Log.Info);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level None;
+      Log.set_sink None;
+      Extract_snippet.Live_corpus.close live)
+    (fun () ->
+      check int "shards search 200" 200
+        (Demo_server.handle sharded_srv "/shards/search?q=store+texas").Demo_server.status;
+      check int "live search 200" 200
+        (Demo_server.handle live_srv "/live/search?q=logged").Demo_server.status;
+      let access =
+        List.filter (fun l -> contains_substring l "\"event\": \"http.access\"") !lines
+      in
+      check int "one access line per fan-out request" 2 (List.length access);
+      List.iter
+        (fun l ->
+          check bool "access line carries a request id" true
+            (contains_substring l "\"rid\": \"q"))
+        access)
+
 let suites =
   [
     ( "util.lru",
@@ -754,6 +793,8 @@ let suites =
         Alcotest.test_case "explain not page cached" `Quick test_explain_not_page_cached;
         Alcotest.test_case "slowlog route" `Quick test_slowlog_route_captures_degraded_and_faulted;
         Alcotest.test_case "request id propagation" `Quick test_request_id_propagation;
+        Alcotest.test_case "fan-out routes access-logged" `Quick
+          test_fanout_routes_access_logged;
       ] );
     ( "server.live",
       [

@@ -151,6 +151,24 @@ let test_parallel_equals_sequential () =
         (List.map hit_key seq = List.map hit_key par))
     queries
 
+(* Regression: Shard_set.run used to drop its caller's deadline on the
+   floor, so /shards/search had no degradation path. An expired deadline
+   must degrade the snippets, not raise and not change the hit set. *)
+let test_run_deadline_degrades () =
+  let t = Lazy.force sharded in
+  let roots hits = List.sort compare (List.map (fun h -> h.Shard_set.global_root) hits) in
+  let full = Shard_set.run ~parallel:false t "retailer" in
+  let expired = Extract_util.Deadline.after 0. in
+  let hits = Shard_set.run ~parallel:false ~deadline:expired t "retailer" in
+  check bool "expired deadline still answers" true (hits <> []);
+  check bool "hit roots unchanged under degradation" true (roots hits = roots full);
+  check bool "snippets degraded rather than dropped" true
+    (List.for_all (fun h -> h.Shard_set.result.Pipeline.degraded) hits);
+  (* a generous deadline changes nothing *)
+  let easy = Shard_set.run ~parallel:false ~deadline:(Extract_util.Deadline.after 60.) t "retailer" in
+  check bool "generous deadline = no deadline" true
+    (List.map hit_key easy = List.map hit_key full)
+
 let test_limit_bounds_merged_answer () =
   let t = Lazy.force sharded in
   let all = Shard_set.run ~parallel:false t "retailer" in
@@ -255,6 +273,7 @@ let suites =
         case "slca equivalence" test_slca_equivalence;
         case "hits translate into shard blocks" test_hits_translate_roots;
         case "parallel = sequential" test_parallel_equals_sequential;
+        case "deadline degrades, never raises" test_run_deadline_degrades;
         case "limit bounds the merged answer" test_limit_bounds_merged_answer;
       ] );
     ( "shard.mask",

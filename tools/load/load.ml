@@ -14,7 +14,9 @@
    started server instead.
 
    Output: a human table, BENCH_load.json (machine-readable, tracked
-   across PRs like BENCH_hotpath.json), and an optional --floor=PATH
+   across PRs like BENCH_hotpath.json; each row also embeds the
+   server's own /metrics delta over the window — sheds, accept-queue
+   peak, keep-alive reuses), and an optional --floor=PATH
    SLO gate that fails the process when throughput-per-core drops below
    a third of the checked-in floor or p99 latency exceeds 3x its floor —
    same contract as the extract-bench hot-path gate.
@@ -142,9 +144,9 @@ let write_all fd s =
   in
   loop 0
 
-(* status code + whether the server asked to close; the body is drained
-   by Content-Length (every eXtract response carries one) *)
-let read_response c =
+(* status line + headers: code, Content-Length, whether the server asked
+   to close (every eXtract response carries a Content-Length) *)
+let read_head c =
   let status_line = read_line c in
   let code =
     match String.split_on_char ' ' status_line with
@@ -172,8 +174,79 @@ let read_response c =
     end
   in
   headers ();
-  skip_body c !content_length;
-  code, !close
+  code, !content_length, !close
+
+let read_response c =
+  let code, content_length, close = read_head c in
+  skip_body c content_length;
+  code, close
+
+let read_body c n =
+  let b = Buffer.create (max n 64) in
+  let remaining = ref n in
+  while !remaining > 0 do
+    if c.pos >= c.len then refill c;
+    let take = min !remaining (c.len - c.pos) in
+    Buffer.add_subbytes b c.buf c.pos take;
+    c.pos <- c.pos + take;
+    remaining := !remaining - take
+  done;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Server-side counters: scrape /metrics before and after each measured
+   window so every BENCH row carries the server's own view of the run —
+   how many connections it shed, how deep the accept queue got, how
+   often keep-alive connections were reused — alongside the client-side
+   numbers. Works against self-hosted and --port servers alike. *)
+
+let http_get_body ~port target =
+  match
+    let c = connect port in
+    Fun.protect
+      ~finally:(fun () -> close_conn c)
+      (fun () ->
+        write_all c.fd
+          (Printf.sprintf
+             "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n" target);
+        let code, content_length, _close = read_head c in
+        let body = read_body c content_length in
+        if code = 200 then Some body else None)
+  with
+  | r -> r
+  | exception (End_of_file | Unix.Unix_error _) -> None
+
+(* the value of an unlabelled metric in Prometheus text format; the
+   trailing space keeps extract_accept_queue_depth from matching
+   extract_accept_queue_depth_peak *)
+let metric_value name body =
+  let prefix = name ^ " " in
+  let plen = String.length prefix in
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         if String.length line > plen && String.sub line 0 plen = prefix then
+           float_of_string_opt (String.trim (String.sub line plen (String.length line - plen)))
+         else None)
+
+type server_sample = { sv_shed : float; sv_peak : float; sv_reuses : float }
+
+let scrape_server ~port =
+  match http_get_body ~port "/metrics" with
+  | None -> None
+  | Some body ->
+    let v name = Option.value ~default:0. (metric_value name body) in
+    Some
+      {
+        sv_shed = v "extract_accept_queue_shed_total";
+        sv_peak = v "extract_accept_queue_depth_peak";
+        sv_reuses = v "extract_keepalive_reuses_total";
+      }
+
+type server_delta = {
+  sd_shed : int; (* connections shed (503) during the window *)
+  sd_peak : int; (* accept-queue high-water mark as of the scrape *)
+  sd_reuses : int; (* keep-alive connection reuses during the window *)
+}
 
 (* ------------------------------------------------------------------ *)
 (* Query mix                                                           *)
@@ -338,6 +411,7 @@ type run_result = {
   r_p50_ms : float;
   r_p95_ms : float;
   r_p99_ms : float;
+  r_server : server_delta option; (* None when /metrics was unreachable *)
 }
 
 let percentile sorted p =
@@ -369,6 +443,7 @@ let warmup ~port ~targets =
 let run_load ?(with_writer = false) ~port ~workers ~chaos ~targets () =
   let zipf = Zipf.create ~n:(Array.length targets) ~skew:!skew in
   let stats = Array.init !connections (fun _ -> fresh_stats ()) in
+  let before = scrape_server ~port in
   let deadline = Deadline.after !duration in
   let updates = ref 0 (* written by the single writer thread, read after join *) in
   let t0 = Deadline.now () in
@@ -388,6 +463,17 @@ let run_load ?(with_writer = false) ~port ~workers ~chaos ~targets () =
   Array.iter Thread.join threads;
   Option.iter Thread.join writer;
   let elapsed = Deadline.now () -. t0 in
+  let server =
+    match before, scrape_server ~port with
+    | Some b, Some a ->
+      Some
+        {
+          sd_shed = int_of_float (a.sv_shed -. b.sv_shed);
+          sd_peak = int_of_float a.sv_peak;
+          sd_reuses = int_of_float (a.sv_reuses -. b.sv_reuses);
+        }
+    | _ -> None
+  in
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
   let latencies =
     Array.of_list (Array.fold_left (fun acc s -> List.rev_append s.latencies_ms acc) [] stats)
@@ -412,6 +498,7 @@ let run_load ?(with_writer = false) ~port ~workers ~chaos ~targets () =
     r_p50_ms = percentile latencies 50.;
     r_p95_ms = percentile latencies 95.;
     r_p99_ms = percentile latencies 99.;
+    r_server = server;
   }
 
 let with_pool ~server ~workers f =
@@ -448,6 +535,14 @@ let json_of_runs ~cores ~scaling runs =
   Buffer.add_string b "  \"runs\": [\n";
   List.iteri
     (fun i r ->
+      let server =
+        match r.r_server with
+        | Some s ->
+          Printf.sprintf
+            "{ \"shed_total\": %d, \"queue_depth_peak\": %d, \"keepalive_reuses\": %d }"
+            s.sd_shed s.sd_peak s.sd_reuses
+        | None -> "null"
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"workers\": %d, \"chaos\": %b, \"update_mix\": %b, \"updates\": %d, \
@@ -455,11 +550,11 @@ let json_of_runs ~cores ~scaling runs =
             %d, \"ok\": %d, \"shed\": %d, \"other\": %d, \"reconnects\": %d, \
             \"transport_errors\": %d, \"throughput_rps\": %.1f, \
             \"throughput_per_core_rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
-            \"p99_ms\": %.3f }%s\n"
+            \"p99_ms\": %.3f, \"server\": %s }%s\n"
            r.r_workers r.r_chaos r.r_update_mix r.r_updates r.r_elapsed r.r_requests
            r.r_ok r.r_shed r.r_other
            r.r_reconnects r.r_transport_errors r.r_rps r.r_rps_per_core r.r_p50_ms
-           r.r_p95_ms r.r_p99_ms
+           r.r_p95_ms r.r_p99_ms server
            (if i = List.length runs - 1 then "" else ",")))
     runs;
   Buffer.add_string b "  ],\n";
